@@ -1,0 +1,82 @@
+// Command columbia regenerates the tables and figures of "An
+// Application-Based Performance Characterization of the Columbia
+// Supercluster" (SC 2005) on the simulated machine.
+//
+// Usage:
+//
+//	columbia list             list experiment IDs
+//	columbia run <id>...      run selected experiments (e.g. fig5 table2)
+//	columbia all              run everything in paper order
+//	columbia -csv run <id>    emit CSV instead of aligned tables
+//	columbia -plot run <id>   append ASCII plots to figure tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"columbia/internal/core"
+	"columbia/internal/report"
+)
+
+var (
+	csvOut  = flag.Bool("csv", false, "emit CSV")
+	plotOut = flag.Bool("plot", false, "append ASCII plots")
+)
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	switch args[0] {
+	case "list":
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+	case "all":
+		for _, e := range core.Experiments() {
+			runOne(e)
+		}
+	case "run":
+		if len(args) < 2 {
+			usage()
+		}
+		for _, id := range args[1:] {
+			e, err := core.Lookup(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			runOne(e)
+		}
+	default:
+		usage()
+	}
+}
+
+func runOne(e core.Experiment) {
+	fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+	fmt.Printf("paper: %s\n\n", e.Paper)
+	for _, t := range e.Run() {
+		emit(t)
+	}
+}
+
+func emit(t *report.Table) {
+	if *csvOut {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Println(t.String())
+	if *plotOut {
+		fmt.Println(t.Plot(10))
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: columbia [-csv] [-plot] {list | all | run <id>...}")
+	os.Exit(2)
+}

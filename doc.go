@@ -1,0 +1,21 @@
+// Package columbia is the root of a Go reproduction of "An
+// Application-Based Performance Characterization of the Columbia
+// Supercluster" (Biswas, Djomehri, Hood, Jin, Kiris, Saini; SC 2005).
+//
+// The module models the 10,240-processor Columbia supercluster (SGI Altix
+// 3700/BX2 nodes, NUMAlink3/4 and InfiniBand fabrics) and implements every
+// workload the paper measures — the HPC Challenge subset, the NAS Parallel
+// Benchmarks CG/MG/FT/BT, the multi-zone BT-MZ/SP-MZ, a Lennard-Jones
+// molecular dynamics code, and overset-grid CFD proxies for INS3D and
+// OVERFLOW-D — each as a real, verified implementation plus a performance
+// skeleton executed on a virtual-time engine against the machine model.
+//
+// Entry points:
+//
+//	cmd/columbia     CLI that regenerates every table and figure
+//	examples/...     five runnable scenarios
+//	internal/core    the experiment registry
+//
+// The benchmarks in bench_test.go time the regeneration of each paper item
+// (go test -bench=.). See README.md, DESIGN.md and EXPERIMENTS.md.
+package columbia

@@ -1,0 +1,73 @@
+// Npbsweep: hybrid programming-model exploration with the multi-zone NPBs —
+// the process/thread trade-off of Fig. 9, the pinning effect of Fig. 7, and
+// a real coupled multi-zone solve for validation.
+package main
+
+import (
+	"fmt"
+
+	"columbia/internal/machine"
+	"columbia/internal/netmodel"
+	"columbia/internal/npb"
+	"columbia/internal/npbmz"
+	"columbia/internal/par"
+	"columbia/internal/pinning"
+	"columbia/internal/report"
+	"columbia/internal/vmpi"
+)
+
+func stepTime(bench string, class npb.Class, procs, threads int, pin pinning.Method) float64 {
+	cl := machine.NewSingleNode(machine.AltixBX2b)
+	fn, info := npbmz.Skeleton(bench, class, procs)
+	res := vmpi.Run(vmpi.Config{
+		Cluster: cl,
+		Net:     netmodel.New(cl),
+		Procs:   procs,
+		Threads: threads,
+		Pin:     pin,
+		OMP:     info.OMPOpts(),
+	}, fn)
+	return res.Time / npbmz.SkeletonIters
+}
+
+func main() {
+	fmt.Println("== Multi-zone NPB hybrid sweep (BX2b) ==")
+
+	// Real coupled mini multi-zone run (validates the exchange logic).
+	p := npbmz.Params{XZones: 3, YZones: 2, Niter: 2}
+	serial := npbmz.RunMiniSerial(p, 8, 2, 1)
+	var dist []float64
+	par.Run(3, func(c par.Comm) {
+		norms := npbmz.RunMiniMPI(c, p, 8, 2, 1)
+		if c.Rank() == 0 {
+			dist = norms
+		}
+	})
+	fmt.Printf("real 6-zone coupled solve: serial zone-0 norm %.12f, distributed %.12f (equal: %v)\n\n",
+		serial[0], dist[0], serial[0] == dist[0])
+
+	// BT-MZ class C: same 256 CPUs, different process/thread splits.
+	zones := npbmz.Classes[npb.ClassC].Zones()
+	t := report.New("BT-MZ class C on 256 CPUs: process/thread splits",
+		"procs x threads", "imbalance", "time/step (s)")
+	for _, cfg := range []struct{ p, th int }{{256, 1}, {128, 2}, {64, 4}, {32, 8}} {
+		if cfg.p > zones {
+			continue
+		}
+		_, info := npbmz.Skeleton("BT-MZ", npb.ClassC, cfg.p)
+		t.AddF(fmt.Sprintf("%dx%d", cfg.p, cfg.th), info.Imbalance(),
+			stepTime("BT-MZ", npb.ClassC, cfg.p, cfg.th, pinning.Dplace))
+	}
+	t.Note("Fewer processes balance the uneven zones better but pay the limited intra-zone OpenMP scaling (Fig. 9).")
+	fmt.Println(t)
+
+	// Pinning ablation (Fig. 7).
+	t2 := report.New("SP-MZ class C on 128 CPUs: pinning effect",
+		"procs x threads", "pinned (s)", "unpinned (s)", "slowdown")
+	for _, cfg := range []struct{ p, th int }{{128, 1}, {32, 4}, {8, 16}} {
+		a := stepTime("SP-MZ", npb.ClassC, cfg.p, cfg.th, pinning.Dplace)
+		b := stepTime("SP-MZ", npb.ClassC, cfg.p, cfg.th, pinning.None)
+		t2.AddF(fmt.Sprintf("%dx%d", cfg.p, cfg.th), a, b, b/a)
+	}
+	fmt.Println(t2)
+}

@@ -1,0 +1,50 @@
+// Quickstart: build a Columbia node, probe it with the HPCC subset on the
+// virtual-time engine, and run a real (host-executed) NPB CG class S to see
+// the numerical side of the library.
+package main
+
+import (
+	"fmt"
+
+	"columbia/internal/hpcc"
+	"columbia/internal/machine"
+	"columbia/internal/npb"
+	"columbia/internal/par"
+	"columbia/internal/report"
+	"columbia/internal/vmpi"
+)
+
+func main() {
+	fmt.Println("== Quickstart: one BX2b box ==")
+	cl := machine.NewSingleNode(machine.AltixBX2b)
+	fmt.Printf("node: %d CPUs, %.2f Tflop/s peak, %s\n\n",
+		cl.TotalCPUs(), cl.PeakFlops()/1e12, cl.Nodes[0].Spec.Type)
+
+	// Modelled microbenchmarks.
+	t := report.New("Modelled microbenchmarks (BX2b)", "Metric", "Value")
+	dense := machine.Dense(cl, 8)
+	t.AddF("DGEMM per CPU (Gflop/s)", hpcc.DgemmModel(dense)/1e9)
+	t.AddF("STREAM Triad, dense (GB/s)", hpcc.StreamModel(dense).Triad/1e9)
+	t.AddF("STREAM Triad, 1 CPU (GB/s)", hpcc.StreamModel(machine.Dense(cl, 1)).Triad/1e9)
+	var beff hpcc.BeffResult
+	vmpi.Run(vmpi.Config{Cluster: cl, Procs: 64}, func(c par.Comm) {
+		r := hpcc.Beff(c, 3)
+		if c.Rank() == 0 {
+			beff = r
+		}
+	})
+	t.AddF("Ping-pong latency, 64 CPUs (µs)", beff.PingPong.Latency*1e6)
+	t.AddF("Ping-pong bandwidth (GB/s)", beff.PingPong.Bandwidth/1e9)
+	t.AddF("Random-ring bandwidth per CPU (GB/s)", beff.Random.Bandwidth/1e9)
+	fmt.Println(t)
+
+	// A real kernel on the host: NPB CG class S, serial vs 4-rank MPI.
+	serial := npb.RunCGSerial(npb.CGClasses[npb.ClassS])
+	fmt.Printf("NPB CG class S (real execution): zeta = %.13f\n", serial.Zeta)
+	par.Run(4, func(c par.Comm) {
+		r := npb.RunCGMPI(c, npb.CGClasses[npb.ClassS])
+		if c.Rank() == 0 {
+			fmt.Printf("same kernel on 4 goroutine ranks:  zeta = %.13f\n", r.Zeta)
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module columbia
+
+go 1.22

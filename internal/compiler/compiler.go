@@ -1,0 +1,106 @@
+// Package compiler models the performance effect of the four Intel Fortran
+// compiler versions installed on Columbia (§4.4): 7.1 (the default), 8.0,
+// 8.1 (latest official), and the 9.0 beta. The paper finds the effect is
+// application dependent with no overall winner; this model encodes its
+// specific observations as compute-time multipliers relative to 7.1.
+package compiler
+
+import "fmt"
+
+// Version identifies one installed compiler.
+type Version int
+
+const (
+	V71  Version = iota // 7.1.042, the system default
+	V80                 // 8.0.070, worst in most cases
+	V81                 // 8.1.026, the latest official release
+	V90b                // 9.0.012 beta
+)
+
+// Versions lists all four in the order the paper tests them.
+var Versions = []Version{V71, V80, V81, V90b}
+
+func (v Version) String() string {
+	switch v {
+	case V71:
+		return "7.1"
+	case V80:
+		return "8.0"
+	case V81:
+		return "8.1"
+	case V90b:
+		return "9.0b"
+	}
+	return fmt.Sprintf("Version(%d)", int(v))
+}
+
+// Factor returns the compute-time multiplier of compiling `code` with v,
+// relative to 7.1, when running with the given parallel width (threads for
+// the OpenMP NPBs, processes for the applications). Encoded observations
+// (Fig. 8, Table 4):
+//
+//   - CG: all compilers give similar results;
+//   - FT: the 9.0 beta performs very well; 8.0 is the worst;
+//   - MG: 8.1/9.0b outperform between 32 and 128 threads, but are 20-30%
+//     slower below 32, and the ordering turns around again above 128;
+//   - BT: 8.0 worst, others close to 7.1;
+//   - INS3D: 7.1 vs 8.1 is a wash;
+//   - OVERFLOW-D: 7.1 is 20-40% faster below 64 processors, identical at
+//     larger counts.
+func Factor(v Version, code string, width int) float64 {
+	if v == V71 {
+		return 1
+	}
+	switch code {
+	case "CG":
+		switch v {
+		case V80:
+			return 1.02
+		case V81:
+			return 1.01
+		default:
+			return 0.99
+		}
+	case "FT":
+		switch v {
+		case V80:
+			return 1.15
+		case V81:
+			return 1.02
+		default:
+			return 0.90 // 9.0b performed very well on FT
+		}
+	case "MG":
+		switch v {
+		case V80:
+			return 1.04
+		default: // 8.1 and 9.0b behave alike on MG
+			switch {
+			case width < 32:
+				return 1.25 // 7.1/8.0 are 20-30% better below 32 threads
+			case width <= 128:
+				return 0.82 // 8.1/9.0b win between 32 and 128
+			default:
+				return 1.10 // scaling turns around above 128
+			}
+		}
+	case "BT":
+		switch v {
+		case V80:
+			return 1.12
+		case V81:
+			return 1.03
+		default:
+			return 0.98
+		}
+	case "INS3D":
+		return 1.0 // negligible 7.1-vs-8.1 difference (Table 4)
+	case "OVERFLOW":
+		if v == V81 && width < 64 {
+			// 7.1 superior by 20-40% on small counts; take the middle.
+			return 1.30
+		}
+		return 1.0
+	}
+	return 1.0
+}

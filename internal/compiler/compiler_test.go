@@ -1,0 +1,60 @@
+package compiler
+
+import "testing"
+
+func TestBaselineIs71(t *testing.T) {
+	for _, code := range []string{"CG", "FT", "MG", "BT", "INS3D", "OVERFLOW"} {
+		for _, w := range []int{1, 16, 64, 256} {
+			if f := Factor(V71, code, w); f != 1 {
+				t.Errorf("7.1 factor for %s at %d = %v", code, w, f)
+			}
+		}
+	}
+}
+
+func TestPaperFindings(t *testing.T) {
+	// CG: all compilers similar (within a few percent).
+	for _, v := range Versions {
+		if f := Factor(v, "CG", 64); f < 0.95 || f > 1.05 {
+			t.Errorf("CG with %v: factor %v, want ~1", v, f)
+		}
+	}
+	// FT: 9.0b very good, 8.0 worst.
+	if !(Factor(V90b, "FT", 64) < 1) {
+		t.Error("9.0b should beat 7.1 on FT")
+	}
+	if !(Factor(V80, "FT", 64) > Factor(V81, "FT", 64)) {
+		t.Error("8.0 should be the worst on FT")
+	}
+	// MG: 8.1/9.0b 20-30% slower below 32 threads, faster between 32 and
+	// 128, slower again above.
+	if f := Factor(V81, "MG", 16); f < 1.2 || f > 1.3 {
+		t.Errorf("MG 8.1 below 32 threads: %v, want 1.2-1.3", f)
+	}
+	if f := Factor(V81, "MG", 64); f >= 1 {
+		t.Errorf("MG 8.1 at 64 threads: %v, want < 1", f)
+	}
+	if f := Factor(V90b, "MG", 256); f <= 1 {
+		t.Errorf("MG 9.0b above 128 threads: %v, want > 1", f)
+	}
+	// INS3D: negligible difference.
+	if f := Factor(V81, "INS3D", 36); f != 1 {
+		t.Errorf("INS3D 8.1 factor %v", f)
+	}
+	// OVERFLOW-D: 8.1 is 20-40% slower below 64 CPUs, identical above.
+	if f := Factor(V81, "OVERFLOW", 32); f < 1.2 || f > 1.4 {
+		t.Errorf("OVERFLOW 8.1 at 32 CPUs: %v, want 1.2-1.4", f)
+	}
+	if f := Factor(V81, "OVERFLOW", 128); f != 1 {
+		t.Errorf("OVERFLOW 8.1 at 128 CPUs: %v, want 1", f)
+	}
+}
+
+func TestVersionStrings(t *testing.T) {
+	want := []string{"7.1", "8.0", "8.1", "9.0b"}
+	for i, v := range Versions {
+		if v.String() != want[i] {
+			t.Errorf("version %d = %q", i, v.String())
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"columbia/internal/compiler"
+	"columbia/internal/ins3d"
+	"columbia/internal/machine"
+	"columbia/internal/md"
+	"columbia/internal/overflow"
+	"columbia/internal/report"
+	"columbia/internal/vmpi"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table2",
+		Title: "Table 2: INS3D seconds/iteration on 3700 vs BX2b (MLP groups x OpenMP threads)",
+		Paper: "Baseline 39230 s (3700) vs 26430 s (BX2b, ~50% faster); 36 groups scale well with threads up to 8, decaying beyond.",
+		Run:   runTable2,
+	})
+	register(Experiment{
+		ID:    "table3",
+		Title: "Table 3: OVERFLOW-D per-step comm/exec on 3700 vs BX2b",
+		Paper: "BX2b ~2x faster on average, >3x at 508 CPUs; comm cut by >50%; 3700 flattens beyond 256 (1679 blocks / 508 groups imbalance; comm/exec 0.3 at 256, >0.5 at 508).",
+		Run:   runTable3,
+	})
+	register(Experiment{
+		ID:    "table4",
+		Title: "Table 4: INS3D and OVERFLOW-D under Intel Fortran 7.1 vs 8.1",
+		Paper: "INS3D: negligible difference. OVERFLOW-D: 7.1 superior by 20-40% below 64 CPUs, identical above.",
+		Run:   runTable4,
+	})
+	register(Experiment{
+		ID:    "table5",
+		Title: "Table 5: molecular dynamics weak scaling over NUMAlink4",
+		Paper: "64,000 atoms per processor, 100 steps; almost perfect scalability to 2040 processors; communication insignificant.",
+		Run:   runTable5,
+	})
+	register(Experiment{
+		ID:    "table6",
+		Title: "Table 6: OVERFLOW-D across BX2b boxes, NUMAlink4 vs InfiniBand",
+		Paper: "NUMAlink4 exec ~10% better; communication times reversed; no pronounced penalty for spreading the same CPUs over more boxes.",
+		Run:   runTable6,
+	})
+}
+
+func runTable2() []*report.Table {
+	m := ins3d.NewModel()
+	t := report.New("Table 2: INS3D seconds per physical time step",
+		"CPUs (groups x threads)", "3700", "BX2b")
+	configs := []struct{ g, th int }{
+		{1, 1}, {36, 1}, {36, 2}, {36, 4}, {36, 8}, {36, 12}, {36, 14},
+	}
+	for _, c := range configs {
+		t.AddF(fmt.Sprintf("%d (%dx%d)", c.g*c.th, c.g, c.th),
+			m.SecPerIter(machine.Altix3700, c.g, c.th),
+			m.SecPerIter(machine.AltixBX2b, c.g, c.th))
+	}
+	t.Note("Paper values: 39230/26430 (1x1), 1223/825.2 (36x1), 796/508.4 (36x2), 554.2/331.8 (36x4), 454.7/287.7 (36x8), 409.1/- (36x12), -/247.6 (36x14).")
+	return []*report.Table{t}
+}
+
+func runTable3() []*report.Table {
+	m := overflow.NewModel()
+	t := report.New("Table 3: OVERFLOW-D per-step times (s)",
+		"CPUs", "3700 comm", "3700 exec", "BX2b comm", "BX2b exec", "exec ratio")
+	for _, p := range []int{36, 64, 128, 256, 508} {
+		a := m.PerStep(machine.Altix3700, p)
+		b := m.PerStep(machine.AltixBX2b, p)
+		t.AddF(p, a.Comm, a.Exec, b.Comm, b.Exec, a.Exec/b.Exec)
+	}
+	t.Note("A production run requires ~50,000 such steps.")
+	t.Note("Paper: comm/exec on the 3700 is ~0.3 at 256 CPUs and >0.5 at 508; BX2b >3x faster at 508.")
+	e := report.New("Table 3 (companion): parallel efficiency vs 16-CPU baseline",
+		"CPUs", "3700", "BX2b")
+	for _, p := range []int{128, 256, 508} {
+		e.AddF(p, m.Efficiency(machine.Altix3700, 16, p), m.Efficiency(machine.AltixBX2b, 16, p))
+	}
+	e.Note("Paper quotes 26/19/7%% (3700) vs 61/37/27%% (BX2b) at 128/256/508.")
+	return []*report.Table{t, e}
+}
+
+func runTable4() []*report.Table {
+	mi := ins3d.NewModel()
+	t := report.New("Table 4: application runtimes under compilers 7.1 vs 8.1",
+		"Configuration", "7.1", "8.1", "8.1/7.1")
+	for _, th := range []int{1, 4} {
+		base := mi.SecPerIter(machine.AltixBX2b, 36, th)
+		f := compiler.Factor(compiler.V81, "INS3D", 36*th)
+		t.AddF(fmt.Sprintf("INS3D BX2b 36x%d (s/iter)", th), base, base*f, f)
+	}
+	mo := overflow.NewModel()
+	for _, p := range []int{32, 64, 128} {
+		base := mo.PerStep(machine.Altix3700, p)
+		f := compiler.Factor(compiler.V81, "OVERFLOW", p)
+		t.AddF(fmt.Sprintf("OVERFLOW-D 3700 %d CPUs (s/step)", p),
+			base.Exec, base.Exec-base.Comm+(base.Exec-base.Comm)*(f-1)+base.Comm, f)
+	}
+	t.Note("Paper: INS3D negligible difference; OVERFLOW-D 7.1 superior 20-40%% below 64 CPUs, identical at larger counts.")
+	return []*report.Table{t}
+}
+
+func runTable5() []*report.Table {
+	w := md.PaperWeakScaling()
+	t := report.New("Table 5: MD weak scaling (64,000 atoms/processor, NUMAlink4)",
+		"CPUs", "atoms (millions)", "s/step", "efficiency")
+	var base float64
+	for _, p := range []int{1, 8, 64, 256, 504, 1020, 2040} {
+		nodes := (p + 509) / 510
+		if nodes > 4 {
+			nodes = 4
+		}
+		res := vmpi.Run(vmpi.Config{
+			Cluster: machine.NewBX2bQuad(),
+			Procs:   p,
+			Nodes:   nodes,
+		}, w.Skeleton(p))
+		perStep := res.Time / md.SkeletonSteps
+		if p == 1 {
+			base = perStep
+		}
+		t.AddF(p, float64(p)*float64(w.AtomsPerProc)/1e6, perStep, base/perStep)
+	}
+	t.Note("Paper: 130.56 million atoms at 2040 processors; almost perfect scalability; communication insignificant over 100 steps.")
+	return []*report.Table{t}
+}
+
+func runTable6() []*report.Table {
+	m := overflow.NewModel()
+	t := report.New("Table 6: OVERFLOW-D per-step times across BX2b boxes (s)",
+		"CPUs x nodes", "NL4 comm", "NL4 exec", "IB comm", "IB exec", "IB/NL4 exec")
+	for _, cfg := range []struct{ p, n int }{{128, 2}, {256, 2}, {256, 4}, {380, 4}, {508, 4}} {
+		nl := m.PerStepMultinode(machine.NUMAlink4, cfg.p, cfg.n)
+		ib := m.PerStepMultinode(machine.InfiniBand, cfg.p, cfg.n)
+		t.AddF(fmt.Sprintf("%d x %d", cfg.p, cfg.n),
+			nl.Comm, nl.Exec, ib.Comm, ib.Exec, ib.Exec/nl.Exec)
+	}
+	t.Note("Paper: NUMAlink4 total execution ~10%% better; the reverse holds for communication times; spreading the same CPU count over more boxes costs little.")
+	return []*report.Table{t}
+}

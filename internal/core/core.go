@@ -1,0 +1,63 @@
+// Package core is the characterization harness: it maps every table and
+// figure of the paper's evaluation (§4) to an executable experiment over
+// the machine model, the virtual-time engine and the workload packages, and
+// renders the results as report tables. This is the public entry point a
+// downstream user drives (see cmd/columbia and the examples).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"columbia/internal/report"
+)
+
+// Experiment is one reproducible paper item.
+type Experiment struct {
+	// ID is the short handle used by the CLI (e.g. "fig5", "table2").
+	ID string
+	// Title describes the paper item.
+	Title string
+	// Paper summarizes what the paper reports, for side-by-side reading.
+	Paper string
+	// Run executes the experiment and returns its tables.
+	Run func() []*report.Table
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Experiments returns all registered experiments in a stable order.
+func Experiments() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(a, b int) bool { return order(out[a].ID) < order(out[b].ID) })
+	return out
+}
+
+// order gives tables and figures their paper sequence.
+func order(id string) int {
+	seq := []string{"table1", "fig5", "fig6", "table2", "table3", "stride",
+		"fig7", "fig8", "table4", "fig9", "fig10", "fig11", "table5", "table6", "future"}
+	for i, s := range seq {
+		if s == id {
+			return i
+		}
+	}
+	return len(seq)
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	return Experiment{}, fmt.Errorf("core: unknown experiment %q (have: %s)", id, strings.Join(ids, ", "))
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+
+	"columbia/internal/machine"
+	"columbia/internal/npb"
+	"columbia/internal/pinning"
+	"columbia/internal/report"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "fig5", "fig6", "table2", "table3", "stride",
+		"fig7", "fig8", "table4", "fig9", "fig10", "fig11", "table5", "table6", "future"}
+	exps := Experiments()
+	if len(exps) != len(want) {
+		t.Fatalf("registered %d experiments, want %d", len(exps), len(want))
+	}
+	for i, e := range exps {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("%s incomplete", e.ID)
+		}
+	}
+	if _, err := Lookup("fig5"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("lookup of unknown id should fail")
+	}
+}
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, tb *report.Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tb.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("table %q cell (%d,%d) = %q: %v", tb.Title, row, col, tb.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestFig5Shapes(t *testing.T) {
+	tables := runFig5()
+	if len(tables) != 6 {
+		t.Fatalf("fig5 produced %d tables", len(tables))
+	}
+	randLat := tables[4]
+	// Random Ring latency grows with CPU count on every node type, and
+	// the 3700 ends worst.
+	first, last := 0, len(randLat.Rows)-1
+	for col := 1; col <= 3; col++ {
+		if !(cell(t, randLat, last, col) > cell(t, randLat, first, col)) {
+			t.Errorf("random-ring latency flat in column %d", col)
+		}
+	}
+	if !(cell(t, randLat, last, 1) > cell(t, randLat, last, 3)) {
+		t.Error("3700 random-ring latency should exceed BX2b at scale")
+	}
+	natBW := tables[3]
+	// Natural ring bandwidth tracks clock: BX2b above both 1.5 GHz types.
+	if !(cell(t, natBW, 2, 3) > cell(t, natBW, 2, 1)) {
+		t.Error("BX2b natural-ring bandwidth should beat 3700")
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	ftRate := func(nt machine.NodeType) float64 { return npbRateMPI("FT", npb.ClassC, nt, 256) }
+	if r := ftRate(machine.AltixBX2b) / ftRate(machine.Altix3700); r < 1.4 {
+		t.Errorf("FT BX2b/3700 at 256 procs = %.2f, want approaching 2 (paper)", r)
+	}
+	// MG/BT jump on BX2b vs BX2a near 64 CPUs (~50%).
+	for _, bench := range []string{"MG", "BT"} {
+		a := npbRateMPI(bench, npb.ClassC, machine.AltixBX2a, 64)
+		b := npbRateMPI(bench, npb.ClassC, machine.AltixBX2b, 64)
+		if r := b / a; r < 1.3 || r > 1.9 {
+			t.Errorf("%s BX2b/BX2a jump at 64 = %.2f, want ~1.5", bench, r)
+		}
+	}
+	// OpenMP at 128 threads: BX2 much better than 3700 for FT and BT.
+	for _, bench := range []string{"FT", "BT"} {
+		a := npbRateOpenMP(bench, npb.ClassB, machine.Altix3700, 128, 1)
+		b := npbRateOpenMP(bench, npb.ClassB, machine.AltixBX2a, 128, 1)
+		if r := b / a; r < 1.6 {
+			t.Errorf("%s OpenMP BX2a/3700 at 128 threads = %.2f, want ~2", bench, r)
+		}
+	}
+	// MPI scales much better than OpenMP overall: per-CPU OpenMP rate at
+	// 128 threads is well below the MPI rate at 128 procs for BT.
+	mpi := npbRateMPI("BT", npb.ClassB, machine.Altix3700, 128)
+	omp := npbRateOpenMP("BT", npb.ClassB, machine.Altix3700, 128, 1)
+	if !(mpi > omp) {
+		t.Errorf("BT: MPI per-CPU %.3f should beat OpenMP %.3f at 128 CPUs", mpi, omp)
+	}
+}
+
+func TestFig7PinningShapes(t *testing.T) {
+	cl := machine.NewSingleNode(machine.AltixBX2b)
+	slow := func(procs, th int) float64 {
+		pinned := mzTime("SP-MZ", npb.ClassC, cl, procs, th, 1, pinning.Dplace, machine.MPT111b)
+		unpinned := mzTime("SP-MZ", npb.ClassC, cl, procs, th, 1, pinning.None, machine.MPT111b)
+		return unpinned / pinned
+	}
+	pure := slow(128, 1)
+	hybrid := slow(16, 8)
+	if pure > 1.15 {
+		t.Errorf("pure process mode slowdown %.2f, want small", pure)
+	}
+	if hybrid < 1.8 {
+		t.Errorf("hybrid slowdown %.2f, want substantial", hybrid)
+	}
+	// Impact grows with total CPUs.
+	if s64, s256 := slow(8, 8), slow(32, 8); s256 <= s64 {
+		t.Errorf("pinning impact should grow with CPUs: %.2f (64) vs %.2f (256)", s64, s256)
+	}
+}
+
+func TestTable5WeakScaling(t *testing.T) {
+	tb := runTable5()[0]
+	effLast := cell(t, tb, len(tb.Rows)-1, 3)
+	if effLast < 0.95 {
+		t.Errorf("MD efficiency at 2040 procs = %.3f, want near-perfect", effLast)
+	}
+	if atoms := cell(t, tb, len(tb.Rows)-1, 1); atoms < 130 || atoms > 131 {
+		t.Errorf("atoms at 2040 procs = %.2f M, want 130.56 M", atoms)
+	}
+}
+
+func TestTable6Inversion(t *testing.T) {
+	tb := runTable6()[0]
+	for r := range tb.Rows {
+		nlComm, nlExec := cell(t, tb, r, 1), cell(t, tb, r, 2)
+		ibComm, ibExec := cell(t, tb, r, 3), cell(t, tb, r, 4)
+		if !(ibExec > nlExec) {
+			t.Errorf("row %d: IB exec %.3f should exceed NL4 %.3f", r, ibExec, nlExec)
+		}
+		if !(ibComm < nlComm) {
+			t.Errorf("row %d: the comm-time inversion should hold (IB %.3f vs NL4 %.3f)", r, ibComm, nlComm)
+		}
+		if ratio := ibExec / nlExec; ratio > 1.35 {
+			t.Errorf("row %d: exec penalty %.2f too large (paper ~10%%)", r, ratio)
+		}
+	}
+}
+
+func TestAllExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, e := range Experiments() {
+		tables := e.Run()
+		if len(tables) == 0 {
+			t.Errorf("%s produced no tables", e.ID)
+		}
+		for _, tb := range tables {
+			if len(tb.Rows) == 0 {
+				t.Errorf("%s: table %q empty", e.ID, tb.Title)
+			}
+			if tb.String() == "" || tb.CSV() == "" {
+				t.Errorf("%s: table %q renders empty", e.ID, tb.Title)
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"columbia/internal/ins3d"
+	"columbia/internal/machine"
+	"columbia/internal/overflow"
+	"columbia/internal/report"
+	"columbia/internal/shmem"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "future",
+		Title: "Sec. 5 future work: multinode INS3D, SHMEM port, larger rotor grid",
+		Paper: "Declared but not executed in the paper: complete the multinode INS3D; experiment with the SHMEM library (porting INS3D); run a much larger overset system for OVERFLOW-D.",
+		Run:   runFuture,
+	})
+}
+
+func runFuture() []*report.Table {
+	var tables []*report.Table
+
+	// Multinode INS3D over the BX2b quad.
+	mi := ins3d.NewModel()
+	t1 := report.New("Future work: multinode INS3D (BX2b quad)",
+		"groups x threads x nodes", "sec/iter NL4", "cross-box exchange NL4 (s)", "cross-box exchange IB (s)")
+	for _, cfg := range []struct{ g, th, n int }{{36, 14, 1}, {72, 14, 2}, {144, 14, 4}} {
+		nl := mi.SecPerIterMultinode(machine.NUMAlink4, cfg.g, cfg.th, cfg.n)
+		base := mi.SecPerIter(machine.AltixBX2b, cfg.g, cfg.th)
+		ib := mi.SecPerIterMultinode(machine.InfiniBand, cfg.g, cfg.th, cfg.n)
+		t1.AddF(fmt.Sprintf("%dx%dx%d", cfg.g, cfg.th, cfg.n), nl, nl-base, ib-base)
+	}
+	t1.Note("Boundary archiving is a tiny fraction of an INS3D step, so the fabric barely matters — but group counts beyond ~72 stop paying because 267 zones no longer balance (the paper's load-balancing caveat, Sec 4.1.3).")
+	tables = append(tables, t1)
+
+	// SHMEM port projection.
+	sm := shmem.NewModel(machine.NewSingleNode(machine.AltixBX2b))
+	t2 := report.New("Future work: INS3D boundary exchange, MPI vs SHMEM port (per sub-iteration)",
+		"surface points", "MPI (ms)", "SHMEM (ms)", "speedup")
+	for _, pts := range []int{2000, 9000, 40000} {
+		mpi, shm := sm.CompareINS3DBoundary(pts, 128)
+		t2.AddF(pts, mpi*1e3, shm*1e3, mpi/shm)
+	}
+	t2.Note("One-sided puts drop the matching/rendezvous latency; the advantage fades as transfers become bandwidth-bound.")
+	tables = append(tables, t2)
+
+	// Larger rotor grid.
+	small := overflow.NewModel()
+	large := overflow.NewModelLarge()
+	t3 := report.New("Future work: OVERFLOW-D with the larger rotor system (BX2b, per-step exec s)",
+		"CPUs", "1679 blocks / 75M pts", "4000 blocks / 300M pts", "imbalance small", "imbalance large")
+	for _, p := range []int{128, 256, 508} {
+		t3.AddF(p,
+			small.PerStep(machine.AltixBX2b, p).Exec,
+			large.PerStep(machine.AltixBX2b, p).Exec,
+			small.Grouping(p).Imbalance(),
+			large.Grouping(p).Imbalance())
+	}
+	t3.Note("More blocks per group restore load balance at 508 processes, the bottleneck of Table 3.")
+	tables = append(tables, t3)
+	return tables
+}

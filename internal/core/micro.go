@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"columbia/internal/hpcc"
+	"columbia/internal/machine"
+	"columbia/internal/par"
+	"columbia/internal/report"
+	"columbia/internal/vmpi"
+)
+
+// nodeTypes are the three Columbia node flavours compared throughout §4.1.
+var nodeTypes = []machine.NodeType{machine.Altix3700, machine.AltixBX2a, machine.AltixBX2b}
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Table 1: characteristics of the Altix nodes used in Columbia",
+		Paper: "Structural description of the 3700 and BX2 nodes.",
+		Run:   runTable1,
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Fig. 5: HPCC b_eff latency/bandwidth on three node types",
+		Paper: "Latencies consistent across types for Ping-Pong/Natural Ring; Random Ring latency grows with CPU count and improves on BX2; bandwidth tracks clock for local patterns and interconnect for remote ones.",
+		Run:   runFig5,
+	})
+	register(Experiment{
+		ID:    "stride",
+		Title: "Sec. 4.2: CPU stride effects on DGEMM, STREAM and b_eff",
+		Paper: "DGEMM < 0.5% effect; STREAM Triad 1.9x higher at stride 2/4 (memory bus shared by CPU pairs); latency/bandwidth effects minor.",
+		Run:   runStride,
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Fig. 10: multinode b_eff over NUMAlink4 vs InfiniBand",
+		Paper: "NUMAlink4 much better; IB latency penalty grows from two to four nodes; IB Random Ring shows severe scalability problems.",
+		Run:   runFig10,
+	})
+}
+
+func runTable1() []*report.Table {
+	t := report.New("Table 1: node characteristics",
+		"Characteristic", "3700", "BX2a", "BX2b")
+	row := func(name string, f func(machine.NodeSpec) string) {
+		cells := []string{name}
+		for _, nt := range nodeTypes {
+			cells = append(cells, f(machine.Spec(nt)))
+		}
+		t.Add(cells...)
+	}
+	row("Processors", func(s machine.NodeSpec) string { return fmt.Sprintf("%d", s.CPUs) })
+	row("Packaging (CPUs/rack)", func(s machine.NodeSpec) string { return fmt.Sprintf("%d", s.CPUsPerRack) })
+	row("CPUs per C-brick", func(s machine.NodeSpec) string { return fmt.Sprintf("%d", s.CPUsPerBrick) })
+	row("Clock (GHz)", func(s machine.NodeSpec) string { return fmt.Sprintf("%.1f", s.ClockGHz) })
+	row("L3 cache (MB)", func(s machine.NodeSpec) string { return fmt.Sprintf("%.0f", s.L3Bytes/(1<<20)) })
+	row("Interconnect", func(s machine.NodeSpec) string {
+		if s.CPUsPerBrick == 4 {
+			return "NUMAlink3"
+		}
+		return "NUMAlink4"
+	})
+	row("Link bandwidth (GB/s)", func(s machine.NodeSpec) string { return fmt.Sprintf("%.1f", s.LinkBW/1e9) })
+	row("Peak perf (Tflop/s)", func(s machine.NodeSpec) string {
+		return fmt.Sprintf("%.2f", float64(s.CPUs)*s.PeakFlops()/1e12)
+	})
+	row("Memory (TB)", func(s machine.NodeSpec) string { return fmt.Sprintf("%.0f", s.MemPerNodeGB/1024) })
+	return []*report.Table{t}
+}
+
+// beffOn runs the b_eff subset on a cluster configuration.
+func beffOn(cl *machine.Cluster, procs, nodes int, random bool) hpcc.BeffResult {
+	var out hpcc.BeffResult
+	vmpi.Run(vmpi.Config{Cluster: cl, Procs: procs, Nodes: nodes, RandomPattern: random},
+		func(c par.Comm) {
+			r := hpcc.Beff(c, 3)
+			if c.Rank() == 0 {
+				out = r
+			}
+		})
+	return out
+}
+
+func runFig5() []*report.Table {
+	cpus := []int{4, 8, 16, 32, 64, 128, 256, 508}
+	var tables []*report.Table
+	type metric struct {
+		name string
+		get  func(hpcc.BeffResult) float64
+	}
+	metrics := []metric{
+		{"Ping-Pong latency (µs)", func(r hpcc.BeffResult) float64 { return r.PingPong.Latency * 1e6 }},
+		{"Ping-Pong bandwidth (GB/s)", func(r hpcc.BeffResult) float64 { return r.PingPong.Bandwidth / 1e9 }},
+		{"Natural Ring latency (µs)", func(r hpcc.BeffResult) float64 { return r.Natural.Latency * 1e6 }},
+		{"Natural Ring bandwidth (GB/s)", func(r hpcc.BeffResult) float64 { return r.Natural.Bandwidth / 1e9 }},
+		{"Random Ring latency (µs)", func(r hpcc.BeffResult) float64 { return r.Random.Latency * 1e6 }},
+		{"Random Ring bandwidth (GB/s)", func(r hpcc.BeffResult) float64 { return r.Random.Bandwidth / 1e9 }},
+	}
+	// One pass per node type and CPU count; reuse across the six metrics.
+	results := map[machine.NodeType]map[int]hpcc.BeffResult{}
+	for _, nt := range nodeTypes {
+		results[nt] = map[int]hpcc.BeffResult{}
+		for _, p := range cpus {
+			cl := machine.NewSingleNode(nt)
+			results[nt][p] = beffOn(cl, p, 1, true)
+		}
+	}
+	for _, m := range metrics {
+		t := report.New("Fig. 5: "+m.name, "CPUs", "3700", "BX2a", "BX2b")
+		for _, p := range cpus {
+			t.AddF(p, m.get(results[machine.Altix3700][p]),
+				m.get(results[machine.AltixBX2a][p]),
+				m.get(results[machine.AltixBX2b][p]))
+		}
+		tables = append(tables, t)
+	}
+	tables[4].Note("Random Ring latency grows with CPU count; the BX2's shorter paths pull ahead (paper §4.1.1).")
+	tables[3].Note("Natural Ring bandwidth tracks processor speed: BX2b > {3700, BX2a} (paper §4.1.1).")
+	return tables
+}
+
+func runStride() []*report.Table {
+	cl := machine.NewSingleNode(machine.Altix3700)
+	t := report.New("Sec 4.2: strided CPU placement on the 3700 (8 CPUs)",
+		"Metric", "stride 1", "stride 2", "stride 4")
+	strided := func(stride int) *machine.Placement { return machine.Strided(cl, 8, stride) }
+	t.AddF("DGEMM per-CPU (Gflop/s)",
+		hpcc.DgemmModel(strided(1))/1e9,
+		hpcc.DgemmModel(strided(2))/1e9,
+		hpcc.DgemmModel(strided(4))/1e9)
+	t.AddF("STREAM Triad per-CPU (GB/s)",
+		hpcc.StreamModel(strided(1)).Triad/1e9,
+		hpcc.StreamModel(strided(2)).Triad/1e9,
+		hpcc.StreamModel(strided(4)).Triad/1e9)
+	lat := func(stride int) float64 {
+		var out float64
+		vmpi.Run(vmpi.Config{Cluster: cl, Procs: 8, Stride: stride}, func(c par.Comm) {
+			r := hpcc.PingPong(c, 3)
+			if c.Rank() == 0 {
+				out = r.Latency * 1e6
+			}
+		})
+		return out
+	}
+	t.AddF("Ping-Pong latency (µs)", lat(1), lat(2), lat(4))
+	t.Note("Paper: DGEMM moves <0.5%%; Triad is ~1.9x higher spread out; latency slightly worse for spread CPUs.")
+	return []*report.Table{t}
+}
+
+func runFig10() []*report.Table {
+	cpus := []int{64, 128, 256, 512, 1024, 2048}
+	var tables []*report.Table
+	nl := map[int]hpcc.BeffResult{}
+	ib := map[int]hpcc.BeffResult{}
+	for _, p := range cpus {
+		nodes := (p + 511) / 512
+		if nodes < 2 {
+			nodes = 2 // the multinode experiment always spans boxes
+		}
+		nl[p] = beffOn(machine.NewBX2bQuad(), p, nodes, true)
+		ibCl := machine.NewBX2bQuadIB()
+		// InfiniBand card limits bound pure-MPI node counts; the paper
+		// notes a pure MPI code can fully utilize at most three nodes.
+		maxNodes := ibCl.MaxPureMPINodes(p / nodes)
+		if nodes <= maxNodes {
+			ib[p] = beffOn(ibCl, p, nodes, true)
+		}
+	}
+	type metric struct {
+		name string
+		get  func(hpcc.BeffResult) float64
+	}
+	metrics := []metric{
+		{"Ping-Pong latency (µs)", func(r hpcc.BeffResult) float64 { return r.PingPong.Latency * 1e6 }},
+		{"Ping-Pong bandwidth (MB/s)", func(r hpcc.BeffResult) float64 { return r.PingPong.Bandwidth / 1e6 }},
+		{"Natural Ring bandwidth (MB/s)", func(r hpcc.BeffResult) float64 { return r.Natural.Bandwidth / 1e6 }},
+		{"Random Ring latency (µs)", func(r hpcc.BeffResult) float64 { return r.Random.Latency * 1e6 }},
+		{"Random Ring bandwidth (MB/s)", func(r hpcc.BeffResult) float64 { return r.Random.Bandwidth / 1e6 }},
+	}
+	for _, m := range metrics {
+		t := report.New("Fig. 10: "+m.name+" across BX2b boxes", "CPUs", "NUMAlink4", "InfiniBand")
+		for _, p := range cpus {
+			ibCell := "n/a (IB card limit)"
+			if r, ok := ib[p]; ok {
+				ibCell = report.Fmt(m.get(r))
+			}
+			t.Add(fmt.Sprintf("%d", p), report.Fmt(m.get(nl[p])), ibCell)
+		}
+		tables = append(tables, t)
+	}
+	tables[3].Note("Paper: substantial IB latency penalty, worse across four nodes than two.")
+	tables[4].Note("Paper: severe IB Random Ring scalability problems.")
+	return tables
+}

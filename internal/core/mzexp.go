@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"columbia/internal/machine"
+	"columbia/internal/netmodel"
+	"columbia/internal/npb"
+	"columbia/internal/npbmz"
+	"columbia/internal/pinning"
+	"columbia/internal/report"
+	"columbia/internal/vmpi"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Fig. 7: pinning vs no pinning for hybrid SP-MZ class C (BX2b)",
+		Paper: "Pinning improves hybrid runs substantially once processes spawn multiple threads, more so as CPUs grow; pure process mode is less influenced.",
+		Run:   runFig7,
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Fig. 9: MPI processes vs OpenMP threads for BT-MZ class C (BX2b)",
+		Paper: "For fixed threads, MPI scales almost linearly until load imbalance; for fixed processes, OpenMP scaling is limited — beyond two threads per-CPU performance drops quickly.",
+		Run:   runFig9,
+	})
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Fig. 11: BT-MZ / SP-MZ class E across NUMAlink4, InfiniBand and in-node",
+		Paper: "NUMAlink4 comparable to in-node up to 512 CPUs (512-CPU in-node runs lose 10-15% to the boot cpuset); close-to-linear BT-MZ speedup; IB only ~7% worse for BT-MZ; SP-MZ IB anomaly with mpt1.11r (40% at 256 CPUs) fixed by the mpt1.11b beta.",
+		Run:   runFig11,
+	})
+}
+
+// mzTime returns the per-step virtual time of a hybrid multi-zone run.
+func mzTime(bench string, class npb.Class, cl *machine.Cluster, procs, threads, nodes int,
+	pin pinning.Method, mpt machine.MPTVersion) float64 {
+	fn, info := npbmz.Skeleton(bench, class, procs)
+	net := netmodel.New(cl)
+	net.MPT = mpt
+	res := vmpi.Run(vmpi.Config{
+		Cluster: cl,
+		Net:     net,
+		Procs:   procs,
+		Threads: threads,
+		Nodes:   nodes,
+		Pin:     pin,
+		OMP:     info.OMPOpts(),
+	}, fn)
+	t := res.Time / npbmz.SkeletonIters
+	if bench == "SP-MZ" {
+		// The released-MPT InfiniBand anomaly taxes SP-MZ whole runs.
+		t *= net.MPTRunFactor(procs)
+	}
+	return t
+}
+
+// mzGflops converts a per-step time into whole-job Gflop/s.
+func mzGflops(bench string, class npb.Class, perStep float64) float64 {
+	_, info := npbmz.Skeleton(bench, class, 1)
+	return info.FlopsPerStep / perStep / 1e9
+}
+
+func runFig7() []*report.Table {
+	cl := machine.NewSingleNode(machine.AltixBX2b)
+	var tables []*report.Table
+	for _, cpus := range []int{64, 128, 256} {
+		t := report.New(fmt.Sprintf("Fig. 7: SP-MZ class C on %d CPUs, time/step (s)", cpus),
+			"Threads/proc", "pinned", "no pinning", "slowdown")
+		for th := 1; th <= 64 && cpus/th >= 1; th *= 2 {
+			procs := cpus / th
+			if procs > npbmz.Classes[npb.ClassC].Zones() {
+				continue
+			}
+			pinned := mzTime("SP-MZ", npb.ClassC, cl, procs, th, 1, pinning.Dplace, machine.MPT111b)
+			unpinned := mzTime("SP-MZ", npb.ClassC, cl, procs, th, 1, pinning.None, machine.MPT111b)
+			t.AddF(fmt.Sprintf("%dx%d", procs, th), pinned, unpinned, unpinned/pinned)
+		}
+		t.Note("Paper: pinning matters most with many threads per process and high CPU counts; pure process mode (x1) is least affected.")
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+func runFig9() []*report.Table {
+	cl := machine.NewSingleNode(machine.AltixBX2b)
+	left := report.New("Fig. 9 (left): BT-MZ class C total Gflop/s, fixed threads, varying processes",
+		"CPUs", "1 thread", "2 threads", "4 threads")
+	for _, procs := range []int{1, 4, 16, 64, 256} {
+		row := []interface{}{procs}
+		for _, th := range []int{1, 2, 4} {
+			if procs*th > 512 {
+				row = append(row, "-")
+				continue
+			}
+			perStep := mzTime("BT-MZ", npb.ClassC, cl, procs, th, 1, pinning.Dplace, machine.MPT111b)
+			row = append(row, mzGflops("BT-MZ", npb.ClassC, perStep))
+		}
+		left.AddF(row...)
+	}
+	left.Note("Paper: MPI scales almost linearly up to the load-imbalance point.")
+	right := report.New("Fig. 9 (right): BT-MZ class C total Gflop/s, fixed processes, varying threads",
+		"Threads/proc", "16 procs", "64 procs", "256 procs")
+	for _, th := range []int{1, 2, 4, 8, 16, 32} {
+		row := []interface{}{th}
+		for _, procs := range []int{16, 64, 256} {
+			if procs*th > 512 {
+				row = append(row, "-")
+				continue
+			}
+			perStep := mzTime("BT-MZ", npb.ClassC, cl, procs, th, 1, pinning.Dplace, machine.MPT111b)
+			row = append(row, mzGflops("BT-MZ", npb.ClassC, perStep))
+		}
+		right.AddF(row...)
+	}
+	right.Note("Paper: except for two threads, OpenMP performance drops quickly as threads increase.")
+	return []*report.Table{left, right}
+}
+
+func runFig11() []*report.Table {
+	var tables []*report.Table
+	// Top row: per-CPU Gflop/s, NUMAlink4 quad vs a single box.
+	for _, bench := range []string{"BT-MZ", "SP-MZ"} {
+		t := report.New(fmt.Sprintf("Fig. 11 (top): %s class E per-CPU Gflop/s, in-node vs NUMAlink4", bench),
+			"CPUs x threads", "single box", "NUMAlink4 quad")
+		for _, cfg := range []struct{ p, th int }{{256, 1}, {256, 2}, {508, 1}, {512, 1}} {
+			cpus := cfg.p * cfg.th
+			single := "-"
+			if cpus <= 512 {
+				perStep := mzTime(bench, npb.ClassE, machine.NewSingleNode(machine.AltixBX2b),
+					cfg.p, cfg.th, 1, pinning.Dplace, machine.MPT111b)
+				single = report.Fmt(mzGflops(bench, npb.ClassE, perStep) / float64(cpus))
+			}
+			nodes := (cpus + 511) / 512
+			if nodes < 2 {
+				nodes = 2
+			}
+			perStep := mzTime(bench, npb.ClassE, machine.NewBX2bQuad(),
+				cfg.p, cfg.th, nodes, pinning.Dplace, machine.MPT111b)
+			t.Add(fmt.Sprintf("%dx%d", cfg.p, cfg.th),
+				single, report.Fmt(mzGflops(bench, npb.ClassE, perStep)/float64(cpus)))
+		}
+		t.Note("Paper: NUMAlink4 comparable to or better than in-node; 512-CPU in-node runs drop 10-15%% (boot cpuset) — compare the 508x1 and 512x1 rows.")
+		tables = append(tables, t)
+	}
+	// Bottom row: total Gflop/s, NUMAlink4 vs InfiniBand (both MPT
+	// versions for SP-MZ's anomaly).
+	for _, bench := range []string{"BT-MZ", "SP-MZ"} {
+		t := report.New(fmt.Sprintf("Fig. 11 (bottom): %s class E total Gflop/s by fabric", bench),
+			"CPUs", "NUMAlink4", "IB mpt1.11r", "IB mpt1.11b")
+		for _, cpus := range []int{256, 512, 1024, 2048} {
+			nodes := (cpus + 511) / 512
+			if nodes < 2 {
+				nodes = 2
+			}
+			th := 1
+			procs := cpus
+			if cpus >= 2048 {
+				// Four boxes over InfiniBand exceed the pure-MPI card
+				// limit; hybrid mode (2 threads/process) is required.
+				th, procs = 2, cpus/2
+			}
+			nl := mzTime(bench, npb.ClassE, machine.NewBX2bQuad(), procs, th, nodes, pinning.Dplace, machine.MPT111b)
+			ibr := mzTime(bench, npb.ClassE, machine.NewBX2bQuadIB(), procs, th, nodes, pinning.Dplace, machine.MPT111r)
+			ibb := mzTime(bench, npb.ClassE, machine.NewBX2bQuadIB(), procs, th, nodes, pinning.Dplace, machine.MPT111b)
+			t.AddF(cpus,
+				mzGflops(bench, npb.ClassE, nl),
+				mzGflops(bench, npb.ClassE, ibr),
+				mzGflops(bench, npb.ClassE, ibb))
+		}
+		if bench == "BT-MZ" {
+			t.Note("Paper: close-to-linear BT-MZ speedup; InfiniBand only ~7%% worse.")
+		} else {
+			t.Note("Paper: released mpt1.11r is 40%% slower over IB at 256 CPUs, recovering at scale; the mpt1.11b beta matches NUMAlink4.")
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"columbia/internal/compiler"
+	"columbia/internal/machine"
+	"columbia/internal/npb"
+	"columbia/internal/report"
+	"columbia/internal/vmpi"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Fig. 6: NPB per-CPU Gflop/s (MPI and OpenMP) on three node types",
+		Paper: "OpenMP scales much better on BX2 for >=4 threads (up to 2x for FT/BT at 128); MPI bandwidth effects appear at >=32 procs (FT ~2x on BX2 at 256); MG/BT jump ~50% on BX2b near 64 CPUs (larger L3).",
+		Run:   runFig6,
+	})
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Fig. 8: Intel compiler versions on the OpenMP NPBs",
+		Paper: "Application dependent, no overall winner; 8.0 worst in most cases; 9.0b very good on FT; MG favors 8.1/9.0b between 32 and 128 threads, 7.1/8.0 below 32; CG indifferent.",
+		Run:   runFig8,
+	})
+}
+
+// npbRateMPI returns per-CPU Gflop/s for an MPI run of bench/class.
+func npbRateMPI(bench string, class npb.Class, nt machine.NodeType, procs int) float64 {
+	fn, ct := npb.Skeleton(bench, class, procs)
+	res := vmpi.Run(vmpi.Config{Cluster: machine.NewSingleNode(nt), Procs: procs}, fn)
+	perIter := res.Time / npb.SkeletonIters
+	return ct.Flops / perIter / float64(procs) / 1e9
+}
+
+// npbRateOpenMP returns per-CPU Gflop/s for a pure OpenMP run with the
+// given compute factor (compiler model).
+func npbRateOpenMP(bench string, class npb.Class, nt machine.NodeType, threads int, factor float64) float64 {
+	fn, ct := npb.Skeleton(bench, class, 1)
+	res := vmpi.Run(vmpi.Config{
+		Cluster:       machine.NewSingleNode(nt),
+		Procs:         1,
+		Threads:       threads,
+		OMP:           npb.OMPOptsFor(ct),
+		ComputeFactor: factor,
+	}, fn)
+	perIter := res.Time / npb.SkeletonIters
+	return ct.Flops / perIter / float64(threads) / 1e9
+}
+
+func runFig6() []*report.Table {
+	var tables []*report.Table
+	mpiCPUs := []int{4, 16, 64, 256}
+	ompThreads := []int{4, 16, 64, 128}
+	for _, bench := range npb.Benchmarks {
+		t := report.New(fmt.Sprintf("Fig. 6: %s class C, MPI, per-CPU Gflop/s", bench),
+			"CPUs", "3700", "BX2a", "BX2b")
+		for _, p := range mpiCPUs {
+			t.AddF(p,
+				npbRateMPI(bench, npb.ClassC, machine.Altix3700, p),
+				npbRateMPI(bench, npb.ClassC, machine.AltixBX2a, p),
+				npbRateMPI(bench, npb.ClassC, machine.AltixBX2b, p))
+		}
+		if bench == "FT" {
+			t.Note("Paper: FT ~2x faster on BX2 at 256 procs (all-to-all bandwidth).")
+		}
+		if bench == "MG" || bench == "BT" {
+			t.Note("Paper: ~50%% jump on BX2b vs BX2a near 64 CPUs (9 MB L3).")
+		}
+		tables = append(tables, t)
+	}
+	for _, bench := range npb.Benchmarks {
+		t := report.New(fmt.Sprintf("Fig. 6: %s class B, OpenMP, per-CPU Gflop/s", bench),
+			"Threads", "3700", "BX2a", "BX2b")
+		for _, th := range ompThreads {
+			t.AddF(th,
+				npbRateOpenMP(bench, npb.ClassB, machine.Altix3700, th, 1),
+				npbRateOpenMP(bench, npb.ClassB, machine.AltixBX2a, th, 1),
+				npbRateOpenMP(bench, npb.ClassB, machine.AltixBX2b, th, 1))
+		}
+		if bench == "FT" || bench == "BT" {
+			t.Note("Paper: OpenMP difference up to 2x at 128 threads on BX2 vs 3700.")
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+func runFig8() []*report.Table {
+	var tables []*report.Table
+	threads := []int{4, 16, 32, 64, 128, 256}
+	for _, bench := range npb.Benchmarks {
+		t := report.New(fmt.Sprintf("Fig. 8: %s class B OpenMP per-CPU Gflop/s by compiler (BX2b)", bench),
+			"Threads", "7.1", "8.0", "8.1", "9.0b")
+		for _, th := range threads {
+			cells := []interface{}{th}
+			for _, v := range compiler.Versions {
+				f := compiler.Factor(v, bench, th)
+				cells = append(cells, npbRateOpenMP(bench, npb.ClassB, machine.AltixBX2b, th, f))
+			}
+			t.AddF(cells...)
+		}
+		switch bench {
+		case "CG":
+			t.Note("Paper: all compilers similar on CG.")
+		case "FT":
+			t.Note("Paper: 9.0b performs very well on FT; 8.0 worst.")
+		case "MG":
+			t.Note("Paper: 8.1/9.0b win between 32 and 128 threads; 7.1/8.0 20-30%% better below 32; order flips again above 128.")
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}

@@ -1,0 +1,181 @@
+package hpcc
+
+import (
+	"columbia/internal/par"
+	"columbia/internal/rng"
+)
+
+// b_eff message sizes: 8-byte messages probe latency, 2 MiB messages probe
+// bandwidth, matching the HPCC effective-bandwidth benchmark regimes.
+const (
+	LatencyMsgBytes   = 8
+	BandwidthMsgBytes = 1 << 21
+)
+
+// RingResult is one communication pattern's outcome: the per-message
+// latency in seconds and the per-process bandwidth in bytes/s (counting
+// both the sent and received message of each step, as b_eff does).
+type RingResult struct {
+	Latency   float64
+	Bandwidth float64
+}
+
+// BeffResult aggregates the three patterns of the b_eff subset used in the
+// paper: average ping-pong, natural ring, and random ring.
+type BeffResult struct {
+	PingPong RingResult
+	Natural  RingResult
+	Random   RingResult
+}
+
+// Beff runs all three patterns on the given communicator. Drive it with
+// par.Run for a host-machine measurement or vmpi.Run for a Columbia model
+// measurement; per-rank results are identical on all ranks.
+func Beff(c par.Comm, reps int) BeffResult {
+	if reps < 1 {
+		reps = 1
+	}
+	var r BeffResult
+	r.PingPong = PingPong(c, reps)
+	r.Natural = Ring(c, naturalPerm(c.Size()), reps)
+	r.Random = Ring(c, randomPerm(c.Size()), reps)
+	return r
+}
+
+// pingPairs picks the deterministic sample of process pairs measured by the
+// ping-pong test: for every power-of-two rank distance d, a few pairs (a,
+// a+d) with spread starting points. The reported "average" then reflects
+// the distance mix of the machine exactly as the HPCC average does — in
+// particular, splitting a job over more boxes raises the fraction of
+// off-node pairs and with it the average InfiniBand latency (Fig. 10).
+// Pairs run sequentially, so ranks may appear in several pairs.
+func pingPairs(p int) [][2]int {
+	if p < 2 {
+		return nil
+	}
+	var pairs [][2]int
+	for d := 1; d <= p/2; d *= 2 {
+		for k := 0; k < 3; k++ {
+			a := (k*(p-d))/3 + d/3
+			if a < 0 || a+d >= p {
+				continue
+			}
+			pairs = append(pairs, [2]int{a, a + d})
+		}
+	}
+	if len(pairs) == 0 {
+		pairs = append(pairs, [2]int{0, p - 1})
+	}
+	return pairs
+}
+
+// PingPong measures the averaged point-to-point latency and bandwidth over
+// the sampled pairs; pairs run one at a time (others idle), as in b_eff.
+func PingPong(c par.Comm, reps int) RingResult {
+	const tagGo, tagBack = 101, 102
+	pairs := pingPairs(c.Size())
+	sum := []float64{0, 0, 0} // latency sum, bandwidth sum, count
+	for _, pr := range pairs {
+		c.Barrier()
+		switch c.Rank() {
+		case pr[0]:
+			t0 := c.Now()
+			for i := 0; i < reps; i++ {
+				c.SendBytes(pr[1], tagGo, LatencyMsgBytes)
+				c.RecvBytes(pr[1], tagBack)
+			}
+			lat := (c.Now() - t0) / float64(2*reps)
+			t0 = c.Now()
+			for i := 0; i < reps; i++ {
+				c.SendBytes(pr[1], tagGo, BandwidthMsgBytes)
+				c.RecvBytes(pr[1], tagBack)
+			}
+			bw := BandwidthMsgBytes / ((c.Now() - t0) / float64(2*reps))
+			sum[0] += lat
+			sum[1] += bw
+			sum[2]++
+		case pr[1]:
+			for i := 0; i < 2*reps; i++ {
+				c.RecvBytes(pr[0], tagGo)
+				c.SendBytes(pr[0], tagBack, pingEchoSize(i, reps))
+			}
+		}
+	}
+	c.Barrier()
+	tot := par.AllreduceSum(c, sum)
+	return RingResult{Latency: tot[0] / tot[2], Bandwidth: tot[1] / tot[2]}
+}
+
+func pingEchoSize(i, reps int) float64 {
+	if i < reps {
+		return LatencyMsgBytes
+	}
+	return BandwidthMsgBytes
+}
+
+// naturalPerm is the identity ordering: process i talks to i±1 in
+// MPI_COMM_WORLD order, so communication is between adjacent CPUs.
+func naturalPerm(p int) []int {
+	perm := make([]int, p)
+	for i := range perm {
+		perm[i] = i
+	}
+	return perm
+}
+
+// randomPerm is a deterministic Fisher–Yates shuffle driven by the NPB
+// generator, the "random" ordering whose communication is mostly remote.
+func randomPerm(p int) []int {
+	perm := naturalPerm(p)
+	s := rng.New(rng.DefaultSeed)
+	for i := p - 1; i > 0; i-- {
+		j := int(s.Next() * float64(i+1))
+		if j > i {
+			j = i
+		}
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// Ring measures the ring pattern over the given ordering: every process
+// simultaneously sends to its successor and receives from its predecessor,
+// for 8-byte (latency) and 2 MiB (bandwidth) messages. The reported numbers
+// are the slowest process's, mirroring b_eff's worst-case ring metric.
+func Ring(c par.Comm, perm []int, reps int) RingResult {
+	const tagLat, tagBW = 111, 112
+	p := c.Size()
+	if p < 2 {
+		return RingResult{}
+	}
+	pos := make([]int, p) // pos[rank] = index in ring order
+	for i, r := range perm {
+		pos[r] = i
+	}
+	me := pos[c.Rank()]
+	right := perm[(me+1)%p]
+	left := perm[(me-1+p)%p]
+
+	c.Barrier()
+	t0 := c.Now()
+	for i := 0; i < reps; i++ {
+		c.SendBytes(right, tagLat, LatencyMsgBytes)
+		c.RecvBytes(left, tagLat)
+	}
+	lat := (c.Now() - t0) / float64(reps)
+
+	c.Barrier()
+	t0 = c.Now()
+	for i := 0; i < reps; i++ {
+		c.SendBytes(right, tagBW, BandwidthMsgBytes)
+		c.RecvBytes(left, tagBW)
+	}
+	bwTime := (c.Now() - t0) / float64(reps)
+	c.Barrier()
+
+	worst := par.Allreduce(c, []float64{lat, bwTime}, par.MaxOp)
+	return RingResult{
+		Latency:   worst[0],
+		Bandwidth: 2 * BandwidthMsgBytes / worst[1],
+	}
+}

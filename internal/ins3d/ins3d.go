@@ -1,0 +1,371 @@
+// Package ins3d reproduces the paper's INS3D workload (§3.4): an
+// incompressible Navier–Stokes solver for turbopump flows using the
+// artificial-compressibility formulation — a pseudo-time pressure
+// derivative turns the elliptic-parabolic system hyperbolic-parabolic, and
+// each physical time step iterates sub-iterations until the velocity
+// divergence drops below tolerance — with a line-relaxation (Thomas) scheme
+// and Multi-Level Parallelism: MLP groups over overset zones, OpenMP
+// threads inside each group, boundary data archived in the shared arena.
+//
+// Two layers:
+//
+//   - a real miniature solver (2-D lid-driven channel on overset strip
+//     blocks) validating the numerical method and MLP coupling: the
+//     divergence-free constraint is enforced to tolerance and group counts
+//     do not change the answer;
+//   - a performance model for Table 2 (sec/iteration on the 66 M-point,
+//     267-zone turbopump grid for MLP-group × OpenMP-thread combinations),
+//     built from the overset grouping loads and the machine model.
+package ins3d
+
+import (
+	"fmt"
+	"math"
+
+	"columbia/internal/machine"
+	"columbia/internal/mlp"
+	"columbia/internal/netmodel"
+	"columbia/internal/overset"
+)
+
+// Mini is the miniature solver configuration.
+type Mini struct {
+	Nx, Ny   int     // interior cells per block
+	Blocks   int     // overset strip blocks (overlap 2 cells)
+	Beta     float64 // artificial compressibility parameter
+	Re       float64 // Reynolds number
+	Subiters int     // pseudo-time sub-iterations per physical step
+	Steps    int     // physical time steps
+}
+
+// DefaultMini returns a small, fast configuration.
+func DefaultMini() Mini {
+	return Mini{Nx: 24, Ny: 16, Blocks: 3, Beta: 5, Re: 100, Subiters: 20, Steps: 2}
+}
+
+// field is one block's staggered-free (collocated) state.
+type field struct {
+	nx, ny  int
+	u, v, p []float64
+}
+
+func newField(nx, ny int) *field {
+	n := nx * ny
+	return &field{nx: nx, ny: ny, u: make([]float64, n), v: make([]float64, n), p: make([]float64, n)}
+}
+
+func (f *field) at(i, j int) int { return j*f.nx + i }
+
+// MiniResult reports the solve's convergence behaviour.
+type MiniResult struct {
+	// Div0 and Div are the max velocity-divergence norms before and after
+	// the sub-iteration loop of the final step — the constraint the
+	// artificial-compressibility method drives to tolerance.
+	Div0, Div float64
+	// Checksum is a deterministic state digest for cross-run comparison.
+	Checksum float64
+}
+
+// RunMini solves the miniature problem with the given MLP group count
+// (blocks are distributed round-robin over groups; threads parallelize the
+// line sweeps). The result is independent of groups.
+func RunMini(cfg Mini, groups, threads int) MiniResult {
+	if groups > cfg.Blocks {
+		groups = cfg.Blocks
+	}
+	fields := make([]*field, cfg.Blocks)
+	for b := range fields {
+		fields[b] = newField(cfg.Nx, cfg.Ny)
+		// Lid-driven initial/boundary condition: top row moves.
+		for i := 0; i < cfg.Nx; i++ {
+			fields[b].u[fields[b].at(i, cfg.Ny-1)] = 1
+		}
+	}
+	var res MiniResult
+	dx := 1.0 / float64(cfg.Nx)
+	dt := 0.2 * dx
+
+	mlp.Run(groups, threads, func(g *mlp.Group) {
+		mine := func() []int {
+			var ids []int
+			for b := g.ID(); b < cfg.Blocks; b += g.N() {
+				ids = append(ids, b)
+			}
+			return ids
+		}()
+		for step := 0; step < cfg.Steps; step++ {
+			for sub := 0; sub < cfg.Subiters; sub++ {
+				// Archive boundary columns to the shared arena; blocks
+				// overlap their horizontal neighbours by two columns.
+				for _, b := range mine {
+					f := fields[b]
+					g.Arena().Archive(key(b, "east"), column(f, f.nx-3))
+					g.Arena().Archive(key(b, "west"), column(f, 2))
+				}
+				g.Barrier()
+				// Interpolate (here: inject) neighbour data into ghost
+				// columns.
+				for _, b := range mine {
+					f := fields[b]
+					if b > 0 {
+						setColumn(f, 0, g.Arena().Fetch(key(b-1, "east")))
+					}
+					if b < cfg.Blocks-1 {
+						setColumn(f, f.nx-1, g.Arena().Fetch(key(b+1, "west")))
+					}
+				}
+				g.Barrier()
+				// One alternating line Gauss–Seidel relaxation of the
+				// artificial-compressibility system on owned blocks.
+				div := 0.0
+				for _, b := range mine {
+					d := relaxBlock(fields[b], cfg, dt, dx, g)
+					if d > div {
+						div = d
+					}
+				}
+				if step == cfg.Steps-1 {
+					if sub == 0 {
+						g.Arena().Archive(key(g.ID(), "div0"), []float64{div})
+					}
+					g.Arena().Archive(key(g.ID(), "div"), []float64{div})
+				}
+				g.Barrier()
+			}
+		}
+		g.Barrier()
+		if g.ID() == 0 {
+			for k := 0; k < g.N(); k++ {
+				if v := g.Arena().Fetch(key(k, "div0")); v != nil && v[0] > res.Div0 {
+					res.Div0 = v[0]
+				}
+				if v := g.Arena().Fetch(key(k, "div")); v != nil && v[0] > res.Div {
+					res.Div = v[0]
+				}
+			}
+			for _, f := range fields {
+				for i := range f.u {
+					res.Checksum += f.u[i] + 2*f.v[i] + 3*f.p[i]
+				}
+			}
+		}
+	})
+	return res
+}
+
+func key(b int, side string) string { return fmt.Sprintf("b%d/%s", b, side) }
+
+// column packs (u, v, p) of column i.
+func column(f *field, i int) []float64 {
+	out := make([]float64, 3*f.ny)
+	for j := 0; j < f.ny; j++ {
+		at := f.at(i, j)
+		out[3*j] = f.u[at]
+		out[3*j+1] = f.v[at]
+		out[3*j+2] = f.p[at]
+	}
+	return out
+}
+
+func setColumn(f *field, i int, vals []float64) {
+	if vals == nil {
+		return
+	}
+	for j := 0; j < f.ny; j++ {
+		at := f.at(i, j)
+		f.u[at] = vals[3*j]
+		f.v[at] = vals[3*j+1]
+		f.p[at] = vals[3*j+2]
+	}
+}
+
+// relaxBlock performs one line-relaxation sweep (Thomas solves along x
+// lines, threads over lines) of the artificial-compressibility system and
+// returns the block's maximum absolute velocity divergence. The sweep is
+// line-Jacobi: right-hand sides read a pre-sweep snapshot, so the result
+// is independent of the thread count.
+func relaxBlock(f *field, cfg Mini, dt, dx float64, g *mlp.Group) float64 {
+	nx, ny := f.nx, f.ny
+	nu := 1.0 / cfg.Re
+	uo := append([]float64(nil), f.u...)
+	vo := append([]float64(nil), f.v...)
+	po := append([]float64(nil), f.p...)
+	// Implicit in x (lines), Jacobi in y: for each interior line j,
+	// solve tridiagonal systems for u and v updates.
+	g.Team().ParallelFor(1, ny-1, func(j int) {
+		a := make([]float64, nx) // sub
+		b := make([]float64, nx) // diag
+		c := make([]float64, nx) // super
+		r := make([]float64, nx)
+		solveLine := func(q []float64, rhs func(i int) float64) {
+			for i := 1; i < nx-1; i++ {
+				a[i] = -nu * dt / (dx * dx)
+				c[i] = a[i]
+				b[i] = 1 + 2*nu*dt/(dx*dx)
+				r[i] = q[f.at(i, j)] + dt*rhs(i)
+			}
+			// Dirichlet ends: keep current values.
+			b[0], c[0], r[0] = 1, 0, q[f.at(0, j)]
+			a[nx-1], b[nx-1], r[nx-1] = 0, 1, q[f.at(nx-1, j)]
+			thomas(a, b, c, r)
+			for i := 1; i < nx-1; i++ {
+				q[f.at(i, j)] = r[i]
+			}
+		}
+		dudx := func(q []float64, i int) float64 { return (q[f.at(i+1, j)] - q[f.at(i-1, j)]) / (2 * dx) }
+		dudy := func(q []float64, i int) float64 { return (q[f.at(i, j+1)] - q[f.at(i, j-1)]) / (2 * dx) }
+		d2dy := func(q []float64, i int) float64 {
+			return (q[f.at(i, j+1)] - 2*q[f.at(i, j)] + q[f.at(i, j-1)]) / (dx * dx)
+		}
+		solveLine(f.u, func(i int) float64 {
+			at := f.at(i, j)
+			return -uo[at]*dudx(uo, i) - vo[at]*dudy(uo, i) - dudx(po, i) + nu*d2dy(uo, i)
+		})
+		solveLine(f.v, func(i int) float64 {
+			at := f.at(i, j)
+			return -uo[at]*dudx(vo, i) - vo[at]*dudy(vo, i) - dudy(po, i) + nu*d2dy(vo, i)
+		})
+	})
+	// Pressure update from the artificial-compressibility continuity
+	// equation: dp/dτ = −β (∇·u), pointwise explicit.
+	maxDiv := 0.0
+	for j := 1; j < ny-1; j++ {
+		for i := 1; i < nx-1; i++ {
+			div := (f.u[f.at(i+1, j)]-f.u[f.at(i-1, j)])/(2*dx) +
+				(f.v[f.at(i, j+1)]-f.v[f.at(i, j-1)])/(2*dx)
+			f.p[f.at(i, j)] -= dt * cfg.Beta * div
+			if d := math.Abs(div); d > maxDiv {
+				maxDiv = d
+			}
+		}
+	}
+	return maxDiv
+}
+
+// thomas solves the tridiagonal system in place, answer in r.
+func thomas(a, b, c, r []float64) {
+	n := len(b)
+	for i := 1; i < n; i++ {
+		m := a[i] / b[i-1]
+		b[i] -= m * c[i-1]
+		r[i] -= m * r[i-1]
+	}
+	r[n-1] /= b[n-1]
+	for i := n - 2; i >= 0; i-- {
+		r[i] = (r[i] - c[i]*r[i+1]) / b[i]
+	}
+}
+
+// --- Performance model (Table 2) ---
+
+// Turbopump workload constants, calibrated so the 3700 one-CPU baseline
+// reproduces Table 2's 39,230 s/step and the BX2b's flop-bound time its
+// 26,430 s (≈50% faster). The volumes aggregate all sub-iterations and
+// relaxation sweeps of one physical step.
+const (
+	// flopsPerPointStep and memPerPointStep are the per-grid-point
+	// aggregate volumes of one physical time step. [calibrated]
+	flopsPerPointStep = 642e3
+	memPerPointStep   = 2.28e6
+	// lineWorkingSet is the per-CPU reuse set of the line-relaxation
+	// sweeps (line buffers and coefficient planes): it fits the BX2b's
+	// 9 MB L3 but not the 6 MB caches, which is where the 50% gap comes
+	// from. [calibrated]
+	lineWorkingSet = 8.5e6
+	// serialFraction is the per-group Amdahl fraction (boundary
+	// archiving, sweep recursions) limiting OpenMP thread scaling beyond
+	// ~8 threads, fit to Table 2's thread column. [calibrated]
+	serialFraction = 0.28
+)
+
+// Model predicts INS3D iteration times on a node type.
+type Model struct {
+	Sys *overset.System
+}
+
+// NewModel builds the Table 2 model over the synthetic turbopump grid.
+func NewModel() *Model { return &Model{Sys: overset.Turbopump()} }
+
+// SecPerIter returns the modelled seconds per physical time step for an
+// MLP-groups × OpenMP-threads run on the given node type.
+func (m *Model) SecPerIter(node machine.NodeType, groups, threads int) float64 {
+	if groups < 1 || threads < 1 {
+		panic("ins3d: groups and threads must be positive")
+	}
+	cl := machine.NewSingleNode(node)
+	total := float64(m.Sys.TotalPoints())
+	// Heaviest group after connectivity-aware bin-packing.
+	maxLoad := total
+	if groups > 1 {
+		maxLoad = overset.GroupBlocks(m.Sys, groups).MaxLoad()
+	}
+	// CPU placement: MLP runs are pinned spread-out while they fit, so a
+	// stream has a private bus until more than half the node is busy;
+	// beyond that, the excess fraction of streams pairs up on buses.
+	streams := groups * threads
+	half := cl.Nodes[0].Spec.CPUs / 2
+	paired := 0.0
+	if streams > half {
+		paired = float64(streams-half) / float64(half)
+		if paired > 1 {
+			paired = 1
+		}
+	}
+	perPoint := machine.Work{
+		Flops:      flopsPerPointStep,
+		MemBytes:   memPerPointStep,
+		WorkingSet: lineWorkingSet,
+		Efficiency: 0.25,
+	}
+	t1 := cl.ComputeTime(perPoint, machine.Loc{Node: 0, CPU: 0}, 1)
+	t2 := cl.ComputeTime(perPoint, machine.Loc{Node: 0, CPU: 0}, 2)
+	// Pairing costs the line solver less than a full bandwidth halving:
+	// the Thomas sweeps prefetch their lines effectively, overlapping
+	// much of the shared-bus contention. [calibrated damping]
+	const pairDamping = 0.35
+	tPoint := t1 * (1 + paired*pairDamping*(t2/t1-1))
+	amdahl := serialFraction + (1-serialFraction)/float64(threads)
+	t := maxLoad * tPoint * amdahl
+	// MLP overhead: one barrier plus arena archiving per sub-iteration.
+	const subiters = 15
+	sync := float64(subiters) * (5e-6*math.Log2(float64(streams)+1) +
+		float64(m.Sys.Blocks[0].SurfacePoints())*8/3.2e9)
+	return t + sync
+}
+
+// SecPerIterMultinode projects the multinode INS3D the paper left as future
+// work ("we want to complete the multinode version of INS3D to use it for
+// testing"): MLP groups spread over the BX2b quad, fine-grain threads
+// unchanged, and the per-sub-iteration boundary archive crossing the
+// internode fabric for the share of donor/receptor pairs that split across
+// boxes.
+func (m *Model) SecPerIterMultinode(fabric machine.Interconnect, groups, threads, nodes int) float64 {
+	if nodes < 1 {
+		nodes = 1
+	}
+	base := m.SecPerIter(machine.AltixBX2b, groups, threads)
+	if nodes == 1 {
+		return base
+	}
+	var cl *machine.Cluster
+	if fabric == machine.NUMAlink4 {
+		cl = machine.NewBX2bQuad()
+	} else {
+		cl = machine.NewBX2bQuadIB()
+	}
+	net := netmodel.New(cl)
+	// Cross-box boundary volume per step: the split fraction of every
+	// group's archived surface, sub-iterated.
+	const subiters = 15
+	crossFrac := float64(nodes-1) / float64(nodes)
+	surface := 0.0
+	for i := range m.Sys.Blocks {
+		surface += float64(m.Sys.Blocks[i].SurfacePoints())
+	}
+	bytes := surface * 0.25 * 5 * 8 * crossFrac * float64(subiters)
+	a := machine.Loc{Node: 0, CPU: 0}
+	b := machine.Loc{Node: 1, CPU: 0}
+	perGroup := bytes / float64(groups)
+	cross := perGroup/net.Bandwidth(a, b) + float64(subiters)*net.Latency(a, b)*8
+	return base + cross
+}

@@ -1,0 +1,122 @@
+package ins3d
+
+import (
+	"math"
+	"testing"
+
+	"columbia/internal/machine"
+)
+
+func TestMiniDivergenceDriven(t *testing.T) {
+	cfg := DefaultMini()
+	res := RunMini(cfg, 1, 1)
+	if math.IsNaN(res.Div) || math.IsNaN(res.Checksum) {
+		t.Fatal("NaN state")
+	}
+	if !(res.Div < res.Div0) {
+		t.Errorf("sub-iterations did not reduce divergence: %.4g -> %.4g", res.Div0, res.Div)
+	}
+}
+
+func TestMiniGroupInvariance(t *testing.T) {
+	cfg := DefaultMini()
+	base := RunMini(cfg, 1, 1)
+	for _, gt := range [][2]int{{2, 1}, {3, 1}, {2, 2}, {1, 4}} {
+		got := RunMini(cfg, gt[0], gt[1])
+		if math.Abs(got.Checksum-base.Checksum) > 1e-9*math.Abs(base.Checksum) {
+			t.Errorf("groups=%d threads=%d checksum %.12g != %.12g",
+				gt[0], gt[1], got.Checksum, base.Checksum)
+		}
+	}
+}
+
+func TestThomasSolves(t *testing.T) {
+	n := 12
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	r := make([]float64, n)
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i], b[i], c[i] = -1, 4+float64(i%3), -1
+		x[i] = math.Sin(float64(i))
+	}
+	a[0], c[n-1] = 0, 0
+	for i := 0; i < n; i++ {
+		r[i] = b[i] * x[i]
+		if i > 0 {
+			r[i] += a[i] * x[i-1]
+		}
+		if i < n-1 {
+			r[i] += c[i] * x[i+1]
+		}
+	}
+	ca := append([]float64(nil), a...)
+	cb := append([]float64(nil), b...)
+	cc := append([]float64(nil), c...)
+	thomas(ca, cb, cc, r)
+	for i := 0; i < n; i++ {
+		if math.Abs(r[i]-x[i]) > 1e-10 {
+			t.Fatalf("x[%d] = %g, want %g", i, r[i], x[i])
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	m := NewModel()
+	b3700 := m.SecPerIter(machine.Altix3700, 1, 1)
+	bBX2b := m.SecPerIter(machine.AltixBX2b, 1, 1)
+	// Table 2 baselines: 39,230 s and 26,430 s (~50% faster on BX2b).
+	if math.Abs(b3700-39230)/39230 > 0.15 {
+		t.Errorf("3700 baseline %.0f s, want ~39230", b3700)
+	}
+	ratio := b3700 / bBX2b
+	if ratio < 1.35 || ratio > 1.65 {
+		t.Errorf("BX2b speedup %.2f, want ~1.5", ratio)
+	}
+	// 36 groups x 1 thread lands near 1223 s (3700) / 825 s (BX2b).
+	g36 := m.SecPerIter(machine.Altix3700, 36, 1)
+	if g36 < 900 || g36 > 1500 {
+		t.Errorf("3700 36x1 = %.0f s, want ~1223", g36)
+	}
+	// Thread scaling is good to 8 and decays beyond (efficiency drops).
+	t1 := m.SecPerIter(machine.AltixBX2b, 36, 1)
+	t8 := m.SecPerIter(machine.AltixBX2b, 36, 8)
+	t14 := m.SecPerIter(machine.AltixBX2b, 36, 14)
+	if sp := t1 / t8; sp < 2.2 || sp > 4 {
+		t.Errorf("8-thread speedup %.2f, want ~2.7 (Table 2: 825->288)", sp)
+	}
+	if !(t14 < t8) {
+		t.Errorf("14 threads (%.0f) should still beat 8 (%.0f), just inefficiently", t14, t8)
+	}
+	if eff := (t1 / t14) / 14; eff > 0.35 {
+		t.Errorf("14-thread efficiency %.2f should reflect decay beyond 8 threads", eff)
+	}
+	// BX2b stays ~1.5x across the table (paper: 36x4 554.2 vs 331.8).
+	r4 := m.SecPerIter(machine.Altix3700, 36, 4) / m.SecPerIter(machine.AltixBX2b, 36, 4)
+	if r4 < 1.3 || r4 > 1.8 {
+		t.Errorf("BX2b advantage at 36x4 = %.2f, want ~1.6", r4)
+	}
+}
+
+func TestMultinodeFutureWork(t *testing.T) {
+	m := NewModel()
+	base := m.SecPerIter(machine.AltixBX2b, 36, 14)
+	one := m.SecPerIterMultinode(machine.NUMAlink4, 36, 14, 1)
+	if one != base {
+		t.Errorf("one box multinode (%v) should equal the single-node model (%v)", one, base)
+	}
+	two := m.SecPerIterMultinode(machine.NUMAlink4, 72, 14, 2)
+	if !(two < base) {
+		t.Errorf("72 groups over two boxes (%v) should beat 36 on one (%v)", two, base)
+	}
+	ib := m.SecPerIterMultinode(machine.InfiniBand, 72, 14, 2)
+	if !(ib >= two) {
+		t.Errorf("InfiniBand (%v) should not beat NUMAlink4 (%v)", ib, two)
+	}
+	// 267 zones stop balancing beyond ~72 groups: 144 groups buy little.
+	four := m.SecPerIterMultinode(machine.NUMAlink4, 144, 14, 4)
+	if four < two*0.8 {
+		t.Errorf("144 groups (%v) should show the load-balance wall vs 72 (%v)", four, two)
+	}
+}

@@ -1,0 +1,102 @@
+package machine
+
+// Work describes one compute phase executed by a single CPU: a roofline-style
+// request with a floating-point volume, a nominal main-memory traffic volume
+// (what the kernel would move with a cold cache), the working set it touches
+// repeatedly, and the fraction of peak it can reach when compute-bound.
+type Work struct {
+	// Flops is the floating-point operation count of the phase.
+	Flops float64
+	// MemBytes is the nominal main-memory traffic of the phase assuming no
+	// cache reuse across sweeps. The effective traffic is reduced by
+	// CacheTrafficFactor when WorkingSet fits in L3.
+	MemBytes float64
+	// WorkingSet is the number of bytes the phase touches repeatedly; it
+	// determines L3 residency and therefore the BX2b's cache advantage.
+	WorkingSet float64
+	// Efficiency is the fraction of peak flops achievable when the phase
+	// is compute-bound (pipeline stalls, register spills — recall the
+	// Itanium2 cannot keep floating-point data in L1). Zero selects
+	// DefaultEfficiency.
+	Efficiency float64
+}
+
+// DefaultEfficiency is the compute-bound fraction of peak assumed for
+// unannotated scientific kernels. [calibrated]
+const DefaultEfficiency = 0.25
+
+// Scale returns a copy of w with all volumes multiplied by f (the working
+// set is left unchanged: halving the iterations does not shrink the data).
+func (w Work) Scale(f float64) Work {
+	w.Flops *= f
+	w.MemBytes *= f
+	return w
+}
+
+// Plus returns the concatenation of two phases run back to back.
+func (w Work) Plus(o Work) Work {
+	eff := w.Efficiency
+	if o.Efficiency > eff {
+		eff = o.Efficiency
+	}
+	ws := w.WorkingSet
+	if o.WorkingSet > ws {
+		ws = o.WorkingSet
+	}
+	return Work{
+		Flops:      w.Flops + o.Flops,
+		MemBytes:   w.MemBytes + o.MemBytes,
+		WorkingSet: ws,
+		Efficiency: eff,
+	}
+}
+
+// ComputeTime returns the execution time in seconds of w on the CPU at l,
+// with busShare CPUs (including this one) actively streaming on the same
+// memory bus. The model is a max-roofline: the phase takes the longer of
+// its compute time at Efficiency x peak and its effective memory traffic at
+// the CPU's share of bus bandwidth.
+func (c *Cluster) ComputeTime(w Work, l Loc, busShare int) float64 {
+	spec := c.Spec(l)
+	eff := w.Efficiency
+	if eff <= 0 {
+		eff = DefaultEfficiency
+	}
+	tFlops := 0.0
+	if w.Flops > 0 {
+		tFlops = w.Flops / (eff * spec.PeakFlops())
+	}
+	tMem := 0.0
+	if w.MemBytes > 0 {
+		if busShare < 1 {
+			busShare = 1
+		}
+		bw := spec.BusStreamBW / float64(busShare)
+		if bw > spec.CPUStreamBW {
+			bw = spec.CPUStreamBW
+		}
+		traffic := w.MemBytes * CacheTrafficFactor(w.WorkingSet, spec.L3Bytes)
+		tMem = traffic / bw
+	}
+	if tFlops > tMem {
+		return tFlops
+	}
+	return tMem
+}
+
+// StreamBW returns the per-CPU sustainable STREAM bandwidth in bytes/s at
+// location l when busShare CPUs stream on the same bus. With one CPU per
+// bus (single-CPU runs, or the strided placements of §4.2) this is
+// ~3.8 GB/s; with both CPUs of a bus active it halves to ~2 GB/s, which is
+// the paper's observed dense-placement plateau.
+func (c *Cluster) StreamBW(l Loc, busShare int) float64 {
+	spec := c.Spec(l)
+	if busShare < 1 {
+		busShare = 1
+	}
+	bw := spec.BusStreamBW / float64(busShare)
+	if bw > spec.CPUStreamBW {
+		bw = spec.CPUStreamBW
+	}
+	return bw
+}

@@ -1,0 +1,283 @@
+// Package machine models the hardware structure of the Columbia supercluster:
+// Itanium2 CPUs, memory buses shared by CPU pairs, C-bricks, racks, Altix
+// nodes (3700, BX2a, BX2b) and the 20-node cluster with its NUMAlink4 quad
+// and InfiniBand switch.
+//
+// The model is structural rather than statistical: every effect the paper
+// measures (memory-bus sharing, L3 capacity, NUMAlink hop latency, double
+// density packing on BX2, InfiniBand card limits, boot-cpuset interference)
+// is an explicit property of the types in this package. All numeric
+// calibration lives in calibration.go.
+package machine
+
+import "fmt"
+
+// NodeType identifies the three kinds of Altix nodes installed in Columbia.
+type NodeType int
+
+const (
+	// Altix3700 is the original 512-CPU node: 1.5 GHz Itanium2, 6 MB L3,
+	// four CPUs per C-brick, NUMAlink3 (3.2 GB/s per brick link).
+	Altix3700 NodeType = iota
+	// AltixBX2a is the double-density BX2 with the same 1.5 GHz / 6 MB
+	// parts but eight CPUs per C-brick and NUMAlink4 (6.4 GB/s).
+	AltixBX2a
+	// AltixBX2b is the BX2 variant with 1.6 GHz CPUs and 9 MB L3 caches;
+	// four of these form the NUMAlink4-connected 2048-CPU subsystem.
+	AltixBX2b
+)
+
+// String returns the conventional shorthand used in the paper.
+func (t NodeType) String() string {
+	switch t {
+	case Altix3700:
+		return "3700"
+	case AltixBX2a:
+		return "BX2a"
+	case AltixBX2b:
+		return "BX2b"
+	}
+	return fmt.Sprintf("NodeType(%d)", int(t))
+}
+
+// NodeSpec gives the architectural parameters of one Altix node type.
+// Instances for the three Columbia node types are in calibration.go.
+type NodeSpec struct {
+	Type          NodeType
+	CPUs          int     // processors per node (512 on Columbia)
+	CPUsPerBrick  int     // 4 on the 3700, 8 on the BX2
+	CPUsPerRack   int     // 32 on the 3700, 64 on the BX2
+	ClockGHz      float64 // 1.5 or 1.6
+	FlopsPerCycle float64 // Itanium2 issues two multiply-adds per cycle = 4 flops
+	L3Bytes       float64 // 6 MiB or 9 MiB
+	L2Bytes       float64 // 256 KiB
+	L1Bytes       float64 // 32 KiB (no floating-point data)
+	MemPerNodeGB  float64 // ~1 TB per 512-CPU node
+
+	// LinkBW is the peak NUMAlink bandwidth per C-brick in bytes/s:
+	// 3.2 GB/s for NUMAlink3, 6.4 GB/s for NUMAlink4.
+	LinkBW float64
+	// IntraFabricBW is the node's aggregate cross-brick fabric capacity in
+	// bytes/s: what simultaneous remote streams share. NUMAlink3's longer
+	// paths and slower routers give the 3700 well under half the BX2's
+	// effective capacity; this is the term behind FT's ~2x BX2 advantage
+	// at 256 CPUs (Fig. 6).
+	IntraFabricBW float64
+	// HopLatency is the per-router-hop latency contribution in seconds.
+	HopLatency float64
+	// BaseLatency is the minimum MPI point-to-point latency (same bus).
+	BaseLatency float64
+
+	// BusStreamBW is the sustainable main-memory bandwidth of one
+	// front-side bus in bytes/s. Each bus is shared by two CPUs, which is
+	// the effect §4.2 of the paper isolates with strided CPU placement.
+	BusStreamBW float64
+	// CPUStreamBW caps what a single CPU can draw from its bus.
+	CPUStreamBW float64
+}
+
+// PeakFlops returns the peak floating-point rate of one CPU in flop/s.
+func (s *NodeSpec) PeakFlops() float64 {
+	return s.ClockGHz * 1e9 * s.FlopsPerCycle
+}
+
+// Bricks returns the number of C-bricks in the node.
+func (s *NodeSpec) Bricks() int { return s.CPUs / s.CPUsPerBrick }
+
+// Racks returns the number of racks occupied by the node.
+func (s *NodeSpec) Racks() int { return s.CPUs / s.CPUsPerRack }
+
+// Node is one Altix box: 512 CPUs in a NUMAflex single-system image.
+type Node struct {
+	Index int // position within the cluster
+	Spec  NodeSpec
+}
+
+// Interconnect identifies the fabric used between Altix nodes.
+type Interconnect int
+
+const (
+	// NUMAlink4 links the four BX2b nodes into the 2048-CPU subsystem and
+	// extends the global shared-memory constructs across boxes.
+	NUMAlink4 Interconnect = iota
+	// InfiniBand is the Voltaire switch connecting all 20 nodes. Only MPI
+	// can use it, and the per-node card count limits pure-MPI runs to at
+	// most three nodes (see Cluster.MaxPureMPINodes).
+	InfiniBand
+)
+
+func (ic Interconnect) String() string {
+	if ic == NUMAlink4 {
+		return "NUMAlink4"
+	}
+	return "InfiniBand"
+}
+
+// Cluster is a set of Altix nodes joined by an internode fabric.
+type Cluster struct {
+	Nodes  []*Node
+	Fabric Interconnect
+
+	// IBCardsPerNode is the number of InfiniBand cards installed per node
+	// (8 on Columbia). Together with the per-card connection limit it
+	// bounds the number of MPI processes per node for multinode runs.
+	IBCardsPerNode int
+	// IBConnsPerCard is the connection capacity of one card (64 Ki).
+	IBConnsPerCard int
+}
+
+// NewCluster builds a cluster of n nodes of the given type joined by fabric.
+func NewCluster(fabric Interconnect, types ...NodeType) *Cluster {
+	c := &Cluster{
+		Fabric:         fabric,
+		IBCardsPerNode: ibCardsPerNode,
+		IBConnsPerCard: ibConnsPerCard,
+	}
+	for i, t := range types {
+		c.Nodes = append(c.Nodes, &Node{Index: i, Spec: Spec(t)})
+	}
+	return c
+}
+
+// NewSingleNode builds a one-node "cluster", the configuration used for all
+// the single-box experiments in §4.1–4.5 of the paper.
+func NewSingleNode(t NodeType) *Cluster { return NewCluster(NUMAlink4, t) }
+
+// NewBX2bQuad builds the NUMAlink4-connected 2048-processor subsystem of
+// four 1.6 GHz BX2 nodes (13 Tflop/s peak) used in §4.6.
+func NewBX2bQuad() *Cluster {
+	return NewCluster(NUMAlink4, AltixBX2b, AltixBX2b, AltixBX2b, AltixBX2b)
+}
+
+// NewBX2bQuadIB is the same four boxes joined by the InfiniBand switch.
+func NewBX2bQuadIB() *Cluster {
+	return NewCluster(InfiniBand, AltixBX2b, AltixBX2b, AltixBX2b, AltixBX2b)
+}
+
+// NewColumbia builds the full 10,240-processor supercluster: twelve 3700s,
+// three BX2as, and five BX2bs, joined by the InfiniBand switch.
+func NewColumbia() *Cluster {
+	types := make([]NodeType, 0, 20)
+	for i := 0; i < 12; i++ {
+		types = append(types, Altix3700)
+	}
+	for i := 0; i < 3; i++ {
+		types = append(types, AltixBX2a)
+	}
+	for i := 0; i < 5; i++ {
+		types = append(types, AltixBX2b)
+	}
+	return NewCluster(InfiniBand, types...)
+}
+
+// TotalCPUs returns the processor count across all nodes.
+func (c *Cluster) TotalCPUs() int {
+	n := 0
+	for _, nd := range c.Nodes {
+		n += nd.Spec.CPUs
+	}
+	return n
+}
+
+// PeakFlops returns the aggregate peak floating-point rate in flop/s.
+func (c *Cluster) PeakFlops() float64 {
+	f := 0.0
+	for _, nd := range c.Nodes {
+		f += float64(nd.Spec.CPUs) * nd.Spec.PeakFlops()
+	}
+	return f
+}
+
+// MaxPureMPINodes returns how many Altix nodes a pure-MPI job can span over
+// InfiniBand. The paper derives the per-node process bound
+//
+//	Nprocs <= sqrt(Ncards x Nconnections / (n-1))
+//
+// for n nodes; with 8 cards of 64 Ki connections per node, 512-process-per-
+// node jobs fit for n <= 3, so a pure MPI code can fully utilize at most
+// three boxes and hybrid codes are required beyond that. Over NUMAlink4 the
+// limit does not apply.
+func (c *Cluster) MaxPureMPINodes(procsPerNode int) int {
+	if c.Fabric == NUMAlink4 {
+		return len(c.Nodes)
+	}
+	if procsPerNode <= 0 {
+		return len(c.Nodes)
+	}
+	cap := float64(c.IBCardsPerNode * c.IBConnsPerCard)
+	for n := len(c.Nodes); n >= 2; n-- {
+		// Connections needed per node: procsPerNode^2 * (n-1).
+		if float64(procsPerNode)*float64(procsPerNode)*float64(n-1) <= cap {
+			return n
+		}
+	}
+	return 1
+}
+
+// Loc identifies one CPU in the cluster.
+type Loc struct {
+	Node int // index into Cluster.Nodes
+	CPU  int // 0..Spec.CPUs-1 within the node
+}
+
+// Valid reports whether l denotes an existing CPU of c.
+func (c *Cluster) Valid(l Loc) bool {
+	return l.Node >= 0 && l.Node < len(c.Nodes) &&
+		l.CPU >= 0 && l.CPU < c.Nodes[l.Node].Spec.CPUs
+}
+
+// Bus returns the node-local memory-bus index of a CPU (two CPUs per bus).
+func (c *Cluster) Bus(l Loc) int { return l.CPU / 2 }
+
+// Brick returns the node-local C-brick index of a CPU.
+func (c *Cluster) Brick(l Loc) int {
+	return l.CPU / c.Nodes[l.Node].Spec.CPUsPerBrick
+}
+
+// Rack returns the node-local rack index of a CPU.
+func (c *Cluster) Rack(l Loc) int {
+	return l.CPU / c.Nodes[l.Node].Spec.CPUsPerRack
+}
+
+// Spec returns the NodeSpec of the node holding l.
+func (c *Cluster) Spec(l Loc) *NodeSpec { return &c.Nodes[l.Node].Spec }
+
+// Hops returns the number of NUMAlink router hops between two CPUs of the
+// same node. The fat-tree inside an Altix box gives:
+//
+//	same bus      -> 0 hops (through the shared SHUB)
+//	same brick    -> 1 hop
+//	same rack     -> 2 hops
+//	across racks  -> 3 hops + one per doubling of rack distance
+//
+// The BX2's double-density packaging halves the number of racks a given CPU
+// count spans, which is why its latencies pull ahead of the 3700 as
+// communication distances grow (Fig. 5, Random Ring).
+func (c *Cluster) Hops(a, b Loc) int {
+	if a.Node != b.Node {
+		panic("machine: Hops is defined within a node; use netmodel for internode paths")
+	}
+	if a.CPU == b.CPU {
+		return 0
+	}
+	if c.Bus(a) == c.Bus(b) {
+		return 0
+	}
+	if c.Brick(a) == c.Brick(b) {
+		return 1
+	}
+	ra, rb := c.Rack(a), c.Rack(b)
+	if ra == rb {
+		return 2
+	}
+	d := ra - rb
+	if d < 0 {
+		d = -d
+	}
+	h := 3
+	for d > 1 {
+		d >>= 1
+		h++
+	}
+	return h
+}

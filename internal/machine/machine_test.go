@@ -1,0 +1,168 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClusterConstruction(t *testing.T) {
+	c := NewColumbia()
+	if got := c.TotalCPUs(); got != 10240 {
+		t.Errorf("Columbia CPUs = %d, want 10240", got)
+	}
+	if n := len(c.Nodes); n != 20 {
+		t.Errorf("nodes = %d, want 20", n)
+	}
+	// Aggregate peak is ~61 Tflop/s (12+3 boxes at 3.07, 5 at 3.28).
+	if pf := c.PeakFlops() / 1e12; pf < 60 || pf < 0 || pf > 63 {
+		t.Errorf("peak = %.1f Tflop/s", pf)
+	}
+	quad := NewBX2bQuad()
+	if got := quad.PeakFlops() / 1e12; math.Abs(got-13.1) > 0.3 {
+		t.Errorf("BX2b quad peak = %.2f Tflop/s, want ~13 (paper)", got)
+	}
+}
+
+func TestSpecTable1(t *testing.T) {
+	s37 := Spec(Altix3700)
+	sb := Spec(AltixBX2b)
+	if s37.PeakFlops() != 6.0e9 {
+		t.Errorf("3700 peak per CPU = %v, want 6.0 Gflop/s", s37.PeakFlops())
+	}
+	if sb.PeakFlops() != 6.4e9 {
+		t.Errorf("BX2b peak per CPU = %v, want 6.4 Gflop/s", sb.PeakFlops())
+	}
+	if s37.Bricks() != 128 || sb.Bricks() != 64 {
+		t.Errorf("bricks: %d/%d, want 128/64", s37.Bricks(), sb.Bricks())
+	}
+	if s37.Racks() != 16 || sb.Racks() != 8 {
+		t.Errorf("racks: %d/%d, want 16/8", s37.Racks(), sb.Racks())
+	}
+}
+
+func TestMaxPureMPINodes(t *testing.T) {
+	c := NewColumbia()
+	// Paper: a pure MPI code with 512 processes per node can fully
+	// utilize at most three Altix nodes over InfiniBand.
+	if got := c.MaxPureMPINodes(512); got != 3 {
+		t.Errorf("MaxPureMPINodes(512) = %d, want 3", got)
+	}
+	if got := c.MaxPureMPINodes(64); got < 4 {
+		t.Errorf("small jobs should span more nodes, got %d", got)
+	}
+	quad := NewBX2bQuad()
+	if got := quad.MaxPureMPINodes(512); got != 4 {
+		t.Errorf("NUMAlink4 has no card limit, got %d", got)
+	}
+}
+
+func TestHopsMonotone(t *testing.T) {
+	c := NewSingleNode(Altix3700)
+	a := Loc{0, 0}
+	prev := -1
+	for _, b := range []Loc{{0, 1}, {0, 2}, {0, 8}, {0, 40}, {0, 100}, {0, 400}} {
+		h := c.Hops(a, b)
+		if h < prev {
+			t.Errorf("hops(%v) = %d dropped below %d", b, h, prev)
+		}
+		prev = h
+	}
+	// Symmetry property.
+	f := func(x, y uint16) bool {
+		p := Loc{0, int(x) % 512}
+		q := Loc{0, int(y) % 512}
+		return c.Hops(p, q) == c.Hops(q, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBX2ShorterPaths(t *testing.T) {
+	// Double density: the BX2 spans half the racks, so distant CPUs are
+	// fewer hops apart.
+	c37 := NewSingleNode(Altix3700)
+	cbx := NewSingleNode(AltixBX2a)
+	a := Loc{0, 0}
+	b := Loc{0, 511}
+	if cbx.Hops(a, b) >= c37.Hops(a, b) {
+		t.Errorf("BX2 hops (%d) should be fewer than 3700 (%d)",
+			cbx.Hops(a, b), c37.Hops(a, b))
+	}
+}
+
+func TestCacheTrafficFactor(t *testing.T) {
+	l3 := 6.0 * 1024 * 1024
+	if f := CacheTrafficFactor(l3/2, l3); f != CacheResidentTraffic {
+		t.Errorf("resident factor = %v", f)
+	}
+	if f := CacheTrafficFactor(10*l3, l3); f != 1 {
+		t.Errorf("spilled factor = %v", f)
+	}
+	// Monotone nondecreasing property.
+	f := func(a, b uint32) bool {
+		x, y := float64(a), float64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return CacheTrafficFactor(x, l3) <= CacheTrafficFactor(y, l3)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeTimeRoofline(t *testing.T) {
+	c := NewSingleNode(AltixBX2b)
+	l := Loc{0, 0}
+	// Pure flops at efficiency 1: exactly peak.
+	w := Work{Flops: 6.4e9, Efficiency: 1}
+	if dt := c.ComputeTime(w, l, 1); math.Abs(dt-1) > 1e-12 {
+		t.Errorf("flop-bound time = %v, want 1", dt)
+	}
+	// Pure memory traffic, large working set: bus rate.
+	w = Work{MemBytes: 3.8e9, WorkingSet: 1e9}
+	if dt := c.ComputeTime(w, l, 1); math.Abs(dt-1) > 1e-6 {
+		t.Errorf("mem-bound time = %v, want 1", dt)
+	}
+	// Bus sharing doubles memory-bound time.
+	if dt := c.ComputeTime(w, l, 2); math.Abs(dt-3.8/1.98) > 0.05 {
+		t.Errorf("paired mem-bound time = %v, want ~1.92", dt)
+	}
+}
+
+func TestPlacements(t *testing.T) {
+	c := NewSingleNode(Altix3700)
+	d := Dense(c, 16)
+	if d.BusShare(0) != 2 || d.BusShare(15) != 2 {
+		t.Errorf("dense bus shares: %d, %d", d.BusShare(0), d.BusShare(15))
+	}
+	s := Strided(c, 16, 2)
+	for i := 0; i < 16; i++ {
+		if s.BusShare(i) != 1 {
+			t.Fatalf("stride-2 stream %d shares a bus", i)
+		}
+	}
+	if d.UsesWholeNode() {
+		t.Error("16 CPUs is not a whole node")
+	}
+	if !Dense(c, 512).UsesWholeNode() {
+		t.Error("512 CPUs fills the node")
+	}
+	quad := NewBX2bQuad()
+	b := Blocked(quad, 1024, 4)
+	if got := b.NodesUsed(); got != 4 {
+		t.Errorf("blocked over %d nodes, want 4", got)
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	c := NewSingleNode(Altix3700)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate CPU assignment must panic")
+		}
+	}()
+	NewPlacement(c, []Loc{{0, 3}, {0, 3}})
+}

@@ -1,0 +1,136 @@
+package machine
+
+import "fmt"
+
+// Placement assigns execution streams (MPI ranks, or rank x thread slots for
+// hybrid codes) to CPUs. Placement quality is a first-order performance
+// effect on the Altix (§4.3 of the paper); policy constructors for pinning,
+// striding and migration live in the pinning package, while this type holds
+// the geometry shared by all of them.
+type Placement struct {
+	cluster *Cluster
+	locs    []Loc
+	busLoad map[Loc]int // per-bus active CPU count, keyed by (node, bus index)
+}
+
+// NewPlacement wraps an explicit CPU list. It panics if any location is
+// invalid or duplicated — a placement is a bijection onto distinct CPUs.
+func NewPlacement(c *Cluster, locs []Loc) *Placement {
+	p := &Placement{cluster: c, locs: locs, busLoad: make(map[Loc]int)}
+	seen := make(map[Loc]bool, len(locs))
+	for _, l := range locs {
+		if !c.Valid(l) {
+			panic(fmt.Sprintf("machine: invalid location %+v", l))
+		}
+		if seen[l] {
+			panic(fmt.Sprintf("machine: CPU %+v assigned twice", l))
+		}
+		seen[l] = true
+		p.busLoad[Loc{Node: l.Node, CPU: c.Bus(l)}]++
+	}
+	return p
+}
+
+// Dense places n streams on consecutive CPUs, filling node 0 before node 1
+// and so on — the default MPI_DSM_DISTRIBUTE layout.
+func Dense(c *Cluster, n int) *Placement { return Strided(c, n, 1) }
+
+// Strided places n streams every stride-th CPU, the "spread out" layout of
+// §4.2 used to give each stream a private memory bus (stride 2) or a private
+// brick pair (stride 4). Streams spill to the next node when a node's CPUs
+// are exhausted.
+func Strided(c *Cluster, n, stride int) *Placement {
+	if stride < 1 {
+		stride = 1
+	}
+	locs := make([]Loc, 0, n)
+	node, cpu := 0, 0
+	for len(locs) < n {
+		if node >= len(c.Nodes) {
+			panic(fmt.Sprintf("machine: cluster has too few CPUs for %d streams at stride %d", n, stride))
+		}
+		spec := c.Nodes[node].Spec
+		if cpu >= spec.CPUs {
+			node++
+			cpu = 0
+			continue
+		}
+		locs = append(locs, Loc{Node: node, CPU: cpu})
+		cpu += stride
+	}
+	return NewPlacement(c, locs)
+}
+
+// Blocked places n streams across exactly nodes boxes, round-robin by
+// contiguous blocks of size n/nodes — the layout for multinode experiments
+// where ranks are distributed evenly over the quad.
+func Blocked(c *Cluster, n, nodes int) *Placement {
+	if nodes < 1 || nodes > len(c.Nodes) {
+		panic("machine: invalid node count")
+	}
+	per := n / nodes
+	rem := n % nodes
+	locs := make([]Loc, 0, n)
+	for nd := 0; nd < nodes; nd++ {
+		k := per
+		if nd < rem {
+			k++
+		}
+		if k > c.Nodes[nd].Spec.CPUs {
+			panic(fmt.Sprintf("machine: node %d cannot hold %d streams", nd, k))
+		}
+		for i := 0; i < k; i++ {
+			locs = append(locs, Loc{Node: nd, CPU: i})
+		}
+	}
+	return NewPlacement(c, locs)
+}
+
+// Cluster returns the cluster the placement maps onto.
+func (p *Placement) Cluster() *Cluster { return p.cluster }
+
+// N returns the number of placed streams.
+func (p *Placement) N() int { return len(p.locs) }
+
+// Loc returns the CPU of stream i.
+func (p *Placement) Loc(i int) Loc { return p.locs[i] }
+
+// Locs returns the full CPU list (shared; callers must not mutate).
+func (p *Placement) Locs() []Loc { return p.locs }
+
+// BusShare returns how many placed streams occupy the memory bus of stream
+// i, including i itself. This drives the STREAM dense-vs-strided factor and
+// all bandwidth-bound compute phases.
+func (p *Placement) BusShare(i int) int {
+	l := p.locs[i]
+	return p.busLoad[Loc{Node: l.Node, CPU: p.cluster.Bus(l)}]
+}
+
+// NodesUsed returns the number of distinct nodes the placement touches.
+func (p *Placement) NodesUsed() int {
+	seen := make(map[int]bool)
+	for _, l := range p.locs {
+		seen[l.Node] = true
+	}
+	return len(seen)
+}
+
+// UsesWholeNode reports whether the placement fills every CPU of some node,
+// which on Columbia means colliding with the boot cpuset (§4.6.2).
+func (p *Placement) UsesWholeNode() bool {
+	count := make(map[int]int)
+	for _, l := range p.locs {
+		count[l.Node]++
+	}
+	for nd, k := range count {
+		if k >= p.cluster.Nodes[nd].Spec.CPUs {
+			return true
+		}
+	}
+	return false
+}
+
+// ComputeTime evaluates work w on stream i under this placement.
+func (p *Placement) ComputeTime(i int, w Work) float64 {
+	return p.cluster.ComputeTime(w, p.locs[i], p.BusShare(i))
+}

@@ -1,0 +1,311 @@
+// Package md implements the paper's molecular-dynamics workload (§3.3): a
+// generic Lennard-Jones simulation integrated with the velocity Verlet
+// algorithm, initialized on a face-centered-cubic lattice with randomized
+// velocities, using a interaction cutoff radius and linked-cell neighbour
+// search, parallelized by spatial decomposition into per-processor boxes
+// with purely local (nearest-neighbour) communication.
+//
+// Units are the usual reduced LJ units (σ = ε = m = 1).
+package md
+
+import (
+	"math"
+
+	"columbia/internal/omp"
+	"columbia/internal/rng"
+)
+
+// Config describes one simulation.
+type Config struct {
+	// Cells is the number of fcc unit cells per edge; atoms = 4·Cells³.
+	Cells int
+	// Density is the reduced number density (0.8442 is the LJ solid
+	// benchmark standard).
+	Density float64
+	// Cutoff is the interaction radius; the paper uses 5.0, clipped here
+	// to less than half the box for small test systems.
+	Cutoff float64
+	// Temp is the initial reduced temperature.
+	Temp float64
+	// Dt is the Verlet time step.
+	Dt float64
+}
+
+// DefaultConfig mirrors the paper's setup at a given lattice size.
+func DefaultConfig(cells int) Config {
+	return Config{Cells: cells, Density: 0.8442, Cutoff: 5.0, Temp: 0.72, Dt: 0.004}
+}
+
+// Atoms returns the atom count for the configuration.
+func (c Config) Atoms() int { return 4 * c.Cells * c.Cells * c.Cells }
+
+// BoxLen returns the periodic box edge length.
+func (c Config) BoxLen() float64 {
+	return math.Cbrt(float64(c.Atoms()) / c.Density)
+}
+
+// EffectiveCutoff clips the cutoff below half the box.
+func (c Config) EffectiveCutoff() float64 {
+	rc := c.Cutoff
+	if max := 0.499 * c.BoxLen(); rc > max {
+		rc = max
+	}
+	return rc
+}
+
+// System is the simulation state.
+type System struct {
+	Cfg     Config
+	X, V, F [][3]float64
+	// Energy bookkeeping from the last force evaluation.
+	PotE float64
+}
+
+// NewSystem builds the fcc lattice with randomized, momentum-free
+// velocities scaled to Cfg.Temp; randomness comes from the NPB generator in
+// global atom order so every decomposition sees the same initial state.
+func NewSystem(cfg Config) *System {
+	n := cfg.Atoms()
+	s := &System{Cfg: cfg,
+		X: make([][3]float64, n),
+		V: make([][3]float64, n),
+		F: make([][3]float64, n),
+	}
+	a := cfg.BoxLen() / float64(cfg.Cells) // fcc lattice constant
+	basis := [4][3]float64{{0, 0, 0}, {0.5, 0.5, 0}, {0.5, 0, 0.5}, {0, 0.5, 0.5}}
+	id := 0
+	for i := 0; i < cfg.Cells; i++ {
+		for j := 0; j < cfg.Cells; j++ {
+			for k := 0; k < cfg.Cells; k++ {
+				for _, b := range basis {
+					s.X[id] = [3]float64{
+						(float64(i) + b[0]) * a,
+						(float64(j) + b[1]) * a,
+						(float64(k) + b[2]) * a,
+					}
+					id++
+				}
+			}
+		}
+	}
+	st := rng.New(rng.DefaultSeed)
+	var mom [3]float64
+	for i := range s.V {
+		for d := 0; d < 3; d++ {
+			s.V[i][d] = st.Next() - 0.5
+			mom[d] += s.V[i][d]
+		}
+	}
+	// Remove net momentum; scale to the requested temperature.
+	ke := 0.0
+	for i := range s.V {
+		for d := 0; d < 3; d++ {
+			s.V[i][d] -= mom[d] / float64(n)
+			ke += s.V[i][d] * s.V[i][d]
+		}
+	}
+	scale := math.Sqrt(3 * float64(n) * cfg.Temp / ke)
+	for i := range s.V {
+		for d := 0; d < 3; d++ {
+			s.V[i][d] *= scale
+		}
+	}
+	return s
+}
+
+// cellGrid is the linked-cell neighbour structure.
+type cellGrid struct {
+	n    int // cells per edge
+	size float64
+	box  float64
+	head []int // cell -> first atom
+	next []int // atom -> next atom in cell
+}
+
+func buildCells(x [][3]float64, box, cutoff float64) *cellGrid {
+	n := int(box / cutoff)
+	if n < 1 {
+		n = 1
+	}
+	g := &cellGrid{n: n, size: box / float64(n), box: box,
+		head: make([]int, n*n*n), next: make([]int, len(x))}
+	for i := range g.head {
+		g.head[i] = -1
+	}
+	for i := range x {
+		c := g.cellOf(x[i])
+		g.next[i] = g.head[c]
+		g.head[c] = i
+	}
+	return g
+}
+
+func (g *cellGrid) cellOf(p [3]float64) int {
+	var c [3]int
+	for d := 0; d < 3; d++ {
+		v := int(p[d] / g.size)
+		v %= g.n
+		if v < 0 {
+			v += g.n
+		}
+		c[d] = v
+	}
+	return (c[0]*g.n+c[1])*g.n + c[2]
+}
+
+// minImage folds a displacement into the nearest periodic image.
+func minImage(d, box float64) float64 {
+	if d > box/2 {
+		return d - box
+	}
+	if d < -box/2 {
+		return d + box
+	}
+	return d
+}
+
+// Forces recomputes F and the potential energy with the team. Each atom
+// accumulates its own interactions (no Newton's-third-law halving), so the
+// per-atom summation order is decomposition independent.
+func (s *System) Forces(team *omp.Team) {
+	box := s.Cfg.BoxLen()
+	rc := s.Cfg.EffectiveCutoff()
+	rc2 := rc * rc
+	g := buildCells(s.X, box, rc)
+	pe := team.ParallelReduce(0, len(s.X), func(i int) float64 {
+		f, p := pairForce(s.X, i, g, box, rc2)
+		s.F[i] = f
+		return p
+	})
+	s.PotE = pe / 2 // each pair counted twice
+}
+
+// pairForce sums the LJ force and potential on atom i over neighbour cells.
+// Grids with fewer than three cells per edge fall back to a brute-force
+// scan, since the 27 periodic neighbour cells would alias.
+func pairForce(x [][3]float64, i int, g *cellGrid, box, rc2 float64) ([3]float64, float64) {
+	var f [3]float64
+	pe := 0.0
+	if g.n < 3 {
+		for j := range x {
+			if j == i {
+				continue
+			}
+			df, dp := ljPair(x[i], x[j], box, rc2)
+			f[0] += df[0]
+			f[1] += df[1]
+			f[2] += df[2]
+			pe += dp
+		}
+		return f, pe
+	}
+	var ci [3]int
+	for d := 0; d < 3; d++ {
+		v := int(x[i][d] / g.size)
+		v %= g.n
+		if v < 0 {
+			v += g.n
+		}
+		ci[d] = v
+	}
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dz := -1; dz <= 1; dz++ {
+				cc := [3]int{ci[0] + dx, ci[1] + dy, ci[2] + dz}
+				for d := 0; d < 3; d++ {
+					cc[d] = ((cc[d] % g.n) + g.n) % g.n
+				}
+				cell := (cc[0]*g.n+cc[1])*g.n + cc[2]
+				for j := g.head[cell]; j >= 0; j = g.next[j] {
+					if j == i {
+						continue
+					}
+					df, dp := ljPair(x[i], x[j], box, rc2)
+					f[0] += df[0]
+					f[1] += df[1]
+					f[2] += df[2]
+					pe += dp
+				}
+			}
+		}
+	}
+	return f, pe
+}
+
+// ljPair returns the force on a from b and the pair potential, zero beyond
+// the cutoff.
+func ljPair(a, b [3]float64, box, rc2 float64) ([3]float64, float64) {
+	var d [3]float64
+	r2 := 0.0
+	for k := 0; k < 3; k++ {
+		d[k] = minImage(a[k]-b[k], box)
+		r2 += d[k] * d[k]
+	}
+	if r2 >= rc2 || r2 == 0 {
+		return [3]float64{}, 0
+	}
+	inv2 := 1 / r2
+	inv6 := inv2 * inv2 * inv2
+	// F = 24ε(2(σ/r)^12 − (σ/r)^6)/r² · d
+	fmag := 24 * inv2 * inv6 * (2*inv6 - 1)
+	return [3]float64{fmag * d[0], fmag * d[1], fmag * d[2]},
+		4 * inv6 * (inv6 - 1)
+}
+
+// Step advances one velocity Verlet step: the positions and velocities are
+// available at the same instant, the property the paper highlights.
+func (s *System) Step(team *omp.Team) {
+	dt := s.Cfg.Dt
+	box := s.Cfg.BoxLen()
+	team.ParallelFor(0, len(s.X), func(i int) {
+		for d := 0; d < 3; d++ {
+			s.V[i][d] += 0.5 * dt * s.F[i][d]
+			s.X[i][d] += dt * s.V[i][d]
+			// Wrap into the box.
+			if s.X[i][d] < 0 {
+				s.X[i][d] += box
+			} else if s.X[i][d] >= box {
+				s.X[i][d] -= box
+			}
+		}
+	})
+	s.Forces(team)
+	team.ParallelFor(0, len(s.X), func(i int) {
+		for d := 0; d < 3; d++ {
+			s.V[i][d] += 0.5 * dt * s.F[i][d]
+		}
+	})
+}
+
+// KineticE returns the kinetic energy.
+func (s *System) KineticE() float64 {
+	ke := 0.0
+	for i := range s.V {
+		for d := 0; d < 3; d++ {
+			ke += s.V[i][d] * s.V[i][d]
+		}
+	}
+	return ke / 2
+}
+
+// TotalE returns kinetic plus potential energy (valid after Forces).
+func (s *System) TotalE() float64 { return s.KineticE() + s.PotE }
+
+// Momentum returns the total momentum vector.
+func (s *System) Momentum() [3]float64 {
+	var m [3]float64
+	for i := range s.V {
+		for d := 0; d < 3; d++ {
+			m[d] += s.V[i][d]
+		}
+	}
+	return m
+}
+
+// Run integrates steps steps (forces must be primed; Run does it).
+func (s *System) Run(team *omp.Team, steps int) {
+	s.Forces(team)
+	for i := 0; i < steps; i++ {
+		s.Step(team)
+	}
+}

@@ -1,0 +1,95 @@
+package md
+
+import (
+	"columbia/internal/omp"
+	"columbia/internal/par"
+)
+
+// RunMPI integrates the system over a communicator: atoms are partitioned
+// by contiguous ID blocks, every rank holds the full position array, and
+// each step allgathers the updated coordinates. Because the cell structure
+// is rebuilt identically everywhere and per-atom force sums use the same
+// neighbour order, the trajectory is bitwise identical to the serial run —
+// the correctness oracle for the parallel integration.
+//
+// The production decomposition the paper describes (per-processor spatial
+// boxes, two data structures, purely local ghost exchange) is what the
+// performance skeleton models; see WeakScalingSkeleton.
+func RunMPI(c par.Comm, cfg Config, steps int) *System {
+	s := NewSystem(cfg)
+	n := cfg.Atoms()
+	rank, size := c.Rank(), c.Size()
+	lo, hi := rank*n/size, (rank+1)*n/size
+	team := omp.NewTeam(1)
+	_ = team
+
+	blk := (n + size - 1) / size
+	xbuf := make([]float64, blk*6) // x and v interleaved per owned atom
+
+	sync := func() {
+		for i := range xbuf {
+			xbuf[i] = 0
+		}
+		at := 0
+		for i := lo; i < hi; i++ {
+			for d := 0; d < 3; d++ {
+				xbuf[at] = s.X[i][d]
+				xbuf[at+3] = s.V[i][d]
+				at++
+			}
+			at += 3
+		}
+		full := par.Allgather(c, xbuf)
+		for rk := 0; rk < size; rk++ {
+			l, h := rk*n/size, (rk+1)*n/size
+			at := rk * blk * 6
+			for i := l; i < h; i++ {
+				for d := 0; d < 3; d++ {
+					s.X[i][d] = full[at]
+					s.V[i][d] = full[at+3]
+					at++
+				}
+				at += 3
+			}
+		}
+	}
+
+	box := cfg.BoxLen()
+	rc := cfg.EffectiveCutoff()
+	rc2 := rc * rc
+	forces := func() float64 {
+		g := buildCells(s.X, box, rc)
+		pe := 0.0
+		for i := lo; i < hi; i++ {
+			f, p := pairForce(s.X, i, g, box, rc2)
+			s.F[i] = f
+			pe += p
+		}
+		return par.AllreduceSum(c, []float64{pe})[0] / 2
+	}
+
+	s.PotE = forces()
+	dt := cfg.Dt
+	for step := 0; step < steps; step++ {
+		for i := lo; i < hi; i++ {
+			for d := 0; d < 3; d++ {
+				s.V[i][d] += 0.5 * dt * s.F[i][d]
+				s.X[i][d] += dt * s.V[i][d]
+				if s.X[i][d] < 0 {
+					s.X[i][d] += box
+				} else if s.X[i][d] >= box {
+					s.X[i][d] -= box
+				}
+			}
+		}
+		sync()
+		s.PotE = forces()
+		for i := lo; i < hi; i++ {
+			for d := 0; d < 3; d++ {
+				s.V[i][d] += 0.5 * dt * s.F[i][d]
+			}
+		}
+	}
+	sync()
+	return s
+}

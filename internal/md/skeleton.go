@@ -1,0 +1,117 @@
+package md
+
+import (
+	"math"
+
+	"columbia/internal/machine"
+	"columbia/internal/par"
+)
+
+// WeakScaling describes the paper's Table 5 experiment: 64,000 atoms per
+// processor (the problem grows with the machine), 100 velocity Verlet
+// steps, spatial decomposition into one 3-D box per processor with purely
+// local ghost exchange over NUMAlink4.
+type WeakScaling struct {
+	AtomsPerProc int
+	Steps        int
+	Cutoff       float64
+	Density      float64
+}
+
+// PaperWeakScaling returns the Table 5 configuration.
+func PaperWeakScaling() WeakScaling {
+	return WeakScaling{AtomsPerProc: 64000, Steps: 100, Cutoff: 5.0, Density: 0.8442}
+}
+
+// SkeletonSteps is how many steps the virtual-time run simulates; per-step
+// time is steady, so drivers scale to Steps.
+const SkeletonSteps = 3
+
+// perPairFlops is the cost of one LJ pair interaction (distance, cutoff
+// test, force, accumulate). [calibrated]
+const perPairFlops = 55
+
+// Skeleton returns the rank program modelling the spatial-decomposition MD
+// step on procs processors: local force/integration work plus the six-face
+// ghost-atom exchange. Neighbour ranks come from a near-cubic processor
+// grid; communication is entirely local, which is why Table 5 scales
+// almost perfectly to 2,040 processors.
+func (w WeakScaling) Skeleton(procs int) func(par.Comm) {
+	atoms := float64(w.AtomsPerProc)
+	neigh := w.Density * 4 / 3 * math.Pi * w.Cutoff * w.Cutoff * w.Cutoff
+	work := machine.Work{
+		// Full force evaluation plus integration per step.
+		Flops:      atoms * (neigh*perPairFlops + 30),
+		MemBytes:   atoms * (neigh*8 + 100),
+		WorkingSet: atoms * 80, // positions, velocities, forces, cell lists
+		Efficiency: 0.22,       // neighbour gathers stall the FP pipes
+	}
+	// Ghost shell per face: atoms within the cutoff of the face.
+	edge := math.Cbrt(atoms / w.Density)
+	ghostPerFace := atoms * w.Cutoff / edge
+	faceBytes := ghostPerFace * 3 * 8 // positions only (second data structure)
+	px, py, pz := grid3(procs)
+	return func(c par.Comm) {
+		nbr := neighbors6(c.Rank(), px, py, pz)
+		for s := 0; s < SkeletonSteps; s++ {
+			for d, n := range nbr {
+				if n >= 0 {
+					c.SendBytes(n, 900+d, faceBytes)
+				}
+			}
+			opp := [6]int{1, 0, 3, 2, 5, 4}
+			for d, n := range nbr {
+				if n >= 0 {
+					c.RecvBytes(n, 900+opp[d])
+				}
+			}
+			c.Compute(work)
+		}
+	}
+}
+
+// grid3 factors p into a near-cubic grid (duplicated from npb to keep the
+// packages independent; the logic is identical).
+func grid3(p int) (px, py, pz int) {
+	px, py, pz = p, 1, 1
+	best := p - 1
+	for a := 1; a*a*a <= p; a++ {
+		if p%a != 0 {
+			continue
+		}
+		q := p / a
+		for b := a; b*b <= q; b++ {
+			if q%b != 0 {
+				continue
+			}
+			c := q / b
+			if c-a < best {
+				best = c - a
+				px, py, pz = c, b, a
+			}
+		}
+	}
+	return
+}
+
+func neighbors6(r, px, py, pz int) [6]int {
+	x := r % px
+	y := (r / px) % py
+	z := r / (px * py)
+	at := func(x, y, z int) int {
+		// Periodic domain: wrap (the physical box is periodic).
+		x = (x + px) % px
+		y = (y + py) % py
+		z = (z + pz) % pz
+		n := (z*py+y)*px + x
+		if n == r {
+			return -1
+		}
+		return n
+	}
+	return [6]int{
+		at(x-1, y, z), at(x+1, y, z),
+		at(x, y-1, z), at(x, y+1, z),
+		at(x, y, z-1), at(x, y, z+1),
+	}
+}

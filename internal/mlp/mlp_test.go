@@ -1,0 +1,95 @@
+package mlp
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestArenaArchiveFetch(t *testing.T) {
+	a := NewArena()
+	a.Archive("k", []float64{1, 2})
+	got := a.Fetch("k")
+	if len(got) != 2 || got[1] != 2 {
+		t.Fatalf("got %v", got)
+	}
+	// Archive copies: mutating the source must not affect the arena.
+	src := []float64{9}
+	a.Archive("k", src)
+	src[0] = -1
+	if a.Fetch("k")[0] != 9 {
+		t.Error("arena aliases caller memory")
+	}
+	if a.Fetch("missing") != nil {
+		t.Error("missing key should be nil")
+	}
+	if a.Len() != 1 {
+		t.Errorf("len = %d", a.Len())
+	}
+}
+
+func TestGroupsShareArenaAndBarrier(t *testing.T) {
+	const groups = 5
+	var sum int64
+	Run(groups, 2, func(g *Group) {
+		if g.N() != groups {
+			t.Errorf("N = %d", g.N())
+		}
+		g.Arena().Archive(fmt.Sprintf("g%d", g.ID()), []float64{float64(g.ID() + 1)})
+		g.Barrier()
+		// After the barrier every group's data is visible.
+		local := 0.0
+		for k := 0; k < groups; k++ {
+			v := g.Arena().Fetch(fmt.Sprintf("g%d", k))
+			if v == nil {
+				t.Errorf("group %d missing after barrier", k)
+				continue
+			}
+			local += v[0]
+		}
+		atomic.AddInt64(&sum, int64(local))
+	})
+	if sum != groups*(groups*(groups+1)/2) {
+		t.Errorf("sum = %d", sum)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	counter := int64(0)
+	Run(4, 1, func(g *Group) {
+		for i := 0; i < 10; i++ {
+			atomic.AddInt64(&counter, 1)
+			g.Barrier()
+			// All four increments of this round must be visible.
+			if v := atomic.LoadInt64(&counter); v < int64(4*(i+1)) {
+				t.Errorf("round %d: counter %d", i, v)
+			}
+			g.Barrier()
+		}
+	})
+}
+
+func TestPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("group panic should propagate")
+		}
+	}()
+	Run(3, 1, func(g *Group) {
+		if g.ID() == 2 {
+			panic("fail")
+		}
+	})
+}
+
+func TestTeamAvailable(t *testing.T) {
+	Run(2, 3, func(g *Group) {
+		if g.Team().N() != 3 {
+			t.Errorf("team size %d", g.Team().N())
+		}
+		s := g.Team().ParallelReduce(0, 100, func(i int) float64 { return 1 })
+		if s != 100 {
+			t.Errorf("reduce = %v", s)
+		}
+	})
+}

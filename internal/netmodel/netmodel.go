@@ -1,0 +1,162 @@
+// Package netmodel computes point-to-point MPI latency and bandwidth between
+// any two CPUs of a Columbia cluster, covering intra-node NUMAlink3/4
+// fat-tree paths, internode NUMAlink4 paths within the BX2b quad, and
+// internode InfiniBand paths through the Voltaire switch.
+//
+// The model deliberately mirrors the decomposition in §4.1.1 of the paper:
+// latency is a base cost plus a per-router-hop term (so the BX2's double
+// density shortens paths), while bandwidth is the minimum of a
+// processor-speed-bound local copy rate and an interconnect-bound link rate
+// (so local patterns track clock speed and remote patterns track fabric).
+package netmodel
+
+import (
+	"columbia/internal/machine"
+)
+
+// LocalBWPerGHz converts CPU clock to the memory-copy-bound MPI bandwidth
+// for communication that stays close (same brick): shared-memory MPI on the
+// Altix moves data at a rate set by the processor and its bus, not by
+// NUMAlink. [calibrated so Natural Ring tracks clock speed, Fig. 5]
+const LocalBWPerGHz = 2.0e9
+
+// EagerThreshold is the message size (bytes) below which the simulated MPI
+// uses the eager protocol: the sender deposits the message and proceeds
+// without rendezvous. Larger messages synchronize sender and receiver.
+const EagerThreshold = 2048
+
+// Model evaluates communication costs on a given cluster.
+type Model struct {
+	C *machine.Cluster
+	// MPT selects the SGI Message Passing Toolkit runtime version, which
+	// matters only for InfiniBand paths (§4.6.2 anomaly).
+	MPT machine.MPTVersion
+}
+
+// New returns a model for cluster c with the released MPT library.
+func New(c *machine.Cluster) *Model {
+	return &Model{C: c, MPT: machine.MPT111b}
+}
+
+// Latency returns the one-way MPI latency in seconds between CPUs a and b.
+func (m *Model) Latency(a, b machine.Loc) float64 {
+	if a.Node == b.Node {
+		spec := m.C.Spec(a)
+		return spec.BaseLatency + float64(m.C.Hops(a, b))*spec.HopLatency
+	}
+	if m.C.Fabric == machine.NUMAlink4 {
+		// Cross-box NUMAlink4: local fabric on both ends plus the
+		// internode routers.
+		sa, sb := m.C.Spec(a), m.C.Spec(b)
+		intra := float64(m.edgeHops(a))*sa.HopLatency + float64(m.edgeHops(b))*sb.HopLatency
+		return sa.BaseLatency + intra +
+			machine.NL4InternodeLatency +
+			float64(machine.NL4InternodeHops)*sa.HopLatency
+	}
+	// InfiniBand through the Voltaire switch: fixed fabric latency
+	// dominates; the in-box path to the card adds the hop terms.
+	sa := m.C.Spec(a)
+	return machine.IBBaseLatency + float64(m.edgeHops(a)+m.edgeHops(b))*sa.HopLatency
+}
+
+// edgeHops approximates the in-box hops from a CPU to its node's edge
+// routers (where internode links and IB cards attach).
+func (m *Model) edgeHops(a machine.Loc) int {
+	return 2 + m.C.Rack(a)%2
+}
+
+// Bandwidth returns the sustainable single-stream MPI bandwidth in bytes/s
+// between CPUs a and b.
+func (m *Model) Bandwidth(a, b machine.Loc) float64 {
+	sa := m.C.Spec(a)
+	local := sa.ClockGHz * LocalBWPerGHz
+	if a.Node == b.Node {
+		if m.C.Brick(a) == m.C.Brick(b) && m.C.Rack(a) == m.C.Rack(b) {
+			// Same C-brick: pure memory-system copy.
+			return local
+		}
+		link := machine.MPIEfficiency * sa.LinkBW
+		if link < local {
+			return link
+		}
+		return local
+	}
+	if m.C.Fabric == machine.NUMAlink4 {
+		link := machine.MPIEfficiency * sa.LinkBW
+		if link < local {
+			return link
+		}
+		return local
+	}
+	return machine.IBCardBW
+}
+
+// TransferTime returns the end-to-end time to move n bytes from a to b as a
+// single MPI message: one latency plus serialization at the path bandwidth.
+func (m *Model) TransferTime(a, b machine.Loc, n float64) float64 {
+	t := m.Latency(a, b)
+	if n > 0 {
+		t += n / m.Bandwidth(a, b)
+	}
+	return t
+}
+
+// InternodeCapacity returns the aggregate off-node bandwidth of one box in
+// bytes/s: the NUMAlink4 quad links, or the installed InfiniBand cards.
+// Bulk-synchronous phases where many pairs cross boxes at once divide this
+// capacity; it is the root of the InfiniBand Random Ring collapse (Fig. 10).
+func (m *Model) InternodeCapacity(node int) float64 {
+	spec := m.C.Nodes[node].Spec
+	if m.C.Fabric == machine.NUMAlink4 {
+		// Four NUMAlink4 internode links per box in the quad.
+		return 4 * machine.MPIEfficiency * spec.LinkBW
+	}
+	bw := float64(m.C.IBCardsPerNode) * machine.IBCardBW
+	if m.C.Fabric == machine.InfiniBand {
+		return bw
+	}
+	return bw
+}
+
+// IntraNodeCapacity returns the aggregate cross-brick fabric capacity of a
+// node in bytes/s; simultaneous remote streams inside one box share it
+// FCFS in the virtual-time engine.
+func (m *Model) IntraNodeCapacity(node int) float64 {
+	return m.C.Nodes[node].Spec.IntraFabricBW
+}
+
+// CrossingBandwidth returns the per-pair bandwidth when `crossings`
+// node-boundary-crossing pairs are simultaneously active at the most loaded
+// box. Under InfiniBand the random-ring pattern additionally suffers the
+// protocol collapse the paper reports (§4.6.1); set random to true for
+// patterns with no locality.
+func (m *Model) CrossingBandwidth(a, b machine.Loc, crossings int, random bool) float64 {
+	bw := m.Bandwidth(a, b)
+	if a.Node == b.Node || crossings <= 1 {
+		return bw
+	}
+	cap := m.InternodeCapacity(a.Node) / float64(crossings)
+	if cap < bw {
+		bw = cap
+	}
+	if random && m.C.Fabric == machine.InfiniBand {
+		bw *= machine.IBRandomRingCollapse
+	}
+	return bw
+}
+
+// MPTRunFactor returns the whole-run slowdown of the released mpt1.11r
+// runtime over InfiniBand for coarse-grain exchange codes like SP-MZ: the
+// paper measured 40% at 256 CPUs, improving as the CPU count grows, and
+// the mpt1.11b beta removing it entirely (§4.6.2). The library's broken
+// progression engine taxes the whole run, not just the bytes moved, so the
+// factor applies to total time.
+func (m *Model) MPTRunFactor(procs int) float64 {
+	if m.C.Fabric != machine.InfiniBand || m.MPT != machine.MPT111r || procs <= 0 {
+		return 1
+	}
+	if procs >= 256 {
+		return 1 + 0.40*256/float64(procs)
+	}
+	return 1 + 0.40*float64(procs)/256
+}

@@ -1,0 +1,117 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"columbia/internal/machine"
+)
+
+func TestLatencySymmetricAndPositive(t *testing.T) {
+	for _, cl := range []*machine.Cluster{
+		machine.NewSingleNode(machine.Altix3700),
+		machine.NewBX2bQuad(),
+		machine.NewBX2bQuadIB(),
+	} {
+		m := New(cl)
+		f := func(a, b uint16, na, nb uint8) bool {
+			la := machine.Loc{Node: int(na) % len(cl.Nodes), CPU: int(a) % 512}
+			lb := machine.Loc{Node: int(nb) % len(cl.Nodes), CPU: int(b) % 512}
+			x := m.Latency(la, lb)
+			y := m.Latency(lb, la)
+			return x > 0 && y > 0 && x < 1e-3 && abs(x-y) < 1e-12
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%v: %v", cl.Fabric, err)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestIBLatencyDominates(t *testing.T) {
+	nl := New(machine.NewBX2bQuad())
+	ib := New(machine.NewBX2bQuadIB())
+	a := machine.Loc{Node: 0, CPU: 0}
+	b := machine.Loc{Node: 1, CPU: 0}
+	if ib.Latency(a, b) <= 2*nl.Latency(a, b) {
+		t.Errorf("IB internode latency %.3g should far exceed NUMAlink4 %.3g",
+			ib.Latency(a, b), nl.Latency(a, b))
+	}
+	if ib.Bandwidth(a, b) >= nl.Bandwidth(a, b) {
+		t.Errorf("IB bandwidth %.3g should trail NUMAlink4 %.3g",
+			ib.Bandwidth(a, b), nl.Bandwidth(a, b))
+	}
+}
+
+func TestBandwidthRegimes(t *testing.T) {
+	m := New(machine.NewSingleNode(machine.Altix3700))
+	same := m.Bandwidth(machine.Loc{Node: 0, CPU: 0}, machine.Loc{Node: 0, CPU: 1})    // same brick
+	cross := m.Bandwidth(machine.Loc{Node: 0, CPU: 0}, machine.Loc{Node: 0, CPU: 100}) // cross rack
+	if cross >= same {
+		t.Errorf("cross-fabric bandwidth %.3g should be below local copy %.3g on NUMAlink3", cross, same)
+	}
+	// On NUMAlink4 the link is no longer the bottleneck at 1.5 GHz.
+	mb := New(machine.NewSingleNode(machine.AltixBX2a))
+	sameB := mb.Bandwidth(machine.Loc{Node: 0, CPU: 0}, machine.Loc{Node: 0, CPU: 1})
+	crossB := mb.Bandwidth(machine.Loc{Node: 0, CPU: 0}, machine.Loc{Node: 0, CPU: 100})
+	if crossB < sameB*0.99 {
+		t.Errorf("BX2 cross-fabric %.3g should match local %.3g", crossB, sameB)
+	}
+}
+
+func TestTransferTimeMonotoneInSize(t *testing.T) {
+	m := New(machine.NewBX2bQuadIB())
+	a := machine.Loc{Node: 0, CPU: 0}
+	b := machine.Loc{Node: 3, CPU: 100}
+	f := func(x, y uint32) bool {
+		s1, s2 := float64(x), float64(y)
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		return m.TransferTime(a, b, s1) <= m.TransferTime(a, b, s2)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMPTRunFactor(t *testing.T) {
+	ib := New(machine.NewBX2bQuadIB())
+	ib.MPT = machine.MPT111r
+	if f := ib.MPTRunFactor(256); f < 1.35 || f > 1.45 {
+		t.Errorf("mpt1.11r factor at 256 CPUs = %.2f, want ~1.4 (paper: 40%%)", f)
+	}
+	if f256, f1024 := ib.MPTRunFactor(256), ib.MPTRunFactor(1024); f1024 >= f256 {
+		t.Errorf("anomaly should fade with CPUs: %v -> %v", f256, f1024)
+	}
+	ib.MPT = machine.MPT111b
+	if f := ib.MPTRunFactor(256); f != 1 {
+		t.Errorf("beta library factor = %v, want 1", f)
+	}
+	nl := New(machine.NewBX2bQuad())
+	nl.MPT = machine.MPT111r
+	if f := nl.MPTRunFactor(256); f != 1 {
+		t.Errorf("NUMAlink4 unaffected, got %v", f)
+	}
+}
+
+func TestInternodeCapacity(t *testing.T) {
+	nl := New(machine.NewBX2bQuad())
+	ib := New(machine.NewBX2bQuadIB())
+	if nl.InternodeCapacity(0) <= ib.InternodeCapacity(0) {
+		t.Errorf("NUMAlink4 internode capacity (%.3g) should exceed the IB cards (%.3g)",
+			nl.InternodeCapacity(0), ib.InternodeCapacity(0))
+	}
+	// 3700's intra-node fabric is well under half the BX2's.
+	c37 := New(machine.NewSingleNode(machine.Altix3700))
+	cb := New(machine.NewSingleNode(machine.AltixBX2b))
+	if r := cb.IntraNodeCapacity(0) / c37.IntraNodeCapacity(0); r < 2 {
+		t.Errorf("BX2/3700 fabric ratio = %.2f, want > 2", r)
+	}
+}

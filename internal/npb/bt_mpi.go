@@ -1,0 +1,210 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"columbia/internal/omp"
+	"columbia/internal/par"
+)
+
+// RunBTMPI executes the BT proxy over a communicator with an i-plane slab
+// decomposition: the y and z factors are rank-local, the RHS exchanges one
+// ghost plane with each neighbour, and the x factor is solved with a
+// pipelined block-Thomas elimination that forwards per-line partial factors
+// downstream and back-substitutes upstream — the nearest-neighbour pattern
+// whose cost the paper's BT results reflect. Rank count must divide N.
+func RunBTMPI(c par.Comm, p BTParams) BTResult {
+	n := p.N
+	size, rank := c.Size(), c.Rank()
+	if n%size != 0 {
+		panic(fmt.Sprintf("npb: BT size %d not divisible by %d ranks", n, size))
+	}
+	rows := n / size
+	ilo, ihi := rank*rows, (rank+1)*rows
+	team := omp.NewTeam(1)
+
+	f := newBTField(n)
+	f.initSmooth()
+	rhs := make([]float64, len(f.u))
+	plane := n * n * btComp
+
+	const (
+		tagGhostUp   = 601
+		tagGhostDown = 602
+		tagForward   = 611
+		tagBackward  = 612
+	)
+
+	localNorm := func() float64 {
+		s := 0.0
+		for i := ilo * plane; i < ihi*plane; i++ {
+			s += f.u[i] * f.u[i]
+		}
+		tot := par.AllreduceSum(c, []float64{s})[0]
+		return math.Sqrt(tot / float64(n*n*n*btComp))
+	}
+
+	res := BTResult{Norm0: localNorm()}
+	for step := 0; step < p.Niter; step++ {
+		// Ghost-plane exchange for the RHS stencil.
+		if rank > 0 {
+			c.Send(rank-1, tagGhostUp, f.u[ilo*plane:(ilo+1)*plane])
+		}
+		if rank < size-1 {
+			c.Send(rank+1, tagGhostDown, f.u[(ihi-1)*plane:ihi*plane])
+		}
+		if rank < size-1 {
+			copy(f.u[ihi*plane:(ihi+1)*plane], c.Recv(rank+1, tagGhostUp))
+		}
+		if rank > 0 {
+			copy(f.u[(ilo-1)*plane:ilo*plane], c.Recv(rank-1, tagGhostDown))
+		}
+		btComputeRHS(f, rhs, team, ilo, ihi)
+		btSweepXPipelined(c, f, rhs, ilo, ihi, tagForward, tagBackward)
+		btSweepY(f, rhs, team, ilo, ihi)
+		btSweepZ(f, rhs, team, ilo, ihi)
+		for i := ilo * plane; i < ihi*plane; i++ {
+			f.u[i] += rhs[i]
+		}
+	}
+	res.Norm = localNorm()
+	return res
+}
+
+// btSweepXPipelined runs the x-direction block-Thomas across the slab
+// boundary: per j-plane, the forward elimination ships each k-line's last
+// modified super-diagonal block and RHS downstream (30 floats per line,
+// batched), and the back substitution ships first-row solutions upstream.
+func btSweepXPipelined(c par.Comm, f *btField, rhs []float64, ilo, ihi, tagF, tagB int) {
+	n := f.n
+	rows := ihi - ilo
+	rank, size := c.Rank(), c.Size()
+	const blockFloats = btComp*btComp + btComp // cp (25) + r (5)
+
+	cp := make([][]mat5, n) // per k, per local row
+	for k := range cp {
+		cp[k] = make([]mat5, rows)
+	}
+
+	for j := 0; j < n; j++ {
+		// Forward elimination.
+		var in []float64
+		if rank > 0 {
+			in = c.Recv(rank-1, tagF)
+		}
+		out := make([]float64, n*blockFloats)
+		for k := 0; k < n; k++ {
+			var prevCp mat5
+			var prevR vec5
+			have := rank > 0
+			if have {
+				at := k * blockFloats
+				for a := 0; a < btComp; a++ {
+					for b := 0; b < btComp; b++ {
+						prevCp[a][b] = in[at]
+						at++
+					}
+				}
+				for a := 0; a < btComp; a++ {
+					prevR[a] = in[at]
+					at++
+				}
+			}
+			for m := 0; m < rows; m++ {
+				base := f.idx(ilo+m, j, k)
+				var r vec5
+				for a := 0; a < btComp; a++ {
+					r[a] = rhs[base+a]
+				}
+				diagBlock := btDiagBlock(f.u[base])
+				if m == 0 && !have {
+					binv := diagBlock.inv()
+					cp[k][0] = binv.mul(btOffBlock)
+					r = binv.mulVec(r)
+				} else {
+					pc := prevCp
+					pr := prevR
+					if m > 0 {
+						pc = cp[k][m-1]
+						for a := 0; a < btComp; a++ {
+							pr[a] = rhs[f.idx(ilo+m-1, j, k)+a]
+						}
+					}
+					den := diagBlock.sub(btOffBlock.mul(pc))
+					dinv := den.inv()
+					cp[k][m] = dinv.mul(btOffBlock)
+					am := btOffBlock.mulVec(pr)
+					for a := 0; a < btComp; a++ {
+						r[a] -= am[a]
+					}
+					r = dinv.mulVec(r)
+				}
+				for a := 0; a < btComp; a++ {
+					rhs[base+a] = r[a]
+				}
+			}
+			// Pack this line's boundary for downstream.
+			at := k * blockFloats
+			last := cp[k][rows-1]
+			for a := 0; a < btComp; a++ {
+				for b := 0; b < btComp; b++ {
+					out[at] = last[a][b]
+					at++
+				}
+			}
+			lbase := f.idx(ihi-1, j, k)
+			for a := 0; a < btComp; a++ {
+				out[at] = rhs[lbase+a]
+				at++
+			}
+		}
+		if rank < size-1 {
+			c.Send(rank+1, tagF, out)
+		}
+		// Back substitution.
+		var xin []float64
+		if rank < size-1 {
+			xin = c.Recv(rank+1, tagB)
+		}
+		xout := make([]float64, n*btComp)
+		for k := 0; k < n; k++ {
+			var xNext vec5
+			have := rank < size-1
+			if have {
+				for a := 0; a < btComp; a++ {
+					xNext[a] = xin[k*btComp+a]
+				}
+			}
+			for m := rows - 1; m >= 0; m-- {
+				base := f.idx(ilo+m, j, k)
+				if m == rows-1 {
+					if have {
+						cx := cp[k][m].mulVec(xNext)
+						for a := 0; a < btComp; a++ {
+							rhs[base+a] -= cx[a]
+						}
+					}
+					// Else: global last row, solution already in rhs.
+				} else {
+					var xn vec5
+					nbase := f.idx(ilo+m+1, j, k)
+					for a := 0; a < btComp; a++ {
+						xn[a] = rhs[nbase+a]
+					}
+					cx := cp[k][m].mulVec(xn)
+					for a := 0; a < btComp; a++ {
+						rhs[base+a] -= cx[a]
+					}
+				}
+			}
+			fbase := f.idx(ilo, j, k)
+			for a := 0; a < btComp; a++ {
+				xout[k*btComp+a] = rhs[fbase+a]
+			}
+		}
+		if rank > 0 {
+			c.Send(rank-1, tagB, xout)
+		}
+	}
+}

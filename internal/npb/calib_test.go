@@ -1,0 +1,63 @@
+package npb
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"columbia/internal/machine"
+	"columbia/internal/par"
+	"columbia/internal/vmpi"
+)
+
+// TestCalibrationDump prints the modelled Fig. 6 surfaces when
+// NPB_CALIB=1; it is a diagnostic, not an assertion.
+func TestCalibrationDump(t *testing.T) {
+	if os.Getenv("NPB_CALIB") == "" {
+		t.Skip("set NPB_CALIB=1 to dump calibration surfaces")
+	}
+	types := []machine.NodeType{machine.Altix3700, machine.AltixBX2a, machine.AltixBX2b}
+	fmt.Println("== MPI class C: per-CPU Gflop/s ==")
+	for _, bench := range Benchmarks {
+		fmt.Printf("%s:  procs:  ", bench)
+		for _, p := range []int{4, 16, 64, 256} {
+			fmt.Printf("%8d", p)
+		}
+		fmt.Println()
+		for _, nt := range types {
+			fmt.Printf("  %-5s", nt)
+			for _, p := range []int{4, 16, 64, 256} {
+				fn, ct := Skeleton(bench, ClassC, p)
+				res := vmpi.Run(vmpi.Config{Cluster: machine.NewSingleNode(nt), Procs: p}, fn)
+				perIter := res.Time / SkeletonIters
+				gf := ct.Flops / perIter / float64(p) / 1e9
+				fmt.Printf("%8.3f", gf)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("== OpenMP class B: per-CPU Gflop/s ==")
+	for _, bench := range Benchmarks {
+		fmt.Printf("%s: threads:", bench)
+		for _, th := range []int{4, 16, 64, 128} {
+			fmt.Printf("%8d", th)
+		}
+		fmt.Println()
+		for _, nt := range types {
+			fmt.Printf("  %-5s", nt)
+			for _, th := range []int{4, 16, 64, 128} {
+				fn, ct := Skeleton(bench, ClassB, 1)
+				res := vmpi.Run(vmpi.Config{
+					Cluster: machine.NewSingleNode(nt),
+					Procs:   1, Threads: th,
+					OMP: ompOpts(ct),
+				}, fn)
+				perIter := res.Time / SkeletonIters
+				gf := ct.Flops / perIter / float64(th) / 1e9
+				fmt.Printf("%8.3f", gf)
+			}
+			fmt.Println()
+		}
+	}
+	_ = par.AllreduceBytes
+}

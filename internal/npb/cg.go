@@ -1,0 +1,170 @@
+package npb
+
+import (
+	"math"
+
+	"columbia/internal/omp"
+	"columbia/internal/par"
+)
+
+// CGResult carries the benchmark's outputs: the eigenvalue estimate zeta
+// and the final inner-solve residual norm.
+type CGResult struct {
+	Zeta  float64
+	RNorm float64
+}
+
+// cgInnerIters is NPB's fixed inner CG iteration count.
+const cgInnerIters = 25
+
+// RunCGSerial executes the CG benchmark for one class serially.
+func RunCGSerial(p CGParams) CGResult {
+	a := MakeCGMatrix(p)
+	return runCG(a, p, omp.NewTeam(1))
+}
+
+// RunCGOpenMP executes CG with a shared-memory team; the partials are
+// accumulated deterministically so results match the serial run to
+// round-off of the reduction order.
+func RunCGOpenMP(p CGParams, team *omp.Team) CGResult {
+	a := MakeCGMatrix(p)
+	return runCG(a, p, team)
+}
+
+func runCG(a *Sparse, p CGParams, team *omp.Team) CGResult {
+	n := a.N
+	x := ones(n)
+	z := make([]float64, n)
+	r := make([]float64, n)
+	pv := make([]float64, n)
+	q := make([]float64, n)
+	var res CGResult
+	for it := 0; it < p.Niter; it++ {
+		rnorm := cgSolveTeam(a, x, z, r, pv, q, team)
+		zeta := p.Shift + 1/dotTeam(team, x, z)
+		norm := math.Sqrt(dotTeam(team, z, z))
+		team.ParallelFor(0, n, func(i int) { x[i] = z[i] / norm })
+		res = CGResult{Zeta: zeta, RNorm: rnorm}
+	}
+	return res
+}
+
+// cgSolveTeam runs the fixed 25-iteration CG inner solve of A z = x and
+// returns ||x − A z||.
+func cgSolveTeam(a *Sparse, x, z, r, p, q []float64, team *omp.Team) float64 {
+	n := a.N
+	team.ParallelFor(0, n, func(i int) {
+		z[i] = 0
+		r[i] = x[i]
+		p[i] = x[i]
+	})
+	rho := dotTeam(team, r, r)
+	for it := 0; it < cgInnerIters; it++ {
+		team.ParallelRange(0, n, func(lo, hi, _ int) { a.MulVec(q, p, lo, hi) })
+		alpha := rho / dotTeam(team, p, q)
+		team.ParallelFor(0, n, func(i int) {
+			z[i] += alpha * p[i]
+			r[i] -= alpha * q[i]
+		})
+		rho0 := rho
+		rho = dotTeam(team, r, r)
+		beta := rho / rho0
+		team.ParallelFor(0, n, func(i int) { p[i] = r[i] + beta*p[i] })
+	}
+	// r = x − A z, reusing q for A z.
+	team.ParallelRange(0, n, func(lo, hi, _ int) { a.MulVec(q, z, lo, hi) })
+	sum := team.ParallelReduce(0, n, func(i int) float64 {
+		d := x[i] - q[i]
+		return d * d
+	})
+	return math.Sqrt(sum)
+}
+
+func dotTeam(team *omp.Team, a, b []float64) float64 {
+	return team.ParallelReduce(0, len(a), func(i int) float64 { return a[i] * b[i] })
+}
+
+func ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// RunCGMPI executes CG over a communicator: rows are block-partitioned,
+// vectors are replicated, and each matvec allgathers the owned rows —
+// CG's per-iteration communication volume of one full vector plus the dot
+// products, matching the reference's exchange volume. Every rank returns
+// the same result.
+func RunCGMPI(c par.Comm, p CGParams) CGResult {
+	a := MakeCGMatrix(p) // deterministic: every rank builds the same matrix
+	n := a.N
+	rank, size := c.Rank(), c.Size()
+	lo := rank * n / size
+	hi := (rank + 1) * n / size
+
+	x := ones(n)
+	z := make([]float64, n)
+	r := make([]float64, n)
+	pv := make([]float64, n)
+	q := make([]float64, n)
+	var res CGResult
+	dotPart := func(av, bv []float64) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += av[i] * bv[i]
+		}
+		return par.AllreduceSum(c, []float64{s})[0]
+	}
+	// Allgather needs equal-length contributions; blocks are padded to the
+	// ceiling size and unpacked by each rank's true extent.
+	blk := (n + size - 1) / size
+	gatherBuf := make([]float64, blk)
+	matvec := func(dst, src []float64) {
+		a.MulVec(dst, src, lo, hi)
+		copy(gatherBuf, dst[lo:hi])
+		full := par.Allgather(c, gatherBuf)
+		for rk := 0; rk < size; rk++ {
+			l, h := rk*n/size, (rk+1)*n/size
+			copy(dst[l:h], full[rk*blk:rk*blk+(h-l)])
+		}
+	}
+	for it := 0; it < p.Niter; it++ {
+		// Inner solve.
+		for i := range z {
+			z[i] = 0
+			r[i] = x[i]
+			pv[i] = x[i]
+		}
+		rho := dotPart(r, r)
+		for k := 0; k < cgInnerIters; k++ {
+			matvec(q, pv)
+			alpha := rho / dotPart(pv, q)
+			for i := range z {
+				z[i] += alpha * pv[i]
+				r[i] -= alpha * q[i]
+			}
+			rho0 := rho
+			rho = dotPart(r, r)
+			beta := rho / rho0
+			for i := range pv {
+				pv[i] = r[i] + beta*pv[i]
+			}
+		}
+		matvec(q, z)
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			d := x[i] - q[i]
+			s += d * d
+		}
+		rnorm := math.Sqrt(par.AllreduceSum(c, []float64{s})[0])
+		zeta := p.Shift + 1/dotPart(x, z)
+		norm := math.Sqrt(dotPart(z, z))
+		for i := range x {
+			x[i] = z[i] / norm
+		}
+		res = CGResult{Zeta: zeta, RNorm: rnorm}
+	}
+	return res
+}

@@ -1,0 +1,195 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"columbia/internal/omp"
+	"columbia/internal/rng"
+)
+
+// FT: the NPB 3-D fast-Fourier-transform kernel. A random complex field is
+// transformed once; each iteration evolves it in frequency space by the
+// diffusion factor exp(−4·α·π²·k̄²·t) and inverse-transforms it, and a
+// 1024-point checksum is accumulated. FT stresses all-to-all communication
+// (the distributed transpose), which is why the paper sees it speed up ~2x
+// on the higher-bandwidth BX2 at 256 CPUs.
+
+// ftAlpha is the NPB diffusion constant.
+const ftAlpha = 1e-6
+
+// FTResult carries the per-iteration checksums.
+type FTResult struct {
+	Checksums []complex128
+}
+
+// fft1 performs an in-place radix-2 FFT of a power-of-two-length line;
+// inverse applies the conjugate transform and 1/n scaling.
+func fft1(a []complex128, inverse bool) {
+	n := len(a)
+	if n&(n-1) != 0 {
+		panic("npb: FFT length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for l := 2; l <= n; l <<= 1 {
+		ang := sign * 2 * math.Pi / float64(l)
+		wl := complex(math.Cos(ang), math.Sin(ang))
+		half := l / 2
+		for i := 0; i < n; i += l {
+			w := complex(1, 0)
+			for j := 0; j < half; j++ {
+				u := a[i+j]
+				v := a[i+j+half] * w
+				a[i+j] = u + v
+				a[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range a {
+			a[i] *= inv
+		}
+	}
+}
+
+// ftField is a 3-D complex field stored z-major: idx = (z·ny + y)·nx + x.
+type ftField struct {
+	nx, ny, nz int
+	a          []complex128
+}
+
+func newFTField(nx, ny, nz int) *ftField {
+	return &ftField{nx: nx, ny: ny, nz: nz, a: make([]complex128, nx*ny*nz)}
+}
+
+func (f *ftField) at(x, y, z int) complex128 { return f.a[(z*f.ny+y)*f.nx+x] }
+
+// initRandom fills the field with NPB-style uniform deviates (real and
+// imaginary parts drawn pairwise from the randlc stream).
+func (f *ftField) initRandom() {
+	s := rng.New(rng.DefaultSeed)
+	for i := range f.a {
+		re := s.Next()
+		im := s.Next()
+		f.a[i] = complex(re, im)
+	}
+}
+
+// fft3 transforms the whole field in place along x, then y, then z.
+func (f *ftField) fft3(team *omp.Team, inverse bool) {
+	nx, ny, nz := f.nx, f.ny, f.nz
+	// Along x: contiguous lines.
+	team.ParallelFor(0, ny*nz, func(l int) {
+		fft1(f.a[l*nx:(l+1)*nx], inverse)
+	})
+	// Along y: stride nx within each z-plane.
+	team.ParallelRange(0, nz, func(zlo, zhi, _ int) {
+		line := make([]complex128, ny)
+		for z := zlo; z < zhi; z++ {
+			for x := 0; x < nx; x++ {
+				base := z*ny*nx + x
+				for y := 0; y < ny; y++ {
+					line[y] = f.a[base+y*nx]
+				}
+				fft1(line, inverse)
+				for y := 0; y < ny; y++ {
+					f.a[base+y*nx] = line[y]
+				}
+			}
+		}
+	})
+	// Along z: stride nx·ny.
+	team.ParallelRange(0, ny, func(ylo, yhi, _ int) {
+		line := make([]complex128, nz)
+		for y := ylo; y < yhi; y++ {
+			for x := 0; x < nx; x++ {
+				base := y*nx + x
+				for z := 0; z < nz; z++ {
+					line[z] = f.a[base+z*ny*nx]
+				}
+				fft1(line, inverse)
+				for z := 0; z < nz; z++ {
+					f.a[base+z*ny*nx] = line[z]
+				}
+			}
+		}
+	})
+}
+
+// ftWaveNumber returns the signed frequency of index k on an n-point axis.
+func ftWaveNumber(k, n int) int {
+	if k < n/2 {
+		return k
+	}
+	return k - n
+}
+
+// ftChecksum is the NPB 1024-point sample sum.
+func ftChecksum(f *ftField) complex128 {
+	var s complex128
+	for j := 1; j <= 1024; j++ {
+		x := j % f.nx
+		y := (3 * j) % f.ny
+		z := (5 * j) % f.nz
+		s += f.at(x, y, z)
+	}
+	return s / complex(float64(f.nx*f.ny*f.nz), 0)
+}
+
+// RunFTSerial executes the FT benchmark serially.
+func RunFTSerial(p FTParams) FTResult { return RunFTOpenMP(p, omp.NewTeam(1)) }
+
+// RunFTOpenMP executes FT with a shared-memory team.
+func RunFTOpenMP(p FTParams, team *omp.Team) FTResult {
+	nx, ny, nz := p.Nx, p.Ny, p.Nz
+	u0 := newFTField(nx, ny, nz)
+	u0.initRandom()
+	u0.fft3(team, false) // forward transform once
+	work := newFTField(nx, ny, nz)
+	res := FTResult{}
+	for t := 1; t <= p.Niter; t++ {
+		// Evolve in frequency space.
+		factor := -4 * ftAlpha * math.Pi * math.Pi * float64(t)
+		team.ParallelRange(0, nz, func(zlo, zhi, _ int) {
+			for z := zlo; z < zhi; z++ {
+				kz := ftWaveNumber(z, nz)
+				for y := 0; y < ny; y++ {
+					ky := ftWaveNumber(y, ny)
+					base := (z*ny + y) * nx
+					for x := 0; x < nx; x++ {
+						kx := ftWaveNumber(x, nx)
+						k2 := float64(kx*kx + ky*ky + kz*kz)
+						work.a[base+x] = u0.a[base+x] * complex(math.Exp(factor*k2), 0)
+					}
+				}
+			}
+		})
+		work.fft3(team, true) // inverse transform
+		res.Checksums = append(res.Checksums, ftChecksum(work))
+	}
+	return res
+}
+
+func (p FTParams) check() {
+	for _, n := range []int{p.Nx, p.Ny, p.Nz} {
+		if n < 2 || n&(n-1) != 0 {
+			panic(fmt.Sprintf("npb: FT dims must be powers of two, got %dx%dx%d", p.Nx, p.Ny, p.Nz))
+		}
+	}
+}

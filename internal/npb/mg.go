@@ -1,0 +1,269 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"columbia/internal/omp"
+	"columbia/internal/rng"
+)
+
+// MG: the NPB multigrid kernel. A V-cycle solver for the scalar Poisson-like
+// problem A·u = v on an n³ periodic grid (n a power of two), exercising
+// long- and short-distance communication. The four-weight 27-point stencils
+// follow the NPB operators: classes are distinguished only by grid size and
+// iteration count.
+var (
+	// mgA is the residual operator A's weights by neighbour distance
+	// class (center, face, edge, corner).
+	mgA = [4]float64{-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0}
+	// mgS is the smoother S's weights.
+	mgS = [4]float64{-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0.0}
+)
+
+// mgCoarsest is the bottom grid size of the V-cycle.
+const mgCoarsest = 4
+
+// MGResult carries the benchmark output: the final residual norm and the
+// initial one for reference.
+type MGResult struct {
+	RNorm0 float64
+	RNorm  float64
+}
+
+// mgIdx flattens periodic coordinates on an n³ grid; n must be a power of
+// two so wrapping is a mask.
+func mgIdx(i, j, k, mask int) int {
+	return ((i&mask)*(mask+1)+(j&mask))*(mask+1) + (k & mask)
+}
+
+// apply27 computes dst = w⊗src (+ vsub: dst = vsub − w⊗src when vsub is
+// non-nil, the residual form) over rows [iLo, iHi) of a full periodic grid.
+func apply27(dst, src, vsub []float64, n int, w [4]float64, iLo, iHi int) {
+	mask := n - 1
+	for i := iLo; i < iHi; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				var face, edge, corner float64
+				// Faces.
+				face = src[mgIdx(i-1, j, k, mask)] + src[mgIdx(i+1, j, k, mask)] +
+					src[mgIdx(i, j-1, k, mask)] + src[mgIdx(i, j+1, k, mask)] +
+					src[mgIdx(i, j, k-1, mask)] + src[mgIdx(i, j, k+1, mask)]
+				// Edges.
+				edge = src[mgIdx(i-1, j-1, k, mask)] + src[mgIdx(i-1, j+1, k, mask)] +
+					src[mgIdx(i+1, j-1, k, mask)] + src[mgIdx(i+1, j+1, k, mask)] +
+					src[mgIdx(i-1, j, k-1, mask)] + src[mgIdx(i-1, j, k+1, mask)] +
+					src[mgIdx(i+1, j, k-1, mask)] + src[mgIdx(i+1, j, k+1, mask)] +
+					src[mgIdx(i, j-1, k-1, mask)] + src[mgIdx(i, j-1, k+1, mask)] +
+					src[mgIdx(i, j+1, k-1, mask)] + src[mgIdx(i, j+1, k+1, mask)]
+				// Corners.
+				corner = src[mgIdx(i-1, j-1, k-1, mask)] + src[mgIdx(i-1, j-1, k+1, mask)] +
+					src[mgIdx(i-1, j+1, k-1, mask)] + src[mgIdx(i-1, j+1, k+1, mask)] +
+					src[mgIdx(i+1, j-1, k-1, mask)] + src[mgIdx(i+1, j-1, k+1, mask)] +
+					src[mgIdx(i+1, j+1, k-1, mask)] + src[mgIdx(i+1, j+1, k+1, mask)]
+				v := w[0]*src[mgIdx(i, j, k, mask)] + w[1]*face + w[2]*edge + w[3]*corner
+				at := mgIdx(i, j, k, mask)
+				if vsub != nil {
+					dst[at] = vsub[at] - v
+				} else {
+					dst[at] = v
+				}
+			}
+		}
+	}
+}
+
+// restrict26 computes the coarse-grid full weighting of fine into coarse
+// (sizes nf = 2·nc) over coarse rows [iLo, iHi).
+func restrict26(coarse, fine []float64, nc int, iLo, iHi int) {
+	nf := 2 * nc
+	fm := nf - 1
+	cm := nc - 1
+	for ci := iLo; ci < iHi; ci++ {
+		i := 2 * ci
+		for cj := 0; cj < nc; cj++ {
+			j := 2 * cj
+			for ck := 0; ck < nc; ck++ {
+				k := 2 * ck
+				var s float64
+				for di := -1; di <= 1; di++ {
+					for dj := -1; dj <= 1; dj++ {
+						for dk := -1; dk <= 1; dk++ {
+							d := abs(di) + abs(dj) + abs(dk)
+							w := [4]float64{1.0 / 8, 1.0 / 16, 1.0 / 32, 1.0 / 64}[d]
+							s += w * fine[mgIdx(i+di, j+dj, k+dk, fm)]
+						}
+					}
+				}
+				coarse[mgIdx(ci, cj, ck, cm)] = s
+			}
+		}
+	}
+}
+
+// interp26 adds the trilinear prolongation of coarse into fine over fine
+// rows [iLo, iHi); sizes nf = 2·nc.
+func interp26(fine, coarse []float64, nc int, iLo, iHi int) {
+	nf := 2 * nc
+	fm := nf - 1
+	cm := nc - 1
+	for i := iLo; i < iHi; i++ {
+		ci0 := i / 2
+		ciN := 1
+		if i%2 == 1 {
+			ciN = 2
+		}
+		for j := 0; j < nf; j++ {
+			cj0 := j / 2
+			cjN := 1
+			if j%2 == 1 {
+				cjN = 2
+			}
+			for k := 0; k < nf; k++ {
+				ck0 := k / 2
+				ckN := 1
+				if k%2 == 1 {
+					ckN = 2
+				}
+				var s float64
+				for a := 0; a < ciN; a++ {
+					for b := 0; b < cjN; b++ {
+						for cc := 0; cc < ckN; cc++ {
+							s += coarse[mgIdx(ci0+a, cj0+b, ck0+cc, cm)]
+						}
+					}
+				}
+				fine[mgIdx(i, j, k, fm)] += s / float64(ciN*cjN*ckN)
+			}
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// mgInitV builds the NPB-style right-hand side: +1 at ten random grid
+// points and −1 at ten others, positions drawn from the NPB generator.
+func mgInitV(n int) []float64 {
+	v := make([]float64, n*n*n)
+	s := rng.New(rng.DefaultSeed)
+	seen := map[int]bool{}
+	placed := 0
+	for placed < 20 {
+		i := int(s.Next() * float64(n))
+		j := int(s.Next() * float64(n))
+		k := int(s.Next() * float64(n))
+		if i >= n || j >= n || k >= n {
+			continue
+		}
+		at := mgIdx(i, j, k, n-1)
+		if seen[at] {
+			continue
+		}
+		seen[at] = true
+		if placed < 10 {
+			v[at] = -1
+		} else {
+			v[at] = +1
+		}
+		placed++
+	}
+	return v
+}
+
+// mgLevels returns the level sizes from n down to mgCoarsest.
+func mgLevels(n int) []int {
+	var ls []int
+	for m := n; m >= mgCoarsest; m /= 2 {
+		ls = append(ls, m)
+	}
+	return ls
+}
+
+// RunMGSerial executes the MG benchmark serially (team of one).
+func RunMGSerial(p MGParams) MGResult { return RunMGOpenMP(p, omp.NewTeam(1)) }
+
+// RunMGOpenMP executes MG with a shared-memory team parallelizing over
+// grid planes, as the OpenMP reference does.
+func RunMGOpenMP(p MGParams, team *omp.Team) MGResult {
+	n := p.N
+	if n&(n-1) != 0 || n < 2*mgCoarsest {
+		panic(fmt.Sprintf("npb: MG size %d must be a power of two >= %d", n, 2*mgCoarsest))
+	}
+	levels := mgLevels(n)
+	nl := len(levels)
+	// Per-level storage for the correction z and residual r.
+	r := make([][]float64, nl)
+	z := make([][]float64, nl)
+	for l, m := range levels {
+		r[l] = make([]float64, m*m*m)
+		z[l] = make([]float64, m*m*m)
+	}
+	v := mgInitV(n)
+	u := make([]float64, n*n*n)
+	scratch := make([]float64, n*n*n)
+
+	residual := func(dst, uu []float64) {
+		team.ParallelRange(0, n, func(lo, hi, _ int) {
+			apply27(dst, uu, v, n, mgA, lo, hi)
+		})
+	}
+	norm := func(g []float64) float64 {
+		s := team.ParallelReduce(0, len(g), func(i int) float64 { return g[i] * g[i] })
+		return math.Sqrt(s / float64(len(g)))
+	}
+	smoothFull := func(uu, rr []float64, m int) {
+		team.ParallelRange(0, m, func(lo, hi, _ int) {
+			apply27(scratch, rr, nil, m, mgS, lo, hi)
+		})
+		team.ParallelFor(0, m*m*m, func(i int) { uu[i] += scratch[i] })
+	}
+
+	residual(r[0], u)
+	res := MGResult{RNorm0: norm(r[0])}
+	for it := 0; it < p.Niter; it++ {
+		// Down sweep: restrict residuals to the coarsest level.
+		for l := 1; l < nl; l++ {
+			m := levels[l]
+			team.ParallelRange(0, m, func(lo, hi, _ int) {
+				restrict26(r[l], r[l-1], m, lo, hi)
+			})
+		}
+		// Coarsest solve: one smoothing application.
+		zero(z[nl-1])
+		smoothFull(z[nl-1], r[nl-1], levels[nl-1])
+		// Up sweep: prolong, re-residual, smooth.
+		for l := nl - 2; l >= 1; l-- {
+			m := levels[l]
+			zero(z[l])
+			team.ParallelRange(0, m, func(lo, hi, _ int) {
+				interp26(z[l], z[l+1], m/2, lo, hi)
+			})
+			// r_l <- r_l − A z_l, then z_l += S r_l.
+			team.ParallelRange(0, m, func(lo, hi, _ int) {
+				apply27(scratch, z[l], r[l], m, mgA, lo, hi)
+			})
+			copy(r[l], scratch[:m*m*m])
+			smoothFull(z[l], r[l], m)
+		}
+		// Top level: u += interp(z_1); r = v − A u; u += S r.
+		team.ParallelRange(0, n, func(lo, hi, _ int) {
+			interp26(u, z[1], n/2, lo, hi)
+		})
+		residual(r[0], u)
+		smoothFull(u, r[0], n)
+		residual(r[0], u)
+		res.RNorm = norm(r[0])
+	}
+	return res
+}
+
+func zero(g []float64) {
+	for i := range g {
+		g[i] = 0
+	}
+}

@@ -1,0 +1,258 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"columbia/internal/machine"
+	"columbia/internal/omp"
+	"columbia/internal/par"
+)
+
+// Performance skeletons: each NPB benchmark's per-iteration communication
+// pattern executed with byte-plane operations plus a machine.Work compute
+// charge, run on the virtual-time engine to regenerate the paper's Fig. 6
+// (node-type comparison), Fig. 8 (compilers) and the multinode results at
+// paper scale. Op/byte counts are closed-form in the class parameters;
+// working-set constants are effective reuse sets calibrated so the BX2b's
+// 9 MB L3 produces the ~50% MG/BT jump near 64 CPUs that Fig. 6 shows
+// (see DESIGN.md).
+
+// Counts summarizes one benchmark class's whole-job per-iteration volumes.
+type Counts struct {
+	Name     string
+	Class    Class
+	Iters    int     // benchmark iteration count
+	Flops    float64 // flops per iteration, whole job
+	MemBytes float64 // nominal memory traffic per iteration, whole job
+	WorkSet  float64 // effective repeatedly-touched bytes, whole job
+	// Efficiency is the compute-bound fraction of peak for this kernel.
+	Efficiency float64
+	// SharedFraction and Regions parameterize the OpenMP model.
+	SharedFraction float64
+	Regions        int
+}
+
+// SkeletonIters is how many iterations the skeletons simulate; experiment
+// drivers divide the virtual time by it (the benchmarks are steady-state).
+const SkeletonIters = 4
+
+// BenchCounts returns the closed-form volumes for a benchmark and class.
+func BenchCounts(bench string, class Class) Counts {
+	switch bench {
+	case "CG":
+		p := mustClass(CGClasses, class, "CG")
+		n := float64(p.N)
+		nnz := n * float64(p.Nonzer+1) * float64(p.Nonzer+1) * 0.55
+		return Counts{
+			Name: "CG", Class: class, Iters: p.Niter,
+			// One outer iteration = 25 inner CG iterations.
+			Flops:    25 * (2*nnz + 10*n),
+			MemBytes: 25 * (nnz*16 + 5*8*n),
+			WorkSet:  nnz*16 + 5*8*n,
+			// Irregular access: poor efficiency, latency bound.
+			Efficiency:     0.08,
+			SharedFraction: 0.25,
+			Regions:        100,
+		}
+	case "MG":
+		p := mustClass(MGClasses, class, "MG")
+		n3 := float64(p.N) * float64(p.N) * float64(p.N)
+		return Counts{
+			Name: "MG", Class: class, Iters: p.Niter,
+			Flops:          125 * n3,
+			MemBytes:       294 * n3, // memory-hungry stencils [calibrated]
+			WorkSet:        4 * n3,   // effective reuse: a few planes per level [calibrated]
+			Efficiency:     0.20,
+			SharedFraction: 0.45,
+			Regions:        30,
+		}
+	case "FT":
+		p := mustClass(FTClasses, class, "FT")
+		nt := float64(p.Nx) * float64(p.Ny) * float64(p.Nz)
+		return Counts{
+			Name: "FT", Class: class, Iters: p.Niter,
+			Flops:          5*nt*math.Log2(nt) + 10*nt,
+			MemBytes:       5 * 16 * nt,
+			WorkSet:        8 * nt, // two complex arrays per rank chunk [calibrated]
+			Efficiency:     0.30,
+			SharedFraction: 0.75, // the transpose touches wholly remote data
+			Regions:        4,
+		}
+	case "BT":
+		p := mustClass(BTClasses, class, "BT")
+		n3 := float64(p.N) * float64(p.N) * float64(p.N)
+		return Counts{
+			Name: "BT", Class: class, Iters: p.Niter,
+			Flops:          2500 * n3,
+			MemBytes:       7000 * n3, // block rebuilds stream the factors [calibrated]
+			WorkSet:        110 * n3,  // per-point line-solve state [calibrated]
+			Efficiency:     0.25,
+			SharedFraction: 0.55,
+			Regions:        4,
+		}
+	}
+	panic(fmt.Sprintf("npb: unknown benchmark %q", bench))
+}
+
+// PerRankWork converts whole-job counts to one rank's per-iteration Work.
+func (ct Counts) PerRankWork(procs int) machine.Work {
+	p := float64(procs)
+	return machine.Work{
+		Flops:      ct.Flops / p,
+		MemBytes:   ct.MemBytes / p,
+		WorkingSet: ct.WorkSet / p,
+		Efficiency: ct.Efficiency,
+	}
+}
+
+// grid3 factors p into a near-cubic processor grid px ≥ py ≥ pz.
+func grid3(p int) (px, py, pz int) {
+	px, py, pz = p, 1, 1
+	best := p - 1 // spread measure; lower is better
+	for a := 1; a*a*a <= p; a++ {
+		if p%a != 0 {
+			continue
+		}
+		q := p / a
+		for b := a; b*b <= q; b++ {
+			if q%b != 0 {
+				continue
+			}
+			cdim := q / b
+			spread := cdim - a
+			if spread < best {
+				best = spread
+				px, py, pz = cdim, b, a
+			}
+		}
+	}
+	return
+}
+
+// haloNeighbors returns the six face-neighbour ranks (or -1) of rank r in a
+// px×py×pz grid with non-periodic boundaries.
+func haloNeighbors(r, px, py, pz int) [6]int {
+	x := r % px
+	y := (r / px) % py
+	z := r / (px * py)
+	at := func(x, y, z int) int {
+		if x < 0 || x >= px || y < 0 || y >= py || z < 0 || z >= pz {
+			return -1
+		}
+		return (z*py+y)*px + x
+	}
+	return [6]int{
+		at(x-1, y, z), at(x+1, y, z),
+		at(x, y-1, z), at(x, y+1, z),
+		at(x, y, z-1), at(x, y, z+1),
+	}
+}
+
+// haloExchange performs the six-face exchange with the given per-face byte
+// volume: sends first, then receives, matching non-blocking halo swaps.
+func haloExchange(c par.Comm, nbr [6]int, faceBytes float64, tag int) {
+	for d, n := range nbr {
+		if n >= 0 {
+			c.SendBytes(n, tag+d, faceBytes)
+		}
+	}
+	// Receive from the opposite direction of each send.
+	opp := [6]int{1, 0, 3, 2, 5, 4}
+	for d, n := range nbr {
+		if n >= 0 {
+			c.RecvBytes(n, tag+opp[d])
+		}
+	}
+}
+
+// Skeleton returns the MPI rank program for a benchmark class on procs
+// ranks, plus its counts. The program runs SkeletonIters iterations of the
+// benchmark's real communication pattern:
+//
+//	CG  log-step vector reductions + scalar allreduces (irregular)
+//	MG  six-face halos on the two finest levels + norm allreduce
+//	FT  one full transpose (all-to-all) + checksum allreduce
+//	BT  six-face coupled halos + pipelined sweep boundary traffic
+func Skeleton(bench string, class Class, procs int) (func(par.Comm), Counts) {
+	ct := BenchCounts(bench, class)
+	w := ct.PerRankWork(procs)
+	switch bench {
+	case "CG":
+		p := mustClass(CGClasses, class, "CG")
+		redBytes := 8 * float64(p.N) / math.Sqrt(float64(procs))
+		return func(c par.Comm) {
+			for it := 0; it < SkeletonIters; it++ {
+				c.Compute(w)
+				for inner := 0; inner < cgInnerIters; inner++ {
+					// Row/column partial-sum exchanges + dots.
+					par.AllreduceBytes(c, redBytes/float64(cgInnerIters)*2)
+					par.AllreduceBytes(c, 8)
+				}
+				par.AllreduceBytes(c, 8)
+			}
+		}, ct
+	case "MG":
+		p := mustClass(MGClasses, class, "MG")
+		px, py, pz := grid3(procs)
+		// Average face area of the local block on the finest level; the
+		// coarser levels add ~30% more traffic and many small messages.
+		lx := float64(p.N) / float64(px)
+		ly := float64(p.N) / float64(py)
+		lz := float64(p.N) / float64(pz)
+		face := 8 * (lx*ly + ly*lz + lx*lz) / 3
+		return func(c par.Comm) {
+			nbr := haloNeighbors(c.Rank(), px, py, pz)
+			for it := 0; it < SkeletonIters; it++ {
+				c.Compute(w)
+				// Finest level plus a half-size second level, twice per
+				// V-cycle (down and up), plus coarse-level small halos.
+				for l := 0; l < 2; l++ {
+					haloExchange(c, nbr, face*1.3, 700+8*l)
+					haloExchange(c, nbr, face*1.3/4, 760+8*l)
+				}
+				par.AllreduceBytes(c, 8)
+			}
+		}, ct
+	case "FT":
+		p := mustClass(FTClasses, class, "FT")
+		nt := float64(p.Nx) * float64(p.Ny) * float64(p.Nz)
+		perPair := 16 * nt / float64(procs) / float64(procs)
+		return func(c par.Comm) {
+			for it := 0; it < SkeletonIters; it++ {
+				c.Compute(w)
+				par.AlltoallBytes(c, perPair)
+				par.AllreduceBytes(c, 16)
+			}
+		}, ct
+	case "BT":
+		p := mustClass(BTClasses, class, "BT")
+		px, py, pz := grid3(procs)
+		lx := float64(p.N) / float64(px)
+		ly := float64(p.N) / float64(py)
+		lz := float64(p.N) / float64(pz)
+		face := 8 * 5 * (lx*ly + ly*lz + lx*lz) / 3
+		return func(c par.Comm) {
+			nbr := haloNeighbors(c.Rank(), px, py, pz)
+			for it := 0; it < SkeletonIters; it++ {
+				c.Compute(w)
+				// RHS halo plus three sweep-boundary exchanges.
+				haloExchange(c, nbr, face, 800)
+				for s := 0; s < 3; s++ {
+					haloExchange(c, nbr, face/2, 810+8*s)
+				}
+			}
+		}, ct
+	}
+	panic(fmt.Sprintf("npb: unknown benchmark %q", bench))
+}
+
+// OMPOpts returns the OpenMP model options matching a benchmark's counts.
+func ompOpts(ct Counts) (o omp.ModelOpts) {
+	o.SharedFraction = ct.SharedFraction
+	o.Regions = ct.Regions
+	return
+}
+
+// OMPOptsFor is the exported form used by experiment drivers.
+func OMPOptsFor(ct Counts) omp.ModelOpts { return ompOpts(ct) }

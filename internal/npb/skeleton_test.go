@@ -1,0 +1,104 @@
+package npb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"columbia/internal/machine"
+	"columbia/internal/par"
+	"columbia/internal/vmpi"
+)
+
+func TestGrid3Properties(t *testing.T) {
+	f := func(n uint16) bool {
+		p := int(n)%2048 + 1
+		px, py, pz := grid3(p)
+		if px*py*pz != p {
+			return false
+		}
+		// Near-cubic: ordered and the aspect is no worse than the
+		// trivial factorization.
+		return px >= py && py >= pz && pz >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	// Exact cubes factor perfectly.
+	for _, c := range []int{8, 64, 512} {
+		px, py, pz := grid3(c)
+		if px != py || py != pz {
+			t.Errorf("grid3(%d) = %d,%d,%d, want a cube", c, px, py, pz)
+		}
+	}
+}
+
+func TestHaloNeighborsSymmetric(t *testing.T) {
+	px, py, pz := 4, 3, 2
+	opp := [6]int{1, 0, 3, 2, 5, 4}
+	for r := 0; r < px*py*pz; r++ {
+		nbr := haloNeighbors(r, px, py, pz)
+		for d, n := range nbr {
+			if n < 0 {
+				continue
+			}
+			back := haloNeighbors(n, px, py, pz)[opp[d]]
+			if back != r {
+				t.Fatalf("rank %d dir %d -> %d, reverse gives %d", r, d, n, back)
+			}
+		}
+	}
+}
+
+func TestBenchCountsSane(t *testing.T) {
+	for _, bench := range Benchmarks {
+		for _, class := range []Class{ClassA, ClassB, ClassC} {
+			ct := BenchCounts(bench, class)
+			if ct.Flops <= 0 || ct.MemBytes <= 0 || ct.WorkSet <= 0 || ct.Iters <= 0 {
+				t.Errorf("%s class %c: non-positive counts %+v", bench, class, ct)
+			}
+		}
+		// Classes grow: C does strictly more work per iteration than A.
+		a := BenchCounts(bench, ClassA)
+		c := BenchCounts(bench, ClassC)
+		if !(c.Flops > a.Flops) {
+			t.Errorf("%s: class C flops (%g) should exceed class A (%g)", bench, c.Flops, a.Flops)
+		}
+	}
+}
+
+func TestSkeletonsRunOnBothEngines(t *testing.T) {
+	// The same pattern code must complete on the real engine (deadlock
+	// check with actual goroutines) and on the simulator.
+	for _, bench := range Benchmarks {
+		fn, _ := Skeleton(bench, ClassS, 4)
+		par.Run(4, fn)
+		res := vmpi.Run(vmpi.Config{
+			Cluster: machine.NewSingleNode(machine.AltixBX2b),
+			Procs:   4,
+		}, fn)
+		if !(res.Time > 0) {
+			t.Errorf("%s skeleton produced no virtual time", bench)
+		}
+		if res.MaxCompute <= 0 {
+			t.Errorf("%s skeleton charged no compute", bench)
+		}
+	}
+}
+
+func TestSkeletonCommScalesDown(t *testing.T) {
+	// Per-rank compute falls as ranks grow (strong scaling of the work
+	// charge), for every benchmark.
+	for _, bench := range Benchmarks {
+		run := func(p int) float64 {
+			fn, _ := Skeleton(bench, ClassB, p)
+			res := vmpi.Run(vmpi.Config{
+				Cluster: machine.NewSingleNode(machine.AltixBX2b),
+				Procs:   p,
+			}, fn)
+			return res.MaxCompute
+		}
+		if !(run(32) < run(4)) {
+			t.Errorf("%s: compute charge did not shrink from 4 to 32 ranks", bench)
+		}
+	}
+}

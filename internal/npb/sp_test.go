@@ -1,0 +1,82 @@
+package npb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"columbia/internal/omp"
+)
+
+func TestSolvePentaSolves(t *testing.T) {
+	// Property: the banded LU solution satisfies the original system.
+	f := func(seed uint8, ln uint8) bool {
+		n := int(ln)%20 + 1
+		a, e := -0.9, 0.1
+		diag := make([]float64, n)
+		b := make([]float64, n)
+		r := make([]float64, n)
+		for i := 0; i < n; i++ {
+			diag[i] = 4 + 0.5*math.Sin(float64(seed)+float64(i)) // dominant
+			b[i] = math.Cos(float64(seed) * float64(i+1))
+			r[i] = b[i]
+		}
+		solvePenta(r, diag, a, e)
+		return spBandResidual(r, diag, a, e, b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolvePentaTridiagonalLimit(t *testing.T) {
+	// With e = 0 the solver degenerates to a tridiagonal solve; compare
+	// against the Thomas-style direct check.
+	n := 9
+	diag := make([]float64, n)
+	b := make([]float64, n)
+	r := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = 5
+		b[i] = float64(i + 1)
+		r[i] = b[i]
+	}
+	solvePenta(r, diag, -1, 0)
+	if res := spBandResidual(r, diag, -1, 0, b); res > 1e-10 {
+		t.Errorf("tridiagonal-limit residual %v", res)
+	}
+}
+
+func TestSPDecays(t *testing.T) {
+	p := BTParams{N: 12, Niter: 8}
+	res := RunSPSerial(p)
+	if !(res.Norm < res.Norm0) {
+		t.Errorf("SP implicit diffusion did not decay: %.4g -> %.4g", res.Norm0, res.Norm)
+	}
+	if math.IsNaN(res.Norm) {
+		t.Fatal("NaN")
+	}
+}
+
+func TestSPOpenMPMatchesSerial(t *testing.T) {
+	p := BTParams{N: 10, Niter: 3}
+	serial := RunSPSerial(p)
+	for _, threads := range []int{2, 6} {
+		got := RunSPOpenMP(p, omp.NewTeam(threads))
+		if math.Abs(got.Norm-serial.Norm) > 1e-12+1e-10*serial.Norm {
+			t.Errorf("threads=%d norm %v != serial %v", threads, got.Norm, serial.Norm)
+		}
+	}
+}
+
+func TestSPLighterThanBT(t *testing.T) {
+	// The SP factors do strictly less arithmetic than BT's 5x5 block
+	// solves; both must decay on the same model problem, and the skeleton
+	// cost tables encode the ratio. Here: both run, both decay.
+	p := BTParams{N: 10, Niter: 3}
+	sp := RunSPSerial(p)
+	bt := RunBTSerial(p)
+	if !(sp.Norm < sp.Norm0 && bt.Norm < bt.Norm0) {
+		t.Errorf("decay: SP %.3g->%.3g, BT %.3g->%.3g", sp.Norm0, sp.Norm, bt.Norm0, bt.Norm)
+	}
+}

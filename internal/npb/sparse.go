@@ -1,0 +1,110 @@
+package npb
+
+import (
+	"math"
+	"sort"
+
+	"columbia/internal/rng"
+)
+
+// Sparse is a square sparse matrix in compressed-sparse-row form.
+type Sparse struct {
+	N        int
+	RowStart []int // length N+1
+	Col      []int
+	Val      []float64
+}
+
+// NNZ returns the stored nonzero count.
+func (m *Sparse) NNZ() int { return len(m.Val) }
+
+// MulVec computes dst = m·src for rows [lo, hi); pass 0, m.N for all rows.
+func (m *Sparse) MulVec(dst, src []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := 0.0
+		for k := m.RowStart[i]; k < m.RowStart[i+1]; k++ {
+			s += m.Val[k] * src[m.Col[k]]
+		}
+		dst[i] = s
+	}
+}
+
+// MakeCGMatrix builds the CG test matrix in the manner of NPB's makea: a
+// sum of sparse random rank-one updates with geometrically decaying weights
+// (condition control rcond = 0.1), followed by the diagonal shift
+// a_ii += rcond - shift. The matrix is symmetric and, because of the shift,
+// indefinite — NPB's CG runs a fixed 25 inner iterations on it regardless.
+// All randomness comes from the NPB randlc stream, so the matrix is
+// reproducible across engines and rank counts.
+func MakeCGMatrix(p CGParams) *Sparse {
+	const rcond = 0.1
+	n := p.N
+	s := rng.New(rng.DefaultSeed)
+	// ratio^(n-1) = rcond: geometric weight decay across rows.
+	ratio := math.Pow(rcond, 1.0/float64(n))
+
+	type entry struct {
+		col int
+		val float64
+	}
+	// Accumulate outer products into per-row maps.
+	rows := make([]map[int]float64, n)
+	for i := range rows {
+		rows[i] = make(map[int]float64, p.Nonzer*p.Nonzer/2+4)
+	}
+	size := 1.0
+	cols := make([]int, 0, p.Nonzer+1)
+	vals := make([]float64, 0, p.Nonzer+1)
+	for i := 0; i < n; i++ {
+		// Sparse random vector with Nonzer entries plus a guaranteed
+		// diagonal contribution of 0.5 (NPB's vecset).
+		cols = cols[:0]
+		vals = vals[:0]
+		seen := map[int]bool{i: true}
+		for len(cols) < p.Nonzer {
+			v := s.Next()
+			j := int(s.Next() * float64(n))
+			if j >= n || seen[j] {
+				continue
+			}
+			seen[j] = true
+			cols = append(cols, j)
+			vals = append(vals, v)
+		}
+		cols = append(cols, i)
+		vals = append(vals, 0.5)
+		// Rank-one update A += size · x xᵀ.
+		for a := range cols {
+			for b := range cols {
+				rows[cols[a]][cols[b]] += size * vals[a] * vals[b]
+			}
+		}
+		size *= ratio
+	}
+	// Diagonal: a_ii += rcond - shift.
+	for i := 0; i < n; i++ {
+		rows[i][i] += rcond - p.Shift
+	}
+	// Assemble CSR with sorted columns for determinism.
+	m := &Sparse{N: n, RowStart: make([]int, n+1)}
+	nnz := 0
+	for i := 0; i < n; i++ {
+		nnz += len(rows[i])
+	}
+	m.Col = make([]int, 0, nnz)
+	m.Val = make([]float64, 0, nnz)
+	ents := make([]entry, 0, 64)
+	for i := 0; i < n; i++ {
+		ents = ents[:0]
+		for c, v := range rows[i] {
+			ents = append(ents, entry{c, v})
+		}
+		sort.Slice(ents, func(a, b int) bool { return ents[a].col < ents[b].col })
+		for _, e := range ents {
+			m.Col = append(m.Col, e.col)
+			m.Val = append(m.Val, e.val)
+		}
+		m.RowStart[i+1] = len(m.Col)
+	}
+	return m
+}

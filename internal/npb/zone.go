@@ -1,0 +1,85 @@
+package npb
+
+import (
+	"columbia/internal/omp"
+)
+
+// Zone is one zone of a multi-zone benchmark: a BT solution field plus its
+// RHS buffer, steppable independently and coupled to neighbours by
+// exchanging boundary planes (package npbmz drives the coupling).
+type Zone struct {
+	f   *btField
+	rhs []float64
+}
+
+// NewZone returns an n³ zone initialized with the BT smooth profile.
+func NewZone(n int) *Zone {
+	f := newBTField(n)
+	f.initSmooth()
+	return &Zone{f: f, rhs: make([]float64, len(f.u))}
+}
+
+// N returns the zone's edge size.
+func (z *Zone) N() int { return z.f.n }
+
+// Norm returns the RMS of the zone's field.
+func (z *Zone) Norm() float64 { return z.f.Norm() }
+
+// Step advances the zone one BT time step using the team.
+func (z *Zone) Step(team *omp.Team) {
+	n := z.f.n
+	btComputeRHS(z.f, z.rhs, team, 0, n)
+	btSweepX(z.f, z.rhs, team, 0, n)
+	btSweepY(z.f, z.rhs, team, 0, n)
+	btSweepZ(z.f, z.rhs, team, 0, n)
+	team.ParallelFor(0, len(z.f.u), func(i int) { z.f.u[i] += z.rhs[i] })
+}
+
+// Plane extracts the solution on the plane where the given axis (0=i, 1=j,
+// 2=k) equals index: n²·5 values in row-major order of the two remaining
+// axes.
+func (z *Zone) Plane(axis, index int) []float64 {
+	n := z.f.n
+	out := make([]float64, n*n*btComp)
+	at := 0
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			base := z.planeIdx(axis, index, a, b)
+			for c := 0; c < btComp; c++ {
+				out[at] = z.f.u[base+c]
+				at++
+			}
+		}
+	}
+	return out
+}
+
+// SetPlane overwrites the plane (same layout as Plane returns).
+func (z *Zone) SetPlane(axis, index int, vals []float64) {
+	n := z.f.n
+	at := 0
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			base := z.planeIdx(axis, index, a, b)
+			for c := 0; c < btComp; c++ {
+				z.f.u[base+c] = vals[at]
+				at++
+			}
+		}
+	}
+}
+
+func (z *Zone) planeIdx(axis, index, a, b int) int {
+	switch axis {
+	case 0:
+		return z.f.idx(index, a, b)
+	case 1:
+		return z.f.idx(a, index, b)
+	default:
+		return z.f.idx(a, b, index)
+	}
+}
+
+// ZoneComponents exposes the per-point variable count (5) for byte
+// accounting in the multi-zone drivers.
+const ZoneComponents = btComp

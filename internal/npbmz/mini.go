@@ -1,0 +1,181 @@
+package npbmz
+
+import (
+	"fmt"
+	"sort"
+
+	"columbia/internal/npb"
+	"columbia/internal/omp"
+	"columbia/internal/par"
+)
+
+// The "mini" multi-zone solver: real BT zones (cubic, size n) in an xz×yz
+// array, coupled each step by overwriting every zone's boundary planes with
+// its neighbours' adjacent interior planes — the NPB-MZ exchange pattern.
+// It exists to validate the coupling and distribution logic: the serial and
+// MPI runs must produce identical per-zone field norms.
+
+// miniExchange computes, for each zone, the ghost planes it should receive
+// this step. Phase one gathers all outgoing planes from the pre-step state;
+// phase two applies them, so the update order is immaterial.
+func miniPlaneFor(z *npb.Zone, side int) []float64 {
+	n := z.N()
+	switch side {
+	case 0: // to west neighbour: my interior plane near x=0
+		return z.Plane(0, 1)
+	case 1: // to east neighbour
+		return z.Plane(0, n-2)
+	case 2: // to south neighbour
+		return z.Plane(1, 1)
+	default: // to north neighbour
+		return z.Plane(1, n-2)
+	}
+}
+
+func miniApply(z *npb.Zone, side int, vals []float64) {
+	n := z.N()
+	switch side {
+	case 0: // from west neighbour: my x=0 boundary
+		z.SetPlane(0, 0, vals)
+	case 1:
+		z.SetPlane(0, n-1, vals)
+	case 2:
+		z.SetPlane(1, 0, vals)
+	default:
+		z.SetPlane(1, n-1, vals)
+	}
+}
+
+// oppositeSide pairs exchange directions: west<->east, south<->north.
+var oppositeSide = [4]int{1, 0, 3, 2}
+
+// ghost is one boundary plane destined for (zone, side). Corner points are
+// written by both an x-plane and a y-plane ghost, so applies happen in
+// sorted (zone, side) order to keep serial and distributed runs bitwise
+// identical.
+type ghost struct {
+	zone, side int
+	vals       []float64
+}
+
+func applyGhosts(ghosts []ghost, get func(int) *npb.Zone) {
+	sort.Slice(ghosts, func(a, b int) bool {
+		if ghosts[a].zone != ghosts[b].zone {
+			return ghosts[a].zone < ghosts[b].zone
+		}
+		return ghosts[a].side < ghosts[b].side
+	})
+	for _, g := range ghosts {
+		miniApply(get(g.zone), g.side, g.vals)
+	}
+}
+
+// RunMiniSerial runs the coupled multi-zone solve on one process and
+// returns the per-zone field norms after `steps` steps.
+func RunMiniSerial(p Params, n, steps, threads int) []float64 {
+	zones := make([]*npb.Zone, p.Zones())
+	for i := range zones {
+		zones[i] = npb.NewZone(n)
+	}
+	team := omp.NewTeam(threads)
+	for s := 0; s < steps; s++ {
+		// Gather all outgoing planes from the pre-step state.
+		var ghosts []ghost
+		for id := range zones {
+			for side, nb := range Neighbors(p, id) {
+				if nb < 0 {
+					continue
+				}
+				// Neighbour nb sends me its plane facing my side.
+				ghosts = append(ghosts, ghost{id, side, miniPlaneFor(zones[nb], oppositeSide[side])})
+			}
+		}
+		applyGhosts(ghosts, func(id int) *npb.Zone { return zones[id] })
+		for _, z := range zones {
+			z.Step(team)
+		}
+	}
+	norms := make([]float64, len(zones))
+	for i, z := range zones {
+		norms[i] = z.Norm()
+	}
+	return norms
+}
+
+// RunMiniMPI runs the same coupled solve with zones bin-packed over the
+// communicator's ranks; boundary planes cross ranks as messages. Every
+// rank returns the full per-zone norm vector (allgathered), identical to
+// the serial result.
+func RunMiniMPI(c par.Comm, p Params, n, steps, threads int) []float64 {
+	zoneDefs := Decompose(p, false)
+	assign, _ := Balance(zoneDefs, c.Size())
+	team := omp.NewTeam(threads)
+	mine := make(map[int]*npb.Zone)
+	for id, owner := range assign {
+		if owner == c.Rank() {
+			mine[id] = npb.NewZone(n)
+		}
+	}
+	tag := func(zone, side int) int { return zone*8 + side }
+	for s := 0; s < steps; s++ {
+		// Send planes to remote neighbours; collect local ghosts.
+		var ghosts []ghost
+		for _, z := range sortedZones(mine) {
+			for side, nb := range Neighbors(p, z.id) {
+				if nb < 0 {
+					continue
+				}
+				out := miniPlaneFor(z.z, side)
+				if assign[nb] == c.Rank() {
+					// Local neighbour: deliver directly (nb receives on
+					// its opposite side).
+					ghosts = append(ghosts, ghost{nb, oppositeSide[side], out})
+				} else {
+					c.Send(assign[nb], tag(z.id, side), out)
+				}
+			}
+		}
+		// Receive remote ghosts.
+		for _, z := range sortedZones(mine) {
+			for side, nb := range Neighbors(p, z.id) {
+				if nb < 0 || assign[nb] == c.Rank() {
+					continue
+				}
+				vals := c.Recv(assign[nb], tag(nb, oppositeSide[side]))
+				ghosts = append(ghosts, ghost{z.id, side, vals})
+			}
+		}
+		applyGhosts(ghosts, func(id int) *npb.Zone { return mine[id] })
+		for _, z := range sortedZones(mine) {
+			z.z.Step(team)
+		}
+	}
+	// Allgather per-zone norms: each rank contributes its zones.
+	local := make([]float64, len(zoneDefs))
+	for id, z := range mine {
+		local[id] = z.Norm()
+	}
+	return par.AllreduceSum(c, local)
+}
+
+type ownedZone struct {
+	id int
+	z  *npb.Zone
+}
+
+// sortedZones iterates a rank's zones in ascending id order (map order is
+// random; message matching must be deterministic).
+func sortedZones(m map[int]*npb.Zone) []ownedZone {
+	out := make([]ownedZone, 0, len(m))
+	for id, z := range m {
+		out = append(out, ownedZone{id, z})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].id > out[j].id; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+func (z ownedZone) String() string { return fmt.Sprintf("zone%d", z.id) }

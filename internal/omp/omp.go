@@ -1,0 +1,233 @@
+// Package omp provides the OpenMP-like shared-memory layer: a real fork-join
+// team of goroutines used by the numerical kernels, and a NUMA cost model for
+// OpenMP parallel regions on Altix nodes used by the virtual-time engine.
+//
+// The cost model captures the three effects the paper attributes to OpenMP
+// scaling behaviour (Figs. 6, 7, 9):
+//
+//   - per-thread memory bandwidth limited by the shared front-side bus;
+//   - coherent remote references served across the NUMAlink fat-tree, where
+//     the BX2's double-density packaging and NUMAlink4 halve the effective
+//     distance (this is what makes OpenMP FT/BT up to 2x faster on BX2 at
+//     128 threads);
+//   - fork-join region overhead, which punishes codes with many small
+//     regions (BT-MZ per-zone loops, Fig. 9) and unpinned thread teams.
+package omp
+
+import (
+	"math"
+	"sync"
+
+	"columbia/internal/machine"
+	"columbia/internal/pinning"
+)
+
+// Team is a real fork-join thread team for the numerical kernels.
+type Team struct {
+	n int
+}
+
+// NewTeam returns a team of n threads (goroutines per region).
+func NewTeam(n int) *Team {
+	if n < 1 {
+		n = 1
+	}
+	return &Team{n: n}
+}
+
+// N returns the team size.
+func (t *Team) N() int { return t.n }
+
+// ParallelFor executes body(i) for i in [lo, hi) with a static schedule:
+// thread k gets the k-th contiguous chunk, as an OpenMP "schedule(static)".
+func (t *Team) ParallelFor(lo, hi int, body func(i int)) {
+	t.ParallelRange(lo, hi, func(a, b, _ int) {
+		for i := a; i < b; i++ {
+			body(i)
+		}
+	})
+}
+
+// ParallelRange splits [lo, hi) into one contiguous chunk per thread and
+// calls body(chunkLo, chunkHi, tid) concurrently.
+func (t *Team) ParallelRange(lo, hi int, body func(lo, hi, tid int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if t.n == 1 {
+		body(lo, hi, 0)
+		return
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < t.n; k++ {
+		a := lo + k*n/t.n
+		b := lo + (k+1)*n/t.n
+		if a >= b {
+			continue
+		}
+		wg.Add(1)
+		go func(a, b, tid int) {
+			defer wg.Done()
+			body(a, b, tid)
+		}(a, b, k)
+	}
+	wg.Wait()
+}
+
+// ParallelReduce evaluates term(i) for i in [lo, hi) concurrently and
+// returns the sum, accumulating per-thread partials to keep the result
+// deterministic for a fixed team size.
+func (t *Team) ParallelReduce(lo, hi int, term func(i int) float64) float64 {
+	partial := make([]float64, t.n)
+	t.ParallelRange(lo, hi, func(a, b, tid int) {
+		s := 0.0
+		for i := a; i < b; i++ {
+			s += term(i)
+		}
+		partial[tid] = s
+	})
+	sum := 0.0
+	for _, s := range partial {
+		sum += s
+	}
+	return sum
+}
+
+// Model calibration constants. [calibrated]
+const (
+	// regionBase and regionPerLog2 give the fork-join cost of one
+	// parallel region: base plus a term per doubling of the team.
+	regionBase    = 1.6e-6
+	regionPerLog2 = 0.5e-6
+	// unpinnedRegionFactor inflates region cost when threads migrate.
+	unpinnedRegionFactor = 2.2
+	// remoteLineBW is the per-thread throughput of coherent remote
+	// references at one microsecond round-trip; actual throughput is
+	// remoteLineBW / (latency in µs), so fabrics with fewer/faster hops
+	// serve shared data proportionally faster.
+	remoteLineBW = 1.15e9
+)
+
+// RegionOverhead returns the fork-join cost in seconds of one parallel
+// region on a team of n threads.
+func RegionOverhead(n int, method pinning.Method) float64 {
+	if n <= 1 {
+		return 0
+	}
+	t := regionBase + regionPerLog2*math.Log2(float64(n))
+	if !method.Pinned() {
+		t *= unpinnedRegionFactor
+	}
+	return t
+}
+
+// ModelOpts tunes the cost model for a particular code.
+type ModelOpts struct {
+	// SharedFraction is the fraction of the region's memory traffic that
+	// references data first-touched by other threads and therefore moves
+	// across NUMAlink rather than the local bus. CFD sweeps with halo
+	// reuse sit near 0.3; embarrassingly local loops near 0.05.
+	SharedFraction float64
+	// Method is the pinning policy in force.
+	Method pinning.Method
+	// Regions is how many fork-join regions the work is split over
+	// (default 1). Many small regions expose the fork-join overhead.
+	Regions int
+	// SerialFraction is the Amdahl fraction of the work that only the
+	// master thread executes (loop startup, pipelined sweep fill/drain,
+	// boundary bookkeeping). BT-MZ's per-zone solves sit near 0.08,
+	// which is what limits its OpenMP scaling in Fig. 9.
+	SerialFraction float64
+	// MaxUseful caps exploitable parallelism (e.g. a zone with 28
+	// k-planes cannot keep 64 threads busy). 0 means unlimited.
+	MaxUseful int
+	// SharedWorkingSet marks the reuse set as shared by the team (zone
+	// solver state touched by every thread) rather than partitioned, so
+	// adding threads does not improve cache residency.
+	SharedWorkingSet bool
+}
+
+// ModelTime returns the modelled execution time of work w spread over the
+// thread slots of placement p (one slot per OpenMP thread). totalCPUs is
+// the whole job's CPU count (== p.N() for a pure OpenMP run; larger for one
+// rank of a hybrid job), which sets the reach of unpinned page migration.
+func ModelTime(p *machine.Placement, w machine.Work, o ModelOpts, totalCPUs int) float64 {
+	n := p.N()
+	if n == 0 {
+		return 0
+	}
+	if totalCPUs < n {
+		totalCPUs = n
+	}
+	regions := o.Regions
+	if regions < 1 {
+		regions = 1
+	}
+	cluster := p.Cluster()
+	// Exploitable parallel width.
+	useful := n
+	if o.MaxUseful > 0 && useful > o.MaxUseful {
+		useful = o.MaxUseful
+	}
+	// Per-thread slice of the work. The working set divides too: each
+	// thread re-touches only its own chunk.
+	perWS := w.WorkingSet / float64(useful)
+	if o.SharedWorkingSet {
+		perWS = w.WorkingSet
+	}
+	per := machine.Work{
+		Flops:      w.Flops * (1 - o.SerialFraction) / float64(useful),
+		MemBytes:   w.MemBytes * (1 - o.SharedFraction) * (1 - o.SerialFraction) / float64(useful),
+		WorkingSet: perWS,
+		Efficiency: w.Efficiency,
+	}
+	tLocal := 0.0
+	for i := 0; i < n; i++ {
+		t := p.ComputeTime(i, per)
+		if t > tLocal {
+			tLocal = t
+		}
+	}
+	// Remote (coherent) traffic: served at a latency-bound rate set by
+	// the average fat-tree distance across the team's span. This is the
+	// term the BX2 improves on: fewer racks spanned and faster hops.
+	tRemote := 0.0
+	if o.SharedFraction > 0 && n > 1 {
+		first, last := p.Loc(0), p.Loc(n-1)
+		lat := 1e-6
+		if first.Node == last.Node {
+			spec := cluster.Spec(first)
+			lat = spec.BaseLatency + float64(cluster.Hops(first, last))*spec.HopLatency
+		} else {
+			lat = machine.NL4InternodeLatency + 2e-6
+		}
+		spec0 := cluster.Spec(first)
+		// The fabric-quality penalty phases in as the team outgrows one
+		// C-brick and starts pulling shared lines across routers; within
+		// a brick the SHUB serves both node types alike.
+		frac := 0.0
+		if n > spec0.CPUsPerBrick {
+			frac = float64(n-spec0.CPUsPerBrick) / float64(128-spec0.CPUsPerBrick)
+			if frac > 1 {
+				frac = 1
+			}
+		}
+		fabric := 1 - (1-spec0.IntraFabricBW/82e9)*frac // BX2 fabric = 1.0 [calibrated]
+		perThreadRemoteBW := remoteLineBW / (lat / 1e-6) * fabric
+		tRemote = w.MemBytes * o.SharedFraction / float64(n) / perThreadRemoteBW
+	}
+	// Serial (master-only) portion at single-thread speed.
+	tSerial := 0.0
+	if o.SerialFraction > 0 {
+		whole := machine.Work{
+			Flops:      w.Flops * o.SerialFraction,
+			MemBytes:   w.MemBytes * o.SerialFraction,
+			WorkingSet: perWS,
+			Efficiency: w.Efficiency,
+		}
+		tSerial = p.ComputeTime(0, whole)
+	}
+	penalty := pinning.MemPenalty(o.Method, n, totalCPUs)
+	return (tSerial+tLocal+tRemote)*penalty + float64(regions)*RegionOverhead(n, o.Method)
+}

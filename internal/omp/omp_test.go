@@ -1,0 +1,130 @@
+package omp
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"columbia/internal/machine"
+	"columbia/internal/pinning"
+)
+
+func TestParallelForCoversRange(t *testing.T) {
+	f := func(nt uint8, span uint8) bool {
+		team := NewTeam(int(nt)%9 + 1)
+		n := int(span) + 1
+		var hits int64
+		seen := make([]int32, n)
+		team.ParallelFor(0, n, func(i int) {
+			atomic.AddInt64(&hits, 1)
+			atomic.AddInt32(&seen[i], 1)
+		})
+		if hits != int64(n) {
+			return false
+		}
+		for _, s := range seen {
+			if s != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelReduceDeterministic(t *testing.T) {
+	team := NewTeam(5)
+	term := func(i int) float64 { return math.Sin(float64(i)) }
+	a := team.ParallelReduce(0, 1000, term)
+	b := team.ParallelReduce(0, 1000, term)
+	if a != b {
+		t.Errorf("reduce not deterministic: %v vs %v", a, b)
+	}
+	serial := 0.0
+	for i := 0; i < 1000; i++ {
+		serial += term(i)
+	}
+	if math.Abs(a-serial) > 1e-9 {
+		t.Errorf("reduce %v vs serial %v", a, serial)
+	}
+}
+
+func TestRegionOverheadGrows(t *testing.T) {
+	if RegionOverhead(1, pinning.Dplace) != 0 {
+		t.Error("single thread region should be free")
+	}
+	if !(RegionOverhead(64, pinning.Dplace) > RegionOverhead(4, pinning.Dplace)) {
+		t.Error("overhead must grow with team size")
+	}
+	if !(RegionOverhead(8, pinning.None) > RegionOverhead(8, pinning.Dplace)) {
+		t.Error("unpinned regions cost more")
+	}
+}
+
+func modelOn(nt machine.NodeType, threads int, o ModelOpts, w machine.Work) float64 {
+	cl := machine.NewSingleNode(nt)
+	p := machine.Dense(cl, threads)
+	return ModelTime(p, w, o, threads)
+}
+
+func TestModelTimeShapes(t *testing.T) {
+	w := machine.Work{Flops: 1e11, MemBytes: 4e10, WorkingSet: 4e8, Efficiency: 0.25}
+	o := ModelOpts{SharedFraction: 0.4}
+	t4 := modelOn(machine.AltixBX2b, 4, o, w)
+	t64 := modelOn(machine.AltixBX2b, 64, o, w)
+	if !(t64 < t4) {
+		t.Errorf("more threads should be faster: %v vs %v", t64, t4)
+	}
+	// The 3700 falls behind the BX2 at high thread counts (remote
+	// traffic over the weaker fabric) by a growing margin.
+	gap128 := modelOn(machine.Altix3700, 128, o, w) / modelOn(machine.AltixBX2b, 128, o, w)
+	gap4 := modelOn(machine.Altix3700, 4, o, w) / modelOn(machine.AltixBX2b, 4, o, w)
+	if !(gap128 > gap4) || gap128 < 1.5 {
+		t.Errorf("fabric gap: %0.2f at 4 threads, %0.2f at 128; want growth to ~2x", gap4, gap128)
+	}
+}
+
+func TestModelSerialFractionLimits(t *testing.T) {
+	w := machine.Work{Flops: 1e11, Efficiency: 0.25}
+	capped := ModelOpts{SerialFraction: 0.3}
+	t1 := modelOn(machine.AltixBX2b, 1, capped, w)
+	t32 := modelOn(machine.AltixBX2b, 32, capped, w)
+	speedup := t1 / t32
+	if speedup > 1/0.3+0.5 {
+		t.Errorf("speedup %v exceeds the Amdahl bound %v", speedup, 1/0.3)
+	}
+	// MaxUseful caps gains.
+	lim := ModelOpts{MaxUseful: 8}
+	t8 := modelOn(machine.AltixBX2b, 8, lim, w)
+	t64 := modelOn(machine.AltixBX2b, 64, lim, w)
+	if t64 < t8*0.95 {
+		t.Errorf("threads beyond MaxUseful should not help: %v vs %v", t64, t8)
+	}
+}
+
+func TestPinningPenaltyShape(t *testing.T) {
+	// Fig. 7: pure process mode barely affected; penalty grows with both
+	// threads and total CPUs.
+	if p := pinning.MemPenalty(pinning.None, 1, 256); p > 1.1 {
+		t.Errorf("process-mode penalty %v too large", p)
+	}
+	p64 := pinning.MemPenalty(pinning.None, 8, 64)
+	p256 := pinning.MemPenalty(pinning.None, 8, 256)
+	if !(p256 > p64) || !(p64 > 1.3) {
+		t.Errorf("penalties %v (64 CPUs) and %v (256): want growth", p64, p256)
+	}
+	if pinning.MemPenalty(pinning.Dplace, 32, 512) != 1 {
+		t.Error("pinned runs pay no penalty")
+	}
+	for _, m := range []pinning.Method{pinning.Dplace, pinning.EnvVars, pinning.Syscalls} {
+		if !m.Pinned() {
+			t.Errorf("%v should count as pinned", m)
+		}
+	}
+	if pinning.None.Pinned() {
+		t.Error("None is not pinned")
+	}
+}

@@ -1,0 +1,276 @@
+// Package overflow reproduces the paper's OVERFLOW-D workload (§3.5): the
+// compressible Navier–Stokes production code on overset grids, with a
+// time-loop over steps, a group-loop over bin-packed grid groups (one MPI
+// process each), a grid-loop inside each group, asynchronous inter-group
+// boundary exchange, and the LU-SGS linear solver reimplemented with a
+// pipelined (wavefront) algorithm for cache-based superscalar machines.
+//
+// Two layers:
+//
+//   - a real miniature LU-SGS solver: forward/backward Gauss–Seidel sweeps
+//     over i+j+k hyperplanes, parallelized by the wavefront pipeline, with
+//     a sharp oracle (the sweeps solve a diagonally dominant system whose
+//     residual must contract) and thread-count invariance;
+//   - performance models for Table 3 (3700 vs BX2b per-step comm/exec
+//     times on the 75 M-point, 1679-block rotor grid) and Table 6
+//     (multinode NUMAlink4 vs InfiniBand), built from the overset grouping
+//     loads and the machine/network models.
+package overflow
+
+import (
+	"math"
+
+	"columbia/internal/machine"
+	"columbia/internal/netmodel"
+	"columbia/internal/omp"
+	"columbia/internal/overset"
+)
+
+// --- Real miniature LU-SGS ---
+
+// MiniLUSGS holds a small 3-D scalar model problem: (D − L − U)x = b with
+// the standard LU-SGS splitting; sweeps traverse hyperplanes of constant
+// i+j+k so points within a plane are independent — the pipeline
+// parallelization the paper says was added for Columbia.
+type MiniLUSGS struct {
+	N    int
+	X, B []float64
+}
+
+// NewMiniLUSGS builds an N³ problem with a deterministic RHS.
+func NewMiniLUSGS(n int) *MiniLUSGS {
+	m := &MiniLUSGS{N: n, X: make([]float64, n*n*n), B: make([]float64, n*n*n)}
+	for i := range m.B {
+		m.B[i] = math.Sin(0.37 * float64(i))
+	}
+	return m
+}
+
+func (m *MiniLUSGS) at(i, j, k int) int { return (i*m.N+j)*m.N + k }
+
+// coefficient structure: diagonal 6.5, six off-diagonals -1 (diagonally
+// dominant => SGS converges).
+const (
+	lusgsDiag = 6.5
+	lusgsOff  = -1.0
+)
+
+// Residual returns ||b − A·x||₂.
+func (m *MiniLUSGS) Residual() float64 {
+	n := m.N
+	s := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				ax := lusgsDiag * m.X[m.at(i, j, k)]
+				for _, d := range [6][3]int{{-1, 0, 0}, {1, 0, 0}, {0, -1, 0}, {0, 1, 0}, {0, 0, -1}, {0, 0, 1}} {
+					ii, jj, kk := i+d[0], j+d[1], k+d[2]
+					if ii < 0 || ii >= n || jj < 0 || jj >= n || kk < 0 || kk >= n {
+						continue
+					}
+					ax += lusgsOff * m.X[m.at(ii, jj, kk)]
+				}
+				r := m.B[m.at(i, j, k)] - ax
+				s += r * r
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// Sweep performs one symmetric LU-SGS iteration (forward then backward
+// wavefront) with the team pipelining each hyperplane. Within a hyperplane
+// all updates are independent, so the result is thread-count invariant.
+func (m *MiniLUSGS) Sweep(team *omp.Team) {
+	n := m.N
+	update := func(i, j, k int) {
+		s := m.B[m.at(i, j, k)]
+		for _, d := range [6][3]int{{-1, 0, 0}, {1, 0, 0}, {0, -1, 0}, {0, 1, 0}, {0, 0, -1}, {0, 0, 1}} {
+			ii, jj, kk := i+d[0], j+d[1], k+d[2]
+			if ii < 0 || ii >= n || jj < 0 || jj >= n || kk < 0 || kk >= n {
+				continue
+			}
+			s -= lusgsOff * m.X[m.at(ii, jj, kk)]
+		}
+		m.X[m.at(i, j, k)] = s / lusgsDiag
+	}
+	plane := func(sum int) [][3]int {
+		var pts [][3]int
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				k := sum - i - j
+				if k >= 0 && k < n {
+					pts = append(pts, [3]int{i, j, k})
+				}
+			}
+		}
+		return pts
+	}
+	for sum := 0; sum <= 3*(n-1); sum++ {
+		pts := plane(sum)
+		team.ParallelFor(0, len(pts), func(p int) {
+			update(pts[p][0], pts[p][1], pts[p][2])
+		})
+	}
+	for sum := 3 * (n - 1); sum >= 0; sum-- {
+		pts := plane(sum)
+		team.ParallelFor(0, len(pts), func(p int) {
+			update(pts[p][0], pts[p][1], pts[p][2])
+		})
+	}
+}
+
+// --- Performance models (Tables 3, 4, 6) ---
+
+// Rotor workload constants. [calibrated]
+const (
+	// flopsPerPointStep and memPerPointStep aggregate the RHS, the
+	// pipelined LU-SGS sweeps and the update of one time step.
+	flopsPerPointStep = 3000
+	memPerPointStep   = 13500
+	// sweepWorkingSet is the per-CPU reuse set of the pipelined solver
+	// (hyperplane buffers): resident in the BX2b's 9 MB L3, spilling the
+	// 6 MB caches — the computation-time gap of Table 3. [calibrated]
+	sweepWorkingSet = 8.3e6
+	// commLatencyMsgs is the per-group message count of one step's
+	// asynchronous boundary exchange (the all-to-all-flavoured pattern
+	// noted in §4.1.4).
+	commLatencyMsgs = 48
+	// interpOverhead multiplies the raw boundary byte volume to account
+	// for donor interpolation gather/scatter, fringe packing and MPI
+	// progression — the per-point cost of the overset exchange far
+	// exceeds a straight memcpy. [calibrated]
+	interpOverhead = 18
+)
+
+// Model predicts OVERFLOW-D per-step times.
+type Model struct {
+	Sys *overset.System
+	// groupCache avoids re-packing for repeated queries.
+	groupCache map[int]*overset.Grouping
+}
+
+// NewModel builds the model over the synthetic rotor-wake grid.
+func NewModel() *Model {
+	return &Model{Sys: overset.RotorWake(), groupCache: map[int]*overset.Grouping{}}
+}
+
+// Grouping returns (and caches) the block-to-process assignment at procs.
+func (m *Model) Grouping(procs int) *overset.Grouping { return m.grouping(procs) }
+
+func (m *Model) grouping(procs int) *overset.Grouping {
+	if g, ok := m.groupCache[procs]; ok {
+		return g
+	}
+	g := overset.GroupBlocks(m.Sys, procs)
+	m.groupCache[procs] = g
+	return g
+}
+
+// StepTime holds one configuration's predicted per-step times in seconds.
+type StepTime struct {
+	Comm float64
+	Exec float64 // total execution (communication + computation)
+}
+
+// PerStep returns the modelled per-time-step communication and execution
+// times with `procs` MPI processes on a single node of the given type.
+func (m *Model) PerStep(node machine.NodeType, procs int) StepTime {
+	cl := machine.NewSingleNode(node)
+	return m.perStep(cl, procs, 1)
+}
+
+// PerStepMultinode returns per-step times with the job spread over `nodes`
+// boxes of the BX2b quad joined by the given fabric.
+func (m *Model) PerStepMultinode(fabric machine.Interconnect, procs, nodes int) StepTime {
+	var cl *machine.Cluster
+	if fabric == machine.NUMAlink4 {
+		cl = machine.NewBX2bQuad()
+	} else {
+		cl = machine.NewBX2bQuadIB()
+	}
+	return m.perStep(cl, procs, nodes)
+}
+
+func (m *Model) perStep(cl *machine.Cluster, procs, nodes int) StepTime {
+	g := m.grouping(procs)
+	spec := cl.Nodes[0].Spec
+
+	// Computation: the heaviest group's points at the per-point cost.
+	perPoint := machine.Work{
+		Flops:      flopsPerPointStep,
+		MemBytes:   memPerPointStep,
+		WorkingSet: sweepWorkingSet,
+		Efficiency: 0.25,
+	}
+	busShare := 1
+	if procs > spec.CPUs/2*nodes {
+		busShare = 2
+	}
+	tPoint := cl.ComputeTime(perPoint, machine.Loc{Node: 0, CPU: 0}, busShare)
+	compute := g.MaxLoad() * tPoint
+
+	// Communication: each group's share of the inter-group boundary plus
+	// the latency of its many small asynchronous messages, paid against
+	// the fabric in use. Within a box, messages ride NUMAlink; across
+	// boxes a `1/nodes` share of traffic crosses the internode fabric.
+	net := netmodel.New(cl)
+	totalBytes := g.InterGroupBoundary(5)
+	perGroup := totalBytes / float64(procs) * 2 // send + receive
+	a := machine.Loc{Node: 0, CPU: 0}
+	b := machine.Loc{Node: 0, CPU: spec.CPUs - 1}
+	intraLat := net.Latency(a, b)
+	intraBW := net.Bandwidth(a, b)
+	// Pure communication phase: boundary exchange with interpolation
+	// overhead plus per-message latencies. This is on every rank's
+	// critical path.
+	pure := perGroup*interpOverhead/intraBW + commLatencyMsgs*intraLat
+	if nodes > 1 {
+		remote := machine.Loc{Node: 1, CPU: 0}
+		crossFrac := float64(nodes-1) / float64(nodes)
+		crossBytes := perGroup * crossFrac
+		// The box's internode capacity is shared by all its groups.
+		capShare := net.InternodeCapacity(0) / float64(procs/nodes)
+		bw := net.Bandwidth(a, remote)
+		if capShare < bw {
+			bw = capShare
+		}
+		crossTime := crossBytes/bw + 0.3*commLatencyMsgs*net.Latency(a, remote)
+		// The asynchronous exchange overlaps most of the internode
+		// transfer with computation; only the unoverlapped tail extends
+		// the step. Over InfiniBand the MPI progress engine hides the
+		// transfer inside compute-phase polling, so the *instrumented*
+		// communication time is smaller even though the step is longer —
+		// the Table 6 inversion the paper remarks on.
+		const exposure = 0.35
+		if cl.Fabric == machine.InfiniBand {
+			pure += 0.3 * exposure * crossTime
+			compute += 0.7 * exposure * crossTime
+		} else {
+			pure += exposure * crossTime
+		}
+	}
+	// Reported numbers: execution time is the heaviest rank's step
+	// (compute plus the exchange phase); communication time is the
+	// lighter ranks' view — the exchange phase plus the time they idle
+	// in it waiting for the heaviest group.
+	avgLoad := g.MaxLoad() / g.Imbalance()
+	wait := (g.MaxLoad() - avgLoad) * tPoint
+	return StepTime{Comm: pure + wait, Exec: compute + pure}
+}
+
+// Efficiency returns the parallel efficiency at procs relative to a
+// baseline run at basep processes (the paper quotes efficiencies for 128,
+// 256 and 508 CPUs).
+func (m *Model) Efficiency(node machine.NodeType, basep, procs int) float64 {
+	tb := m.PerStep(node, basep).Exec
+	tp := m.PerStep(node, procs).Exec
+	return tb * float64(basep) / (tp * float64(procs))
+}
+
+// NewModelLarge builds the model over the larger rotor system the paper
+// planned for its final version; with ~2.4x the blocks, the bin-packing
+// balances much further and the 508-CPU flattening recedes.
+func NewModelLarge() *Model {
+	return &Model{Sys: overset.RotorWakeLarge(), groupCache: map[int]*overset.Grouping{}}
+}

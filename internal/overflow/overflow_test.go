@@ -1,0 +1,132 @@
+package overflow
+
+import (
+	"math"
+	"testing"
+
+	"columbia/internal/machine"
+	"columbia/internal/omp"
+)
+
+func TestLUSGSConverges(t *testing.T) {
+	m := NewMiniLUSGS(10)
+	team := omp.NewTeam(1)
+	r0 := m.Residual()
+	for s := 0; s < 8; s++ {
+		m.Sweep(team)
+	}
+	r1 := m.Residual()
+	if !(r1 < r0/1e3) {
+		t.Errorf("LU-SGS residual %.3g -> %.3g; expected strong contraction", r0, r1)
+	}
+}
+
+func TestLUSGSPipelineInvariance(t *testing.T) {
+	a := NewMiniLUSGS(8)
+	b := NewMiniLUSGS(8)
+	a.Sweep(omp.NewTeam(1))
+	a.Sweep(omp.NewTeam(1))
+	b.Sweep(omp.NewTeam(6))
+	b.Sweep(omp.NewTeam(6))
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			t.Fatalf("wavefront pipeline changed the answer at %d: %g vs %g", i, a.X[i], b.X[i])
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	m := NewModel()
+	// BX2b runs roughly 2x faster than the 3700 on average; more than 3x
+	// at 508 CPUs.
+	var ratios []float64
+	for _, p := range []int{64, 128, 256, 508} {
+		r := m.PerStep(machine.Altix3700, p).Exec / m.PerStep(machine.AltixBX2b, p).Exec
+		ratios = append(ratios, r)
+	}
+	avg := 0.0
+	for _, r := range ratios {
+		avg += r
+	}
+	avg /= float64(len(ratios))
+	if avg < 1.5 || avg > 3.0 {
+		t.Errorf("average BX2b advantage %.2f, want ~2", avg)
+	}
+	if last := ratios[len(ratios)-1]; last < avg-0.05 {
+		t.Errorf("BX2b advantage at 508 (%.2f) should be at least the average (%.2f)", last, avg)
+	}
+	// Communication-to-execution ratio on the 3700 grows from ~0.3 at 256
+	// to >0.5 at 508 (insufficient work per processor).
+	r256 := m.PerStep(machine.Altix3700, 256)
+	r508 := m.PerStep(machine.Altix3700, 508)
+	c256 := r256.Comm / r256.Exec
+	c508 := r508.Comm / r508.Exec
+	if c256 < 0.15 || c256 > 0.45 {
+		t.Errorf("comm/exec at 256 = %.2f, want ~0.3", c256)
+	}
+	if c508 <= c256 || c508 < 0.5 {
+		t.Errorf("comm/exec at 508 = %.2f, want > 0.5 and above the 256 ratio %.2f", c508, c256)
+	}
+	// Communication time drops by more than ~half on the BX2b.
+	cb := m.PerStep(machine.AltixBX2b, 256).Comm
+	if cb > 0.7*r256.Comm {
+		t.Errorf("BX2b comm %.4g vs 3700 %.4g: want a large reduction", cb, r256.Comm)
+	}
+}
+
+func TestTable3Efficiencies(t *testing.T) {
+	m := NewModel()
+	// Paper: BX2b efficiencies 61/37/27% at 128/256/508 versus 26/19/7%
+	// on the 3700 (relative to a small-CPU baseline). Check ordering and
+	// rough bands relative to a 16-CPU baseline.
+	e128b := m.Efficiency(machine.AltixBX2b, 16, 128)
+	e508b := m.Efficiency(machine.AltixBX2b, 16, 508)
+	e128n := m.Efficiency(machine.Altix3700, 16, 128)
+	e508n := m.Efficiency(machine.Altix3700, 16, 508)
+	if !(e508b < e128b) || !(e508n < e128n) {
+		t.Errorf("efficiency must fall with CPUs: BX2b %.2f->%.2f, 3700 %.2f->%.2f",
+			e128b, e508b, e128n, e508n)
+	}
+	if e508b <= e508n {
+		t.Errorf("BX2b efficiency at 508 (%.2f) should beat 3700 (%.2f)", e508b, e508n)
+	}
+	if e508n > 0.45 {
+		t.Errorf("3700 efficiency at 508 = %.2f; the paper's flattening should show", e508n)
+	}
+}
+
+func TestTable6Multinode(t *testing.T) {
+	m := NewModel()
+	for _, cfg := range [][2]int{{128, 2}, {256, 2}, {256, 4}, {508, 4}} {
+		procs, nodes := cfg[0], cfg[1]
+		nl := m.PerStepMultinode(machine.NUMAlink4, procs, nodes)
+		ib := m.PerStepMultinode(machine.InfiniBand, procs, nodes)
+		// Table 6: NUMAlink4 execution ~10% better.
+		r := ib.Exec / nl.Exec
+		if r < 1.0 || r > 1.35 {
+			t.Errorf("procs=%d nodes=%d: IB/NL4 exec ratio %.3f, want ~1.1", procs, nodes, r)
+		}
+	}
+	// No pronounced penalty for spreading the same CPU count over more
+	// nodes (§4.6.4).
+	n2 := m.PerStepMultinode(machine.NUMAlink4, 256, 2).Exec
+	n4 := m.PerStepMultinode(machine.NUMAlink4, 256, 4).Exec
+	if math.Abs(n4-n2)/n2 > 0.15 {
+		t.Errorf("spreading 256 procs 2->4 nodes changed exec by %.1f%%", 100*math.Abs(n4-n2)/n2)
+	}
+}
+
+func TestLargerGridRestoresBalance(t *testing.T) {
+	// The paper's planned larger system: more blocks per group should
+	// pull the 508-process imbalance back toward 1.
+	small := NewModel()
+	large := NewModelLarge()
+	is := small.Grouping(508).Imbalance()
+	il := large.Grouping(508).Imbalance()
+	if !(il < is-0.5) {
+		t.Errorf("large-grid imbalance %v should undercut small-grid %v decisively", il, is)
+	}
+	if il > 1.3 {
+		t.Errorf("large grid imbalance at 508 = %v, want near 1", il)
+	}
+}

@@ -1,0 +1,166 @@
+package overset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratorsMatchPaperScale(t *testing.T) {
+	tp := Turbopump()
+	if len(tp.Blocks) != 267 {
+		t.Errorf("turbopump blocks = %d, want 267", len(tp.Blocks))
+	}
+	if pts := tp.TotalPoints(); math.Abs(float64(pts)-66e6) > 0.15*66e6 {
+		t.Errorf("turbopump points = %d, want ~66M", pts)
+	}
+	rw := RotorWake()
+	if len(rw.Blocks) != 1679 {
+		t.Errorf("rotor blocks = %d, want 1679", len(rw.Blocks))
+	}
+	if pts := rw.TotalPoints(); math.Abs(float64(pts)-75e6) > 0.15*75e6 {
+		t.Errorf("rotor points = %d, want ~75M", pts)
+	}
+	// Block-size spread: largest/smallest should be substantial (uneven
+	// zones are what makes load balancing hard).
+	min, max := rw.Blocks[0].Points(), rw.Blocks[0].Points()
+	for i := range rw.Blocks {
+		p := rw.Blocks[i].Points()
+		if p < min {
+			min = p
+		}
+		if p > max {
+			max = p
+		}
+	}
+	if float64(max)/float64(min) < 4 {
+		t.Errorf("rotor size spread %d/%d too flat", max, min)
+	}
+}
+
+func TestConnectivityConnected(t *testing.T) {
+	s := Turbopump()
+	adj := s.Connectivity()
+	// Most blocks overlap at least one other (an overset system is
+	// connected by construction of the fringes).
+	isolated := 0
+	for _, a := range adj {
+		if len(a) == 0 {
+			isolated++
+		}
+	}
+	if isolated > len(s.Blocks)/10 {
+		t.Errorf("%d of %d blocks isolated", isolated, len(s.Blocks))
+	}
+	// Symmetry.
+	for i, a := range adj {
+		for _, j := range a {
+			found := false
+			for _, k := range adj[j] {
+				if k == i {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency asymmetric: %d->%d", i, j)
+			}
+		}
+	}
+}
+
+func TestGroupingInvariants(t *testing.T) {
+	f := func(seed uint8, gl uint8) bool {
+		nblocks := 40 + int(seed)%100
+		ngroups := 1 + int(gl)%32
+		s := Synthetic("t", nblocks, 1_000_000, 10, float64(seed)*17+1)
+		for _, g := range []*Grouping{GroupBlocks(s, ngroups), LargestFirst(s, ngroups)} {
+			if err := g.Validate(); err != nil {
+				t.Log(err)
+				return false
+			}
+			if g.Imbalance() < 1-1e-9 {
+				return false
+			}
+			// All points accounted for.
+			sum := 0.0
+			for _, l := range g.Loads {
+				sum += l
+			}
+			if sum != float64(s.TotalPoints()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotorImbalanceGrowsWithGroups(t *testing.T) {
+	// §4.1.4: with 1679 blocks and 508 groups, proper load balance is
+	// impossible; imbalance must grow markedly from 64 to 508 groups.
+	s := RotorWake()
+	i64 := GroupBlocks(s, 64).Imbalance()
+	i508 := GroupBlocks(s, 508).Imbalance()
+	if i64 > 1.3 {
+		t.Errorf("imbalance at 64 groups = %.3f, want near 1", i64)
+	}
+	if i508 < i64+0.1 {
+		t.Errorf("imbalance should grow: 64 groups %.3f vs 508 groups %.3f", i64, i508)
+	}
+}
+
+func TestDonorWeights(t *testing.T) {
+	s := Synthetic("t", 30, 100000, 5, 3)
+	adj := s.Connectivity()
+	checked := 0
+	for b, nbs := range adj {
+		if len(nbs) == 0 {
+			continue
+		}
+		// Probe the center of the overlap region with a neighbour.
+		nb := nbs[0]
+		var p [3]float64
+		for d := 0; d < 3; d++ {
+			lo := math.Max(s.Blocks[b].Min[d], s.Blocks[nb].Min[d])
+			hi := math.Min(s.Blocks[b].Max[d], s.Blocks[nb].Max[d])
+			p[d] = (lo + hi) / 2
+		}
+		donor, w, ok := s.Donor(b, p)
+		if !ok {
+			t.Fatalf("no donor for overlap point of block %d", b)
+		}
+		if donor == b {
+			t.Fatalf("self-donor")
+		}
+		sum := 0.0
+		for _, x := range w {
+			if x < -1e-12 || x > 1+1e-12 {
+				t.Fatalf("weight out of range: %v", w)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("weights sum to %v", sum)
+		}
+		checked++
+		if checked > 10 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no overlapping pairs to check")
+	}
+}
+
+func TestConnectivityAwareReducesBoundary(t *testing.T) {
+	// Ablation (DESIGN.md #4): connectivity-aware grouping should not
+	// exchange more inter-group boundary data than size-only packing.
+	s := RotorWake()
+	conn := GroupBlocks(s, 128).InterGroupBoundary(5)
+	plain := LargestFirst(s, 128).InterGroupBoundary(5)
+	if conn > plain*1.05 {
+		t.Errorf("connectivity-aware boundary %.3g exceeds largest-first %.3g", conn, plain)
+	}
+}

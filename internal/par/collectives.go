@@ -1,0 +1,277 @@
+package par
+
+// Collective operations built strictly from point-to-point messages so that
+// interconnect effects (latency per hop, link bandwidth, internode capacity)
+// propagate into collectives on the virtual-time engine exactly as they do
+// into user messaging. Algorithms are the classical ones:
+//
+//	Bcast       binomial tree
+//	Reduce      binomial tree (reversed)
+//	Allreduce   reduce-to-root + broadcast for non-powers of two would lose
+//	            half the bandwidth, so recursive doubling with a fold-in
+//	            step for the non-power-of-two remainder is used instead
+//	Allgather   ring
+//	Alltoall    cyclic shift (p-1 rounds of send/recv)
+//
+// Each data-plane collective has a byte-plane twin used by the performance
+// skeletons.
+
+// Op combines two equal-length vectors elementwise into dst.
+type Op func(dst, src []float64)
+
+// SumOp accumulates src into dst.
+func SumOp(dst, src []float64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// MaxOp keeps the elementwise maximum in dst.
+func MaxOp(dst, src []float64) {
+	for i := range dst {
+		if src[i] > dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// Bcast distributes root's data to every rank along a binomial tree and
+// returns each rank's copy (root returns data itself).
+func Bcast(c Comm, root int, data []float64) []float64 {
+	rank, p := c.Rank(), c.Size()
+	if p == 1 {
+		return data
+	}
+	// Rotate ranks so the root is virtual rank 0.
+	vr := (rank - root + p) % p
+	var buf []float64
+	if vr == 0 {
+		buf = data
+	}
+	// Virtual rank vr receives from vr - lowestSetBit(vr)... classic
+	// binomial: in round k (mask = 1<<k), ranks with vr < mask send to
+	// vr + mask when it exists.
+	received := vr == 0
+	for mask := 1; mask < p; mask <<= 1 {
+		if received {
+			peer := vr + mask
+			if vr < mask && peer < p {
+				c.Send((peer+root)%p, tagBcast, buf)
+			}
+		} else if vr >= mask && vr < mask<<1 {
+			buf = c.Recv((vr-mask+root)%p, tagBcast)
+			received = true
+		}
+	}
+	return buf
+}
+
+// BcastBytes performs the same binomial-tree pattern carrying only sizes.
+func BcastBytes(c Comm, root int, bytes float64) {
+	rank, p := c.Rank(), c.Size()
+	if p == 1 {
+		return
+	}
+	vr := (rank - root + p) % p
+	received := vr == 0
+	for mask := 1; mask < p; mask <<= 1 {
+		if received {
+			peer := vr + mask
+			if vr < mask && peer < p {
+				c.SendBytes((peer+root)%p, tagBcast, bytes)
+			}
+		} else if vr >= mask && vr < mask<<1 {
+			c.RecvBytes((vr-mask+root)%p, tagBcast)
+			received = true
+		}
+	}
+}
+
+// Reduce combines every rank's data with op down a binomial tree; the root
+// returns the combined vector, other ranks return nil. data is not mutated.
+func Reduce(c Comm, root int, data []float64, op Op) []float64 {
+	rank, p := c.Rank(), c.Size()
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	if p == 1 {
+		return acc
+	}
+	vr := (rank - root + p) % p
+	for mask := 1; mask < p; mask <<= 1 {
+		if vr&mask != 0 {
+			c.Send((vr-mask+root)%p, tagReduce, acc)
+			return nil
+		}
+		peer := vr + mask
+		if peer < p {
+			op(acc, c.Recv((peer+root)%p, tagReduce))
+		}
+	}
+	return acc
+}
+
+// Allreduce combines every rank's vector with op and returns the result on
+// all ranks, using recursive doubling with a non-power-of-two fold-in.
+func Allreduce(c Comm, data []float64, op Op) []float64 {
+	rank, p := c.Rank(), c.Size()
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	if p == 1 {
+		return acc
+	}
+	// Largest power of two <= p.
+	pof2 := 1
+	for pof2*2 <= p {
+		pof2 *= 2
+	}
+	extra := p - pof2
+	// Fold-in: the first 2*extra ranks pair up; evens hand their data to
+	// odds and drop out of the core exchange.
+	core := -1 // this rank's id among the pof2 core ranks, or -1
+	switch {
+	case rank < 2*extra && rank%2 == 0:
+		c.Send(rank+1, tagFold, acc)
+	case rank < 2*extra:
+		op(acc, c.Recv(rank-1, tagFold))
+		core = rank / 2
+	default:
+		core = rank - extra
+	}
+	if core >= 0 {
+		step := 0
+		for mask := 1; mask < pof2; mask <<= 1 {
+			peerCore := core ^ mask
+			peer := peerCore*2 + 1
+			if peerCore >= extra {
+				peer = peerCore + extra
+			}
+			c.Send(peer, tagAllreduce+step, acc)
+			op(acc, c.Recv(peer, tagAllreduce+step))
+			step++
+		}
+	}
+	// Fold-out: odds return the final vector to their evens.
+	switch {
+	case rank < 2*extra && rank%2 == 0:
+		acc = c.Recv(rank+1, tagFold+1)
+	case rank < 2*extra:
+		c.Send(rank-1, tagFold+1, acc)
+	}
+	return acc
+}
+
+// AllreduceBytes runs the recursive-doubling pattern carrying only sizes.
+func AllreduceBytes(c Comm, bytes float64) {
+	rank, p := c.Rank(), c.Size()
+	if p == 1 {
+		return
+	}
+	pof2 := 1
+	for pof2*2 <= p {
+		pof2 *= 2
+	}
+	extra := p - pof2
+	core := -1
+	switch {
+	case rank < 2*extra && rank%2 == 0:
+		c.SendBytes(rank+1, tagFold, bytes)
+	case rank < 2*extra:
+		c.RecvBytes(rank-1, tagFold)
+		core = rank / 2
+	default:
+		core = rank - extra
+	}
+	if core >= 0 {
+		step := 0
+		for mask := 1; mask < pof2; mask <<= 1 {
+			peerCore := core ^ mask
+			peer := peerCore*2 + 1
+			if peerCore >= extra {
+				peer = peerCore + extra
+			}
+			c.SendBytes(peer, tagAllreduce+step, bytes)
+			c.RecvBytes(peer, tagAllreduce+step)
+			step++
+		}
+	}
+	switch {
+	case rank < 2*extra && rank%2 == 0:
+		c.RecvBytes(rank+1, tagFold+1)
+	case rank < 2*extra:
+		c.SendBytes(rank-1, tagFold+1, bytes)
+	}
+}
+
+// AllreduceSum is the common scalar-vector special case.
+func AllreduceSum(c Comm, data []float64) []float64 {
+	return Allreduce(c, data, SumOp)
+}
+
+// Allgather concatenates every rank's equal-length contribution in rank
+// order using a ring, returning the full vector on all ranks.
+func Allgather(c Comm, data []float64) []float64 {
+	rank, p := c.Rank(), c.Size()
+	n := len(data)
+	out := make([]float64, n*p)
+	copy(out[rank*n:], data)
+	if p == 1 {
+		return out
+	}
+	right := (rank + 1) % p
+	left := (rank - 1 + p) % p
+	chunk := rank
+	for step := 0; step < p-1; step++ {
+		c.Send(right, tagAllgather+step, out[chunk*n:(chunk+1)*n])
+		chunk = (chunk - 1 + p) % p
+		got := c.Recv(left, tagAllgather+step)
+		copy(out[chunk*n:], got)
+	}
+	return out
+}
+
+// AllgatherBytes runs the ring pattern carrying only sizes.
+func AllgatherBytes(c Comm, bytes float64) {
+	rank, p := c.Rank(), c.Size()
+	if p == 1 {
+		return
+	}
+	right := (rank + 1) % p
+	left := (rank - 1 + p) % p
+	for step := 0; step < p-1; step++ {
+		c.SendBytes(right, tagAllgather+step, bytes)
+		c.RecvBytes(left, tagAllgather+step)
+	}
+}
+
+// Alltoall performs a complete exchange: chunks[d] goes to rank d, and the
+// returned slice holds what every rank sent to this one (index by source).
+// Uses the cyclic-shift algorithm: p-1 rounds of disjoint pairwise traffic.
+func Alltoall(c Comm, chunks [][]float64) [][]float64 {
+	rank, p := c.Rank(), c.Size()
+	if len(chunks) != p {
+		panic("par: Alltoall needs one chunk per rank")
+	}
+	out := make([][]float64, p)
+	own := make([]float64, len(chunks[rank]))
+	copy(own, chunks[rank])
+	out[rank] = own
+	for step := 1; step < p; step++ {
+		dst := (rank + step) % p
+		src := (rank - step + p) % p
+		c.Send(dst, tagAlltoall+step, chunks[dst])
+		out[src] = c.Recv(src, tagAlltoall+step)
+	}
+	return out
+}
+
+// AlltoallBytes runs the cyclic-shift exchange with perPair bytes between
+// every pair of ranks.
+func AlltoallBytes(c Comm, perPair float64) {
+	rank, p := c.Rank(), c.Size()
+	for step := 1; step < p; step++ {
+		dst := (rank + step) % p
+		src := (rank - step + p) % p
+		c.SendBytes(dst, tagAlltoall+step, perPair)
+		c.RecvBytes(src, tagAlltoall+step)
+	}
+}

@@ -1,0 +1,70 @@
+// Package par defines the message-passing programming interface shared by
+// the two execution engines in this repository:
+//
+//   - the real engine in this package (goroutines + channels, wall-clock
+//     time), used to validate the numerics of every benchmark kernel; and
+//   - the virtual-time engine in package vmpi (discrete-event simulation
+//     against the Columbia machine model), used to regenerate the paper's
+//     tables and figures at 4–2048 CPUs.
+//
+// Benchmark communication patterns are written once against Comm and run
+// unchanged on both engines. Two families of operations exist: data-plane
+// ops carry real float64 payloads (kernels), while byte-plane ops carry only
+// sizes (performance skeletons, where allocating the paper-scale arrays
+// would be pointless). Collectives are built from point-to-point in
+// collectives.go so that fabric effects propagate into them honestly.
+package par
+
+import "columbia/internal/machine"
+
+// Comm is one process's handle on the parallel job, analogous to an MPI
+// communicator bound to MPI_COMM_WORLD.
+type Comm interface {
+	// Rank returns this process's rank in [0, Size).
+	Rank() int
+	// Size returns the number of processes in the job.
+	Size() int
+
+	// Send delivers data to rank dst with a matching tag. It may block
+	// until the receiver posts the matching Recv (rendezvous), as real
+	// MPI does for large messages.
+	Send(dst, tag int, data []float64)
+	// Recv returns the payload of the matching message from rank src.
+	Recv(src, tag int) []float64
+
+	// SendBytes is the time-plane variant: only the byte count is
+	// meaningful. The real engine still synchronizes sender and receiver
+	// so patterns deadlock (or not) identically on both engines.
+	SendBytes(dst, tag int, bytes float64)
+	// RecvBytes blocks for the matching SendBytes and returns its size.
+	RecvBytes(src, tag int) float64
+
+	// Compute accounts for local computation. The real engine treats it
+	// as a no-op (real kernels burn real cycles); the virtual engine
+	// advances this rank's clock by the machine model's cost for w.
+	Compute(w machine.Work)
+
+	// Barrier blocks until every rank has entered it.
+	Barrier()
+
+	// Now returns this rank's elapsed time in seconds: wall-clock on the
+	// real engine, the rank's virtual clock on the simulator. Benchmarks
+	// measure with Now differences, so the same driver reports real times
+	// in tests and modelled Columbia times in experiments.
+	Now() float64
+}
+
+// Tags used by the collectives; user code should use tags below TagBase.
+// Each collective owns a disjoint block so that ranks progressing into the
+// next collective can never have their messages matched by stragglers still
+// inside the previous one.
+const (
+	TagBase      = 1 << 20
+	tagBlock     = 1 << 16
+	tagBcast     = TagBase + 1*tagBlock
+	tagReduce    = TagBase + 2*tagBlock
+	tagAllreduce = TagBase + 3*tagBlock
+	tagFold      = TagBase + 4*tagBlock
+	tagAllgather = TagBase + 5*tagBlock
+	tagAlltoall  = TagBase + 6*tagBlock
+)

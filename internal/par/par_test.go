@@ -1,0 +1,152 @@
+package par
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSendRecvDelivers(t *testing.T) {
+	Run(2, func(c Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 5, []float64{1, 2, 3})
+		} else {
+			got := c.Recv(0, 5)
+			if len(got) != 3 || got[2] != 3 {
+				t.Errorf("got %v", got)
+			}
+		}
+	})
+}
+
+func TestMessagesOrderedPerChannel(t *testing.T) {
+	Run(2, func(c Comm) {
+		const n = 50
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 7, []float64{float64(i)})
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if got := c.Recv(0, 7); got[0] != float64(i) {
+					t.Errorf("message %d out of order: %v", i, got)
+				}
+			}
+		}
+	})
+}
+
+func TestBcastAllRoots(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		for root := 0; root < p; root++ {
+			Run(p, func(c Comm) {
+				var data []float64
+				if c.Rank() == root {
+					data = []float64{float64(root) + 0.5, 42}
+				}
+				got := Bcast(c, root, data)
+				if got[0] != float64(root)+0.5 || got[1] != 42 {
+					t.Errorf("p=%d root=%d rank=%d got %v", p, root, c.Rank(), got)
+				}
+			})
+		}
+	}
+}
+
+func TestReduceAndAllreduce(t *testing.T) {
+	f := func(pn uint8, vals [4]int8) bool {
+		p := int(pn)%7 + 1
+		ok := true
+		Run(p, func(c Comm) {
+			data := make([]float64, len(vals))
+			for i, v := range vals {
+				data[i] = float64(v) * float64(c.Rank()+1)
+			}
+			want := make([]float64, len(vals))
+			for i, v := range vals {
+				for r := 0; r < p; r++ {
+					want[i] += float64(v) * float64(r+1)
+				}
+			}
+			all := AllreduceSum(c, data)
+			root := Reduce(c, 0, data, SumOp)
+			for i := range want {
+				if math.Abs(all[i]-want[i]) > 1e-9 {
+					ok = false
+				}
+				if c.Rank() == 0 && math.Abs(root[i]-want[i]) > 1e-9 {
+					ok = false
+				}
+			}
+			if c.Rank() != 0 && root != nil {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllreduceMax(t *testing.T) {
+	Run(5, func(c Comm) {
+		got := Allreduce(c, []float64{float64(c.Rank()), -float64(c.Rank())}, MaxOp)
+		if got[0] != 4 || got[1] != 0 {
+			t.Errorf("rank %d: %v", c.Rank(), got)
+		}
+	})
+}
+
+func TestAllgatherOrder(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 6} {
+		Run(p, func(c Comm) {
+			got := Allgather(c, []float64{float64(c.Rank() * 10), float64(c.Rank()*10 + 1)})
+			for r := 0; r < p; r++ {
+				if got[2*r] != float64(r*10) || got[2*r+1] != float64(r*10+1) {
+					t.Errorf("p=%d rank=%d misordered: %v", p, c.Rank(), got)
+				}
+			}
+		})
+	}
+}
+
+func TestAlltoallExchange(t *testing.T) {
+	for _, p := range []int{2, 3, 5} {
+		Run(p, func(c Comm) {
+			chunks := make([][]float64, p)
+			for d := range chunks {
+				chunks[d] = []float64{float64(c.Rank()*100 + d)}
+			}
+			got := Alltoall(c, chunks)
+			for s := 0; s < p; s++ {
+				if got[s][0] != float64(s*100+c.Rank()) {
+					t.Errorf("p=%d rank=%d from %d: %v", p, c.Rank(), s, got[s])
+				}
+			}
+		})
+	}
+}
+
+func TestBarrierAndNow(t *testing.T) {
+	Run(4, func(c Comm) {
+		if c.Now() < 0 {
+			t.Error("negative wall clock")
+		}
+		c.Barrier()
+		c.Barrier() // reusable
+	})
+}
+
+func TestPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("rank panic should propagate out of Run")
+		}
+	}()
+	Run(3, func(c Comm) {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+	})
+}

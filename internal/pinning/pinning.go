@@ -1,0 +1,78 @@
+// Package pinning models process/thread placement policy on the Altix
+// (§4.3 of the paper). On a NUMA machine, improper initial data placement or
+// migration of threads between processors increases memory access time; the
+// paper shows the effect is substantial for hybrid codes spawning multiple
+// OpenMP threads and mild for pure process-mode runs.
+//
+// The paper lists three pinning methods (MPI_DSM environment variables, the
+// dplace tool, and explicit system calls in the code); all behave the same
+// in this model — what matters is pinned versus not.
+package pinning
+
+import "math"
+
+// Method records which of the Altix pinning mechanisms a run used. The
+// performance model only distinguishes pinned from unpinned, but experiment
+// reports carry the method for fidelity with the paper.
+type Method int
+
+const (
+	// Dplace uses the data placement tool (MPI or OpenMP codes). It is
+	// the zero value because the paper applies pinning to every result
+	// except the explicit comparison in Fig. 7.
+	Dplace Method = iota
+	// None leaves threads free to migrate (the "no pinning" curves of Fig. 7).
+	None
+	// EnvVars uses MPI_DSM_DISTRIBUTE / MPI_DSM_CPULIST (MPI codes).
+	EnvVars
+	// Syscalls inserts placement system calls in the source (hybrid codes).
+	Syscalls
+)
+
+func (m Method) String() string {
+	switch m {
+	case None:
+		return "none"
+	case EnvVars:
+		return "MPI_DSM env"
+	case Dplace:
+		return "dplace"
+	case Syscalls:
+		return "syscalls"
+	}
+	return "unknown"
+}
+
+// Pinned reports whether the method fixes threads to CPUs.
+func (m Method) Pinned() bool { return m != None }
+
+// MemPenalty returns the multiplicative slowdown of memory-bound work for an
+// unpinned run with the given OpenMP threads per process on a job spanning
+// totalCPUs processors. Calibrated to Fig. 7 (SP-MZ Class C on a BX2b):
+//
+//   - pure process mode (threads == 1) is barely affected;
+//   - the penalty grows with threads per process (first-touch pages end up
+//     remote after migration) and with total CPU count (longer average
+//     distance to the stranded pages);
+//   - at 128-256 CPUs with many threads the no-pinning curves sit several
+//     times above the pinned ones.
+func MemPenalty(m Method, threads, totalCPUs int) float64 {
+	if m.Pinned() {
+		return 1
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if totalCPUs < 1 {
+		totalCPUs = 1
+	}
+	base := 1.06 // migration noise even in pure process mode
+	if threads == 1 {
+		return base
+	}
+	spread := math.Sqrt(float64(totalCPUs) / 64.0)
+	if spread < 1 {
+		spread = 1
+	}
+	return base + 0.42*math.Log2(float64(threads))*spread
+}

@@ -1,0 +1,79 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Demo", "A", "B")
+	tb.AddF("x", 1.5)
+	tb.AddF("longer", 123456.0)
+	tb.Note("hello %d", 7)
+	s := tb.String()
+	if !strings.Contains(s, "Demo") || !strings.Contains(s, "longer") {
+		t.Errorf("missing content:\n%s", s)
+	}
+	if !strings.Contains(s, "note: hello 7") {
+		t.Errorf("missing note:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// Header aligned with rows: all data lines share the same prefix width.
+	if len(lines) < 5 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("T", "x,y", "v")
+	tb.Add("a,b", "1")
+	csv := tb.CSV()
+	if strings.Count(csv, ",") != 2 {
+		t.Errorf("cells with commas must be sanitized: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "x;y,v\n") {
+		t.Errorf("header wrong: %q", csv)
+	}
+}
+
+func TestFmt(t *testing.T) {
+	cases := map[float64]string{
+		0:     "0",
+		1.5:   "1.500",
+		150:   "150.0",
+		0.25:  "0.2500",
+		2.5e7: "2.5e+07",
+	}
+	for in, want := range cases {
+		if got := Fmt(in); got != want {
+			t.Errorf("Fmt(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPlotDoesNotPanic(t *testing.T) {
+	tb := New("P", "x", "s1", "s2")
+	tb.AddF(1, 1.0, 10.0)
+	tb.AddF(2, 2.0, 20.0)
+	tb.AddF(3, 4.0, 40.0)
+	out := tb.Plot(6)
+	if !strings.Contains(out, "log scale") {
+		t.Errorf("plot header missing: %q", out)
+	}
+	empty := New("E", "x", "y")
+	if out := empty.Plot(6); !strings.Contains(out, "degenerate") {
+		t.Errorf("degenerate plot: %q", out)
+	}
+}
+
+func TestAddPadsAndTruncates(t *testing.T) {
+	tb := New("T", "a", "b")
+	tb.Add("only")
+	tb.Add("x", "y", "z")
+	if len(tb.Rows[0]) != 2 || tb.Rows[0][1] != "" {
+		t.Errorf("row 0: %v", tb.Rows[0])
+	}
+	if len(tb.Rows[1]) != 2 {
+		t.Errorf("row 1: %v", tb.Rows[1])
+	}
+}

@@ -1,0 +1,117 @@
+// Package rng implements the NAS Parallel Benchmarks pseudorandom number
+// generator randlc/vranlc: the linear congruential recurrence
+//
+//	x_{k+1} = a · x_k  (mod 2^46)
+//
+// evaluated in double-precision arithmetic by splitting operands into
+// 23-bit halves, exactly as specified in the NPB report (NAS-91-002) and
+// implemented in every NPB distribution. The generator is used by the CG
+// sparse-matrix builder, the FT initial field, and the MD lattice
+// randomization, so bit-exact agreement with the reference keeps those
+// workloads faithful.
+package rng
+
+const (
+	r23 = 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5
+	t23 = 1.0 / r23
+	r46 = r23 * r23
+	t46 = t23 * t23
+)
+
+// DefaultSeed and DefaultA are the canonical NPB constants: seed 314159265
+// and multiplier a = 5^13.
+const (
+	DefaultSeed = 314159265.0
+	DefaultA    = 1220703125.0
+)
+
+// Stream is one generator state.
+type Stream struct {
+	x float64
+}
+
+// New returns a stream seeded with x (commonly DefaultSeed).
+func New(seed float64) *Stream { return &Stream{x: seed} }
+
+// X returns the current raw state.
+func (s *Stream) X() float64 { return s.x }
+
+// SetX overwrites the raw state (used for leapfrogging).
+func (s *Stream) SetX(x float64) { s.x = x }
+
+// Randlc advances the state by multiplier a and returns a uniform deviate
+// in (0, 1). It is a direct transcription of the NPB routine.
+func (s *Stream) Randlc(a float64) float64 {
+	// Break a and x into two 23-bit halves: a = 2^23·a1 + a2.
+	t1 := r23 * a
+	a1 := float64(int64(t1))
+	a2 := a - t23*a1
+
+	t1 = r23 * s.x
+	x1 := float64(int64(t1))
+	x2 := s.x - t23*x1
+
+	// z = lower 46 bits of a1·x2 + a2·x1 (shifted), then combine.
+	t1 = a1*x2 + a2*x1
+	t2 := float64(int64(r23 * t1))
+	z := t1 - t23*t2
+	t3 := t23*z + a2*x2
+	t4 := float64(int64(r46 * t3))
+	s.x = t3 - t46*t4
+	return r46 * s.x
+}
+
+// Next advances with the default multiplier.
+func (s *Stream) Next() float64 { return s.Randlc(DefaultA) }
+
+// Vranlc fills out with uniform deviates using the default multiplier.
+func (s *Stream) Vranlc(out []float64) {
+	for i := range out {
+		out[i] = s.Next()
+	}
+}
+
+// PowMod46 returns a^n in the multiplicative semigroup mod 2^46, i.e. the
+// multiplier that advances a stream by n steps at once (NPB's ipow46).
+// It uses the same split arithmetic as Randlc so results are bit-exact.
+func PowMod46(a float64, n int64) float64 {
+	if n == 0 {
+		return 1
+	}
+	// Square-and-multiply using a scratch stream's multiply step.
+	result := 1.0
+	base := a
+	for n > 0 {
+		if n&1 == 1 {
+			result = mul46(result, base)
+		}
+		base = mul46(base, base)
+		n >>= 1
+	}
+	return result
+}
+
+// mul46 returns (a·b) mod 2^46 using the 23-bit split.
+func mul46(a, b float64) float64 {
+	t1 := r23 * a
+	a1 := float64(int64(t1))
+	a2 := a - t23*a1
+
+	t1 = r23 * b
+	b1 := float64(int64(t1))
+	b2 := b - t23*b1
+
+	t1 = a1*b2 + a2*b1
+	t2 := float64(int64(r23 * t1))
+	z := t1 - t23*t2
+	t3 := t23*z + a2*b2
+	t4 := float64(int64(r46 * t3))
+	return t3 - t46*t4
+}
+
+// Skip returns a stream positioned n steps after seed under multiplier a.
+func Skip(seed, a float64, n int64) *Stream {
+	s := New(seed)
+	s.Randlc(PowMod46(a, n))
+	return s
+}

@@ -1,0 +1,80 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandlcRange(t *testing.T) {
+	s := New(DefaultSeed)
+	for i := 0; i < 10000; i++ {
+		v := s.Next()
+		if v <= 0 || v >= 1 {
+			t.Fatalf("deviate %v out of (0,1) at step %d", v, i)
+		}
+	}
+}
+
+func TestRandlcKnownSequenceStable(t *testing.T) {
+	// Golden values from this implementation (regression pin; the
+	// recurrence is the NPB one, x_{k+1} = 5^13 x_k mod 2^46).
+	s := New(DefaultSeed)
+	first := s.Next()
+	s2 := New(DefaultSeed)
+	if got := s2.Next(); got != first {
+		t.Errorf("not reproducible: %v vs %v", got, first)
+	}
+	// The recurrence must match the direct modular arithmetic.
+	x := uint64(DefaultSeed)
+	a := uint64(DefaultA)
+	mod := uint64(1) << 46
+	x = (x * a) % mod
+	want := float64(x) / float64(mod)
+	if first != want {
+		t.Errorf("first deviate %v != integer-arithmetic value %v", first, want)
+	}
+}
+
+func TestPowMod46MatchesStepping(t *testing.T) {
+	f := func(n uint16) bool {
+		steps := int64(n%5000) + 1
+		// Walk a stream `steps` times.
+		s := New(DefaultSeed)
+		for i := int64(0); i < steps; i++ {
+			s.Next()
+		}
+		// Jump in one multiplication.
+		j := Skip(DefaultSeed, DefaultA, steps)
+		return s.X() == j.X()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVranlcEqualsLoop(t *testing.T) {
+	a := New(DefaultSeed)
+	b := New(DefaultSeed)
+	buf := make([]float64, 257)
+	a.Vranlc(buf)
+	for i, v := range buf {
+		if w := b.Next(); w != v {
+			t.Fatalf("vranlc[%d] = %v, want %v", i, v, w)
+		}
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// Coarse chi-square-ish check: 10 bins over 100k draws.
+	s := New(DefaultSeed)
+	var bins [10]int
+	n := 100000
+	for i := 0; i < n; i++ {
+		bins[int(s.Next()*10)]++
+	}
+	for b, c := range bins {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Errorf("bin %d has %d of %d draws", b, c, n)
+		}
+	}
+}

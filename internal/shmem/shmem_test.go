@@ -1,0 +1,83 @@
+package shmem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"columbia/internal/machine"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	Run(4, func(p *PE) {
+		buf := p.Alloc("data", 8)
+		for i := range buf {
+			buf[i] = float64(p.MyPE()*100 + i)
+		}
+		p.BarrierAll()
+		// Everyone reads the right neighbour's array one-sidedly.
+		got := make([]float64, 8)
+		right := (p.MyPE() + 1) % p.NPEs()
+		p.Get(right, "data", 0, got)
+		for i, v := range got {
+			if v != float64(right*100+i) {
+				t.Errorf("PE %d got[%d] = %v", p.MyPE(), i, v)
+			}
+		}
+		p.BarrierAll()
+		// Everyone writes a tag into the left neighbour's slot 0.
+		left := (p.MyPE() - 1 + p.NPEs()) % p.NPEs()
+		p.Put(left, "data", 0, []float64{float64(p.MyPE()) + 0.5})
+		p.Fence()
+		p.BarrierAll()
+		if buf[0] != float64(right)+0.5 {
+			t.Errorf("PE %d slot 0 = %v, want %v", p.MyPE(), buf[0], float64(right)+0.5)
+		}
+	})
+}
+
+func TestMissingSymmetricObjectPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for missing symmetric object")
+		}
+	}()
+	Run(2, func(p *PE) {
+		if p.MyPE() == 0 {
+			p.Get(1, "never-allocated", 0, make([]float64, 1))
+		}
+	})
+}
+
+func TestOneSidedBeatsMPIOnLatency(t *testing.T) {
+	m := NewModel(machine.NewSingleNode(machine.AltixBX2b))
+	a := machine.Loc{Node: 0, CPU: 0}
+	b := machine.Loc{Node: 0, CPU: 200}
+	// Small transfers: the handshake dominates, SHMEM wins clearly.
+	if put, mpi := m.PutTime(a, b, 8), m.MPITime(a, b, 8); put >= mpi*0.7 {
+		t.Errorf("8B put %.3g should undercut MPI %.3g", put, mpi)
+	}
+	// Large transfers: bandwidth dominates, both converge.
+	put, mpi := m.PutTime(a, b, 1<<24), m.MPITime(a, b, 1<<24)
+	if r := put / mpi; r < 0.95 || r > 1.0 {
+		t.Errorf("16MB put/MPI ratio %.3f, want ~1 (bandwidth-bound)", r)
+	}
+	// Gets pay the round trip.
+	if m.GetTime(a, b, 8) <= m.PutTime(a, b, 8) {
+		t.Error("get should cost more than put")
+	}
+}
+
+func TestINS3DPortProjection(t *testing.T) {
+	m := NewModel(machine.NewSingleNode(machine.AltixBX2b))
+	mpi, shm := m.CompareINS3DBoundary(9000, 64)
+	if !(shm < mpi) {
+		t.Errorf("SHMEM boundary exchange (%.3g) should beat MPI (%.3g)", shm, mpi)
+	}
+	f := func(pts uint16) bool {
+		mpi, shm := m.CompareINS3DBoundary(int(pts)+1, 128)
+		return shm > 0 && shm <= mpi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,71 @@
+package vmpi
+
+import (
+	"columbia/internal/machine"
+	"columbia/internal/par"
+)
+
+// comm adapts one simulated rank to the par.Comm interface. The zero rank's
+// extra methods (Elapse) are available through the Clock interface.
+type comm struct {
+	e *engine
+	r *rankState
+}
+
+var _ par.Comm = (*comm)(nil)
+
+func (c *comm) Rank() int { return c.r.id }
+func (c *comm) Size() int { return len(c.e.ranks) }
+
+func (c *comm) Send(dst, tag int, data []float64) {
+	c.e.send(c.r, dst, tag, float64(8*len(data)), data)
+}
+
+func (c *comm) Recv(src, tag int) []float64 {
+	return c.e.recv(c.r, src, tag).data
+}
+
+func (c *comm) SendBytes(dst, tag int, bytes float64) {
+	c.e.send(c.r, dst, tag, bytes, nil)
+}
+
+func (c *comm) RecvBytes(src, tag int) float64 {
+	return c.e.recv(c.r, src, tag).bytes
+}
+
+func (c *comm) Compute(w machine.Work) {
+	t := c.e.computeTime(c.r, w)
+	c.r.now += t
+	c.r.compute += t
+	c.e.yieldReady(c.r)
+}
+
+func (c *comm) Barrier() { c.e.barrier(c.r) }
+
+func (c *comm) Now() float64 { return c.r.now }
+
+// Clock is the simulator-specific extension of par.Comm, obtained by type
+// assertion; drivers use it to charge fixed costs that are not naturally a
+// machine.Work (e.g. I/O stalls).
+type Clock interface {
+	// Elapse advances the rank's clock by dt seconds of compute time.
+	Elapse(dt float64)
+}
+
+// Elapse implements Clock.
+func (c *comm) Elapse(dt float64) {
+	if dt < 0 {
+		panic("vmpi: negative Elapse")
+	}
+	c.r.now += dt
+	c.r.compute += dt
+	c.e.yieldReady(c.r)
+}
+
+// RecvAny receives the earliest matching message from any source, like
+// MPI_ANY_SOURCE. Available on simulated comms via type assertion to
+// interface{ RecvAny(tag int) (src int, data []float64) }.
+func (c *comm) RecvAny(tag int) (int, []float64) {
+	m := c.e.recv(c.r, AnySource, tag)
+	return m.src, m.data
+}

@@ -1,0 +1,523 @@
+// Package vmpi is the virtual-time execution engine: it runs the same
+// rank programs as the real engine in package par, but every communication
+// and compute operation advances a per-rank virtual clock according to the
+// Columbia machine model instead of consuming wall time. This is how the
+// repository regenerates the paper's measurements at 4–2048 CPUs on a
+// laptop.
+//
+// # Simulation semantics
+//
+// Ranks are goroutines scheduled cooperatively: exactly one runs at a time,
+// and the engine always resumes the runnable rank with the smallest virtual
+// clock, so execution is deterministic. Sends are buffered
+// (asynchronous-complete): the sender pays an initiation overhead and
+// proceeds, while the message is timestamped with an arrival time
+//
+//	arrival = start + (latency + bytes/bandwidth) · mpt
+//
+// along its path. Messages crossing node boundaries additionally serialize
+// FCFS on each box's finite internode capacity (NUMAlink4 quad links or the
+// installed InfiniBand cards), which is what makes bandwidth-hungry
+// patterns collapse over InfiniBand exactly as §4.6.1 reports. Receives
+// block until the matching arrival; barriers release at the latest entry
+// plus a logarithmic tree cost.
+//
+// Per-rank compute time comes from the roofline model in package machine
+// (single-threaded ranks) or the OpenMP NUMA model in package omp (hybrid
+// ranks with Threads > 1), scaled by the compiler factor and the pinning
+// penalty, and inflated by the boot-cpuset factor when a run occupies every
+// CPU of a box.
+package vmpi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"columbia/internal/machine"
+	"columbia/internal/netmodel"
+	"columbia/internal/omp"
+	"columbia/internal/par"
+	"columbia/internal/pinning"
+)
+
+// AnySource matches a message from any sender in Recv.
+const AnySource = -1
+
+// sendOverheadFrac is the fraction of the path latency charged to the
+// sender as initiation overhead. [calibrated]
+const sendOverheadFrac = 0.35
+
+// Config describes one simulated job.
+type Config struct {
+	// Cluster is the machine; required.
+	Cluster *machine.Cluster
+	// Net overrides the interconnect model (defaults to netmodel.New).
+	Net *netmodel.Model
+	// Procs is the number of MPI ranks.
+	Procs int
+	// Threads is the number of OpenMP threads per rank (>= 1).
+	Threads int
+	// Nodes spreads the job evenly over this many boxes; 0 or 1 packs
+	// CPUs densely from node 0.
+	Nodes int
+	// Stride places CPUs every Stride-th processor (§4.2); 0 means 1.
+	Stride int
+	// Placement overrides the computed CPU assignment (Procs*Threads
+	// slots, rank-major).
+	Placement *machine.Placement
+	// Pin is the pinning policy (default Dplace — the paper pins
+	// everything except the Fig. 7 comparison).
+	Pin pinning.Method
+	// ComputeFactor multiplies all compute time (compiler version etc.).
+	ComputeFactor float64
+	// OMP tunes the hybrid thread model for Threads > 1.
+	OMP omp.ModelOpts
+	// RandomPattern marks communication with no locality, enabling the
+	// InfiniBand random-ring protocol collapse.
+	RandomPattern bool
+}
+
+func (c *Config) placement() *machine.Placement {
+	if c.Placement != nil {
+		return c.Placement
+	}
+	slots := c.Procs * c.threads()
+	if c.Nodes > 1 {
+		return machine.Blocked(c.Cluster, slots, c.Nodes)
+	}
+	stride := c.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	return machine.Strided(c.Cluster, slots, stride)
+}
+
+func (c *Config) threads() int {
+	if c.Threads < 1 {
+		return 1
+	}
+	return c.Threads
+}
+
+// RankStats reports the virtual-time breakdown of one rank.
+type RankStats struct {
+	Compute float64 // seconds advancing in Compute/Elapse
+	Comm    float64 // seconds in send overhead, receive waits, barriers
+	Finish  float64 // final clock value
+}
+
+// Result summarizes a simulated job.
+type Result struct {
+	// Time is the job's makespan: the largest rank finish time.
+	Time float64
+	// MaxComm and MaxCompute are per-rank maxima, the numbers the paper
+	// reports as "comm" and "exec" times.
+	MaxComm    float64
+	MaxCompute float64
+	// AvgComm and AvgCompute are means over ranks.
+	AvgComm    float64
+	AvgCompute float64
+	// Stats holds the per-rank breakdown.
+	Stats []RankStats
+}
+
+type status int
+
+const (
+	stReady status = iota
+	stRunning
+	stBlockedRecv
+	stBlockedBarrier
+	stDone
+)
+
+type mailKey struct{ src, tag int }
+
+type message struct {
+	src, tag int
+	bytes    float64
+	data     []float64
+	arrival  float64
+}
+
+type rankState struct {
+	id      int
+	now     float64
+	compute float64
+	comm    float64
+	status  status
+	resume  chan struct{}
+	mail    map[mailKey][]*message
+	// Pending receive when blocked.
+	wantSrc, wantTag int
+	recvResult       *message
+}
+
+type engine struct {
+	cfg        Config
+	net        *netmodel.Model
+	place      *machine.Placement
+	threads    int
+	subPlace   []*machine.Placement // per-rank thread slots, Threads > 1
+	ranks      []*rankState
+	parked     chan *rankState
+	linkBusy   []float64 // per node: internode capacity next-free time
+	fabricBusy []float64 // per node: intra-node cross-brick capacity next-free time
+	inBarrier  int
+	barrierMax float64
+	barrierLat float64
+	bootFactor float64
+	computeFac float64
+	panicVal   interface{}
+}
+
+// Run simulates fn on cfg.Procs ranks and returns the virtual-time result.
+func Run(cfg Config, fn func(par.Comm)) Result {
+	e := newEngine(cfg)
+	for i := range e.ranks {
+		r := e.ranks[i]
+		go func(r *rankState) {
+			<-r.resume
+			defer func() {
+				if p := recover(); p != nil {
+					e.panicVal = fmt.Sprintf("vmpi rank %d: %v", r.id, p)
+				}
+				r.status = stDone
+				e.parked <- r
+			}()
+			fn(&comm{e: e, r: r})
+		}(r)
+	}
+	active := len(e.ranks)
+	for active > 0 {
+		r := e.pickReady()
+		if r == nil {
+			e.deadlock()
+		}
+		r.status = stRunning
+		r.resume <- struct{}{}
+		p := <-e.parked
+		if e.panicVal != nil {
+			panic(e.panicVal)
+		}
+		if p.status == stDone {
+			active--
+		}
+	}
+	return e.result()
+}
+
+func newEngine(cfg Config) *engine {
+	if cfg.Cluster == nil {
+		panic("vmpi: Config.Cluster is required")
+	}
+	if cfg.Procs < 1 {
+		panic("vmpi: Config.Procs must be positive")
+	}
+	net := cfg.Net
+	if net == nil {
+		net = netmodel.New(cfg.Cluster)
+	}
+	e := &engine{
+		cfg:        cfg,
+		net:        net,
+		place:      cfg.placement(),
+		threads:    cfg.threads(),
+		parked:     make(chan *rankState),
+		linkBusy:   make([]float64, len(cfg.Cluster.Nodes)),
+		fabricBusy: make([]float64, len(cfg.Cluster.Nodes)),
+		computeFac: cfg.ComputeFactor,
+	}
+	if e.computeFac <= 0 {
+		e.computeFac = 1
+	}
+	e.bootFactor = 1
+	if e.place.UsesWholeNode() {
+		e.bootFactor = machine.BootCpusetFactor
+	}
+	if e.threads > 1 {
+		e.subPlace = make([]*machine.Placement, cfg.Procs)
+		locs := e.place.Locs()
+		for i := 0; i < cfg.Procs; i++ {
+			e.subPlace[i] = machine.NewPlacement(cfg.Cluster, locs[i*e.threads:(i+1)*e.threads])
+		}
+	}
+	e.ranks = make([]*rankState, cfg.Procs)
+	for i := range e.ranks {
+		e.ranks[i] = &rankState{
+			id:     i,
+			status: stReady,
+			resume: make(chan struct{}),
+			mail:   make(map[mailKey][]*message),
+		}
+	}
+	// Representative latency for the barrier tree: the span of the job.
+	a := e.slot(0, 0)
+	b := e.slot(cfg.Procs-1, 0)
+	e.barrierLat = e.net.Latency(a, b)
+	return e
+}
+
+// slot returns the CPU of rank r's thread t.
+func (e *engine) slot(r, t int) machine.Loc {
+	return e.place.Loc(r*e.threads + t)
+}
+
+func (e *engine) pickReady() *rankState {
+	var best *rankState
+	for _, r := range e.ranks {
+		if r.status != stReady {
+			continue
+		}
+		if best == nil || r.now < best.now || (r.now == best.now && r.id < best.id) {
+			best = r
+		}
+	}
+	return best
+}
+
+func (e *engine) deadlock() {
+	var blocked []string
+	for _, r := range e.ranks {
+		switch r.status {
+		case stBlockedRecv:
+			blocked = append(blocked, fmt.Sprintf("rank %d waiting Recv(src=%d tag=%d) at t=%.6g",
+				r.id, r.wantSrc, r.wantTag, r.now))
+		case stBlockedBarrier:
+			blocked = append(blocked, fmt.Sprintf("rank %d in barrier at t=%.6g", r.id, r.now))
+		}
+	}
+	sort.Strings(blocked)
+	panic(fmt.Sprintf("vmpi: deadlock; %d ranks blocked:\n%s", len(blocked), join(blocked)))
+}
+
+func join(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += "\n"
+		}
+		out += s
+		if i == 15 && len(ss) > 16 {
+			return out + "\n..."
+		}
+	}
+	return out
+}
+
+// yield parks the calling rank goroutine and hands control to the engine.
+func (e *engine) yield(r *rankState) {
+	e.parked <- r
+	<-r.resume
+}
+
+// yieldReady parks the rank in the ready state after its clock advanced, so
+// ranks with smaller clocks get scheduled first. This keeps the FCFS
+// occupancy of shared fabric/link capacities in near-time order: without
+// it, a rank that unblocks early can execute a whole compute phase and
+// timestamp *future* traffic before slower ranks issue their current
+// messages, inflating everyone's queue position.
+func (e *engine) yieldReady(r *rankState) {
+	r.status = stReady
+	e.yield(r)
+}
+
+// send timestamps and enqueues a message; see the package comment for the
+// timing model.
+func (e *engine) send(r *rankState, dst, tag int, bytes float64, data []float64) {
+	if dst < 0 || dst >= len(e.ranks) {
+		panic(fmt.Sprintf("vmpi: rank %d sent to invalid rank %d", r.id, dst))
+	}
+	a := e.slot(r.id, 0)
+	b := e.slot(dst, 0)
+	lat := e.net.Latency(a, b)
+	bw := e.net.Bandwidth(a, b)
+	internode := a.Node != b.Node
+	ib := internode && e.cfg.Cluster.Fabric == machine.InfiniBand
+	if ib && e.cfg.RandomPattern {
+		bw *= machine.IBRandomRingCollapse
+	}
+	start := r.now
+	arr := start + lat + bytes/bw
+	if !internode && e.cfg.Cluster.Brick(a) != e.cfg.Cluster.Brick(b) {
+		// Same box, different C-bricks: the transfer occupies the node's
+		// shared NUMAlink fabric FCFS. This is what makes bisection-
+		// hungry patterns (FT's transpose, random rings) degrade with
+		// CPU count, and degrade harder on the 3700.
+		occ := bytes / e.net.IntraNodeCapacity(a.Node)
+		free := e.fabricBusy[a.Node]
+		if start > free {
+			free = start
+		}
+		e.fabricBusy[a.Node] = free + occ
+		if t := e.fabricBusy[a.Node] + lat; t > arr {
+			arr = t
+		}
+	}
+	if internode {
+		// FCFS occupancy of each box's internode capacity.
+		for _, nd := range [2]int{a.Node, b.Node} {
+			occ := bytes / e.net.InternodeCapacity(nd)
+			free := e.linkBusy[nd]
+			if start > free {
+				free = start
+			}
+			e.linkBusy[nd] = free + occ
+			if t := e.linkBusy[nd] + lat; t > arr {
+				arr = t
+			}
+		}
+	}
+	oh := sendOverheadFrac * lat
+	r.now += oh
+	r.comm += oh
+
+	m := &message{src: r.id, tag: tag, bytes: bytes, arrival: arr}
+	if data != nil {
+		m.data = append([]float64(nil), data...)
+	}
+	d := e.ranks[dst]
+	k := mailKey{r.id, tag}
+	d.mail[k] = append(d.mail[k], m)
+	if d.status == stBlockedRecv && d.wantTag == tag &&
+		(d.wantSrc == r.id || d.wantSrc == AnySource) {
+		e.completeRecv(d)
+	}
+}
+
+// match pops the next message for (src, tag) if one is queued. AnySource
+// picks the earliest arrival (ties to the lowest source rank) for
+// determinism.
+func (e *engine) match(r *rankState, src, tag int) *message {
+	if src != AnySource {
+		k := mailKey{src, tag}
+		q := r.mail[k]
+		if len(q) == 0 {
+			return nil
+		}
+		m := q[0]
+		if len(q) == 1 {
+			delete(r.mail, k)
+		} else {
+			r.mail[k] = q[1:]
+		}
+		return m
+	}
+	bestSrc := -1
+	bestArr := math.Inf(1)
+	for s := 0; s < len(e.ranks); s++ {
+		q := r.mail[mailKey{s, tag}]
+		if len(q) > 0 && q[0].arrival < bestArr {
+			bestArr = q[0].arrival
+			bestSrc = s
+		}
+	}
+	if bestSrc < 0 {
+		return nil
+	}
+	return e.match(r, bestSrc, tag)
+}
+
+// completeRecv finishes a blocked receive whose message has just arrived.
+func (e *engine) completeRecv(d *rankState) {
+	m := e.match(d, d.wantSrc, d.wantTag)
+	if m == nil {
+		return
+	}
+	if m.arrival > d.now {
+		d.comm += m.arrival - d.now
+		d.now = m.arrival
+	}
+	d.recvResult = m
+	d.status = stReady
+}
+
+func (e *engine) recv(r *rankState, src, tag int) *message {
+	if src != AnySource && (src < 0 || src >= len(e.ranks)) {
+		panic(fmt.Sprintf("vmpi: rank %d receives from invalid rank %d", r.id, src))
+	}
+	if m := e.match(r, src, tag); m != nil {
+		if m.arrival > r.now {
+			r.comm += m.arrival - r.now
+			r.now = m.arrival
+			e.yieldReady(r)
+		}
+		return m
+	}
+	r.wantSrc, r.wantTag = src, tag
+	r.status = stBlockedRecv
+	e.yield(r)
+	m := r.recvResult
+	r.recvResult = nil
+	if m == nil {
+		panic("vmpi: spurious wakeup")
+	}
+	return m
+}
+
+func (e *engine) barrier(r *rankState) {
+	e.inBarrier++
+	if r.now > e.barrierMax {
+		e.barrierMax = r.now
+	}
+	if e.inBarrier < len(e.ranks) {
+		r.status = stBlockedBarrier
+		e.yield(r)
+		return
+	}
+	// Last one in: release everyone at the tree-completion time.
+	cost := 2 * math.Ceil(math.Log2(float64(len(e.ranks)))) * e.barrierLat
+	if len(e.ranks) == 1 {
+		cost = 0
+	}
+	t := e.barrierMax + cost
+	for _, d := range e.ranks {
+		if d == r || d.status == stBlockedBarrier {
+			d.comm += t - d.now
+			d.now = t
+			if d != r {
+				d.status = stReady
+			}
+		}
+	}
+	e.inBarrier = 0
+	e.barrierMax = 0
+}
+
+// computeTime evaluates work w for rank r including threads, compiler
+// factor, pinning penalty and boot-cpuset interference.
+func (e *engine) computeTime(r *rankState, w machine.Work) float64 {
+	var t float64
+	total := e.place.N()
+	if e.threads == 1 {
+		t = e.place.ComputeTime(r.id, w)
+		t *= pinning.MemPenalty(e.cfg.Pin, 1, total)
+	} else {
+		o := e.cfg.OMP
+		o.Method = e.cfg.Pin
+		t = omp.ModelTime(e.subPlace[r.id], w, o, total)
+	}
+	return t * e.computeFac * e.bootFactor
+}
+
+func (e *engine) result() Result {
+	res := Result{Stats: make([]RankStats, len(e.ranks))}
+	for i, r := range e.ranks {
+		res.Stats[i] = RankStats{Compute: r.compute, Comm: r.comm, Finish: r.now}
+		if r.now > res.Time {
+			res.Time = r.now
+		}
+		if r.comm > res.MaxComm {
+			res.MaxComm = r.comm
+		}
+		if r.compute > res.MaxCompute {
+			res.MaxCompute = r.compute
+		}
+		res.AvgComm += r.comm
+		res.AvgCompute += r.compute
+	}
+	res.AvgComm /= float64(len(e.ranks))
+	res.AvgCompute /= float64(len(e.ranks))
+	return res
+}

@@ -1,0 +1,203 @@
+package vmpi
+
+import (
+	"math"
+	"testing"
+
+	"columbia/internal/machine"
+	"columbia/internal/netmodel"
+	"columbia/internal/par"
+)
+
+func TestPingPongLatency(t *testing.T) {
+	cl := machine.NewSingleNode(machine.AltixBX2b)
+	net := netmodel.New(cl)
+	var half float64
+	res := Run(Config{Cluster: cl, Procs: 2}, func(c par.Comm) {
+		const reps = 100
+		if c.Rank() == 0 {
+			t0 := c.Now()
+			for i := 0; i < reps; i++ {
+				c.SendBytes(1, 7, 8)
+				c.RecvBytes(1, 8)
+			}
+			half = (c.Now() - t0) / (2 * reps)
+		} else {
+			for i := 0; i < reps; i++ {
+				c.RecvBytes(0, 7)
+				c.SendBytes(0, 8, 8)
+			}
+		}
+	})
+	a := machine.Loc{Node: 0, CPU: 0}
+	b := machine.Loc{Node: 0, CPU: 1}
+	want := net.TransferTime(a, b, 8)
+	// Half round trip should be within the send-overhead slop of the
+	// one-way transfer time.
+	if half < want || half > want*1.5 {
+		t.Errorf("ping-pong half RTT = %.3g, want about %.3g", half, want)
+	}
+	if res.Time <= 0 {
+		t.Error("result time not positive")
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	cl := machine.NewSingleNode(machine.Altix3700)
+	w := machine.Work{Flops: 6e9, Efficiency: 1} // one second at peak
+	res := Run(Config{Cluster: cl, Procs: 1}, func(c par.Comm) {
+		c.Compute(w)
+	})
+	if math.Abs(res.Time-1.0) > 1e-9 {
+		t.Errorf("1s of peak flops took %.6g virtual seconds", res.Time)
+	}
+	if res.MaxCompute != res.Time || res.MaxComm != 0 {
+		t.Errorf("stats wrong: %+v", res)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	cl := machine.NewSingleNode(machine.AltixBX2b)
+	res := Run(Config{Cluster: cl, Procs: 8}, func(c par.Comm) {
+		// Rank r computes r+1 units then barriers; all must leave at
+		// least at the slowest rank's time.
+		c.Compute(machine.Work{Flops: float64(c.Rank()+1) * 6.4e9, Efficiency: 1})
+		c.Barrier()
+		if c.Now() < 8.0 {
+			t.Errorf("rank %d left barrier at %.3g, before slowest rank", c.Rank(), c.Now())
+		}
+	})
+	for i, s := range res.Stats {
+		if s.Finish < 8.0 {
+			t.Errorf("rank %d finished at %.3g", i, s.Finish)
+		}
+	}
+}
+
+func TestCollectivesMatchRealEngine(t *testing.T) {
+	const p = 6
+	sumReal := make([]float64, p)
+	sumSim := make([]float64, p)
+	run := func(results []float64, engine func(fn func(par.Comm))) {
+		engine(func(c par.Comm) {
+			data := []float64{float64(c.Rank() + 1)}
+			out := par.AllreduceSum(c, data)
+			results[c.Rank()] = out[0]
+		})
+	}
+	run(sumReal, func(fn func(par.Comm)) { par.Run(p, fn) })
+	cl := machine.NewSingleNode(machine.Altix3700)
+	run(sumSim, func(fn func(par.Comm)) { Run(Config{Cluster: cl, Procs: p}, fn) })
+	want := float64(p * (p + 1) / 2)
+	for i := 0; i < p; i++ {
+		if sumReal[i] != want || sumSim[i] != want {
+			t.Fatalf("allreduce rank %d: real=%v sim=%v want %v", i, sumReal[i], sumSim[i], want)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cl := machine.NewBX2bQuad()
+	run := func() float64 {
+		res := Run(Config{Cluster: cl, Procs: 64, Nodes: 4}, func(c par.Comm) {
+			par.AlltoallBytes(c, 4096)
+			par.AllreduceBytes(c, 64)
+			c.Barrier()
+		})
+		return res.Time
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("simulation not deterministic: %.12g vs %.12g", a, b)
+	}
+}
+
+func TestInfiniBandSlowerThanNUMAlink(t *testing.T) {
+	pattern := func(cl *machine.Cluster) float64 {
+		res := Run(Config{Cluster: cl, Procs: 32, Nodes: 4}, func(c par.Comm) {
+			for i := 0; i < 10; i++ {
+				par.AlltoallBytes(c, 64*1024)
+			}
+		})
+		return res.Time
+	}
+	nl := pattern(machine.NewBX2bQuad())
+	ib := pattern(machine.NewBX2bQuadIB())
+	if ib <= nl {
+		t.Errorf("InfiniBand alltoall (%.4g s) should be slower than NUMAlink4 (%.4g s)", ib, nl)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	cl := machine.NewSingleNode(machine.Altix3700)
+	Run(Config{Cluster: cl, Procs: 2}, func(c par.Comm) {
+		c.RecvBytes(1-c.Rank(), 1) // both wait, nobody sends
+	})
+}
+
+// naiveAllreduceBytes is the flat root-fanout baseline for the ablation:
+// everyone sends to rank 0, which replies to everyone.
+func naiveAllreduceBytes(c par.Comm, bytes float64) {
+	if c.Rank() == 0 {
+		for r := 1; r < c.Size(); r++ {
+			c.RecvBytes(r, 1)
+		}
+		for r := 1; r < c.Size(); r++ {
+			c.SendBytes(r, 2, bytes)
+		}
+	} else {
+		c.SendBytes(0, 1, bytes)
+		c.RecvBytes(0, 2)
+	}
+}
+
+func TestAblationTreeCollectivesBeatFanout(t *testing.T) {
+	// DESIGN.md ablation #2: building collectives from structured
+	// point-to-point patterns must beat a flat root fanout in virtual
+	// time once the job is wide.
+	cl := machine.NewSingleNode(machine.AltixBX2b)
+	run := func(fn func(par.Comm)) float64 {
+		return Run(Config{Cluster: cl, Procs: 256}, fn).Time
+	}
+	tree := run(func(c par.Comm) { par.AllreduceBytes(c, 8192) })
+	flat := run(func(c par.Comm) { naiveAllreduceBytes(c, 8192) })
+	if tree >= flat {
+		t.Errorf("recursive doubling (%.3g s) should beat root fanout (%.3g s) at 256 ranks", tree, flat)
+	}
+}
+
+func TestHybridThreadsSpeedCompute(t *testing.T) {
+	cl := machine.NewSingleNode(machine.AltixBX2b)
+	w := machine.Work{Flops: 64e9, Efficiency: 0.5}
+	t1 := Run(Config{Cluster: cl, Procs: 2, Threads: 1}, func(c par.Comm) { c.Compute(w) }).Time
+	t8 := Run(Config{Cluster: cl, Procs: 2, Threads: 8}, func(c par.Comm) { c.Compute(w) }).Time
+	if !(t8 < t1/4) {
+		t.Errorf("8 threads (%.3g s) should be much faster than 1 (%.3g s)", t8, t1)
+	}
+}
+
+func TestBootCpusetInterference(t *testing.T) {
+	cl := machine.NewSingleNode(machine.AltixBX2b)
+	w := machine.Work{Flops: 6.4e9, Efficiency: 1}
+	t508 := Run(Config{Cluster: cl, Procs: 508}, func(c par.Comm) { c.Compute(w) }).Time
+	t512 := Run(Config{Cluster: cl, Procs: 512}, func(c par.Comm) { c.Compute(w) }).Time
+	r := t512 / t508
+	if r < 1.10 || r > 1.16 {
+		t.Errorf("whole-node run slowdown = %.3f, want the 10-15%% boot-cpuset hit", r)
+	}
+}
+
+func TestStridePlacementFasterForMemBound(t *testing.T) {
+	cl := machine.NewSingleNode(machine.Altix3700)
+	w := machine.Work{MemBytes: 3.8e9, WorkingSet: 1e9}
+	dense := Run(Config{Cluster: cl, Procs: 8}, func(c par.Comm) { c.Compute(w) }).Time
+	spread := Run(Config{Cluster: cl, Procs: 8, Stride: 2}, func(c par.Comm) { c.Compute(w) }).Time
+	if ratio := dense / spread; ratio < 1.7 || ratio > 2.0 {
+		t.Errorf("dense/spread memory-bound ratio = %.2f, want ~1.9 (Sec 4.2)", ratio)
+	}
+}
