@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race bench verify golden
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# -short skips the 2048-rank experiments, which take tens of race-instrumented
+# minutes on small hosts (see verify.sh).
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full tier-1 gate: gofmt, vet, build, tests, race detector.
+verify:
+	./verify.sh
+
+# Regenerate the golden experiment outputs after an intentional model change.
+golden:
+	$(GO) test ./internal/core -run TestGoldenOutputs -update

@@ -21,6 +21,8 @@ import (
 	"columbia/internal/omp"
 	"columbia/internal/overset"
 	"columbia/internal/par"
+	"columbia/internal/report"
+	"columbia/internal/sweep"
 	"columbia/internal/vmpi"
 )
 
@@ -31,12 +33,47 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		// Drop the sweep cache so every iteration times real regeneration,
+		// not a map lookup.
+		sweep.ResetCache()
 		tables := e.Run()
 		if len(tables) == 0 {
 			b.Fatal("no tables")
 		}
 	}
 }
+
+// --- Scheduler benchmarks: the full paper sweep, serial vs parallel ---
+
+// benchSweepAll reproduces every experiment (the work of `columbia all`)
+// through the sweep scheduler on the given worker count. Each iteration
+// starts from a cold cache; experiments fan out as coordinators exactly as
+// the CLI does.
+func benchSweepAll(b *testing.B, workers int) {
+	exps := core.Experiments()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweep.SetWorkers(workers) // fresh pool, cold cache
+		futs := make([]*sweep.Future[[]*report.Table], 0, len(exps))
+		for _, e := range exps {
+			e := e
+			futs = append(futs, sweep.Go(sweep.Default(), e.Run))
+		}
+		for _, f := range futs {
+			if len(f.Wait()) == 0 {
+				b.Fatal("no tables")
+			}
+		}
+	}
+	b.StopTimer()
+	sweep.SetWorkers(0)
+}
+
+// BenchmarkSweepSerial and BenchmarkSweepParallel demonstrate the -j
+// speedup: identical byte output (asserted in the core determinism test),
+// different wall clock on a multi-core host.
+func BenchmarkSweepSerial(b *testing.B)   { benchSweepAll(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweepAll(b, 8) }
 
 // --- One benchmark per paper item ---
 

@@ -9,24 +9,32 @@
 //	columbia all              run everything in paper order
 //	columbia -csv run <id>    emit CSV instead of aligned tables
 //	columbia -plot run <id>   append ASCII plots to figure tables
+//	columbia -j 8 all         run sweep points on up to 8 workers
+//
+// Output is byte-identical for every -j value: experiments render
+// concurrently, but the CLI prints them in submission order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"columbia/internal/core"
 	"columbia/internal/report"
+	"columbia/internal/sweep"
 )
 
 var (
 	csvOut  = flag.Bool("csv", false, "emit CSV")
 	plotOut = flag.Bool("plot", false, "append ASCII plots")
+	jobs    = flag.Int("j", 0, "max concurrent sweep points (0 = GOMAXPROCS)")
 )
 
 func main() {
 	flag.Parse()
+	sweep.SetWorkers(*jobs)
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -37,46 +45,70 @@ func main() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 	case "all":
+		var futs []*sweep.Future[string]
 		for _, e := range core.Experiments() {
-			runOne(e)
+			futs = append(futs, renderAsync(e))
+		}
+		for _, f := range futs {
+			fmt.Print(f.Wait())
 		}
 	case "run":
 		if len(args) < 2 {
 			usage()
 		}
+		// Lookups stay lazy so a bad ID after valid ones still prints the
+		// earlier experiments first, exactly as a sequential loop would.
+		var futs []*sweep.Future[string]
+		flush := func() {
+			for _, f := range futs {
+				fmt.Print(f.Wait())
+			}
+			futs = nil
+		}
 		for _, id := range args[1:] {
 			e, err := core.Lookup(id)
 			if err != nil {
+				flush()
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			runOne(e)
+			futs = append(futs, renderAsync(e))
 		}
+		flush()
 	default:
 		usage()
 	}
 }
 
-func runOne(e core.Experiment) {
-	fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
-	fmt.Printf("paper: %s\n\n", e.Paper)
-	for _, t := range e.Run() {
-		emit(t)
-	}
+// renderAsync runs an experiment on a coordinator goroutine and returns its
+// full rendered output. Concurrency lives in the sweep points the experiment
+// submits; rendering to a string keeps stdout in paper order.
+func renderAsync(e core.Experiment) *sweep.Future[string] {
+	return sweep.Go(sweep.Default(), func() string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "== %s: %s ==\n", e.ID, e.Title)
+		fmt.Fprintf(&b, "paper: %s\n\n", e.Paper)
+		for _, t := range e.Run() {
+			emit(&b, t)
+		}
+		return b.String()
+	})
 }
 
-func emit(t *report.Table) {
+func emit(b *strings.Builder, t *report.Table) {
 	if *csvOut {
-		fmt.Print(t.CSV())
+		b.WriteString(t.CSV())
 		return
 	}
-	fmt.Println(t.String())
+	b.WriteString(t.String())
+	b.WriteByte('\n')
 	if *plotOut {
-		fmt.Println(t.Plot(10))
+		b.WriteString(t.Plot(10))
+		b.WriteByte('\n')
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: columbia [-csv] [-plot] {list | all | run <id>...}")
+	fmt.Fprintln(os.Stderr, "usage: columbia [-csv] [-plot] [-j N] {list | all | run <id>...}")
 	os.Exit(2)
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"columbia/internal/machine"
@@ -13,24 +14,30 @@ import (
 	"columbia/internal/par"
 	"columbia/internal/pinning"
 	"columbia/internal/report"
+	"columbia/internal/sweep"
 	"columbia/internal/vmpi"
 )
 
-func stepTime(bench string, class npb.Class, procs, threads int, pin pinning.Method) float64 {
+// stepTime submits one hybrid configuration as a cached sweep point; every
+// point of both tables below fans out across the pool before any is waited.
+func stepTime(bench string, class npb.Class, procs, threads int, pin pinning.Method) *sweep.Future[float64] {
 	cl := machine.NewSingleNode(machine.AltixBX2b)
-	fn, info := npbmz.Skeleton(bench, class, procs)
-	res := vmpi.Run(vmpi.Config{
-		Cluster: cl,
-		Net:     netmodel.New(cl),
-		Procs:   procs,
-		Threads: threads,
-		Pin:     pin,
-		OMP:     info.OMPOpts(),
-	}, fn)
-	return res.Time / npbmz.SkeletonIters
+	cfg := vmpi.Config{Cluster: cl, Procs: procs, Threads: threads, Pin: pin}
+	key := fmt.Sprintf("npbsweep/%s/%s/%s", bench, class, cfg.Fingerprint())
+	return sweep.Cached(sweep.Default(), key, func() float64 {
+		fn, info := npbmz.Skeleton(bench, class, procs)
+		run := cfg
+		run.Net = netmodel.New(cl)
+		run.OMP = info.OMPOpts()
+		res := vmpi.Run(run, fn)
+		return res.Time / npbmz.SkeletonIters
+	})
 }
 
 func main() {
+	jobs := flag.Int("j", 0, "max concurrent sweep points (0 = GOMAXPROCS)")
+	flag.Parse()
+	sweep.SetWorkers(*jobs)
 	fmt.Println("== Multi-zone NPB hybrid sweep (BX2b) ==")
 
 	// Real coupled mini multi-zone run (validates the exchange logic).
@@ -48,25 +55,42 @@ func main() {
 
 	// BT-MZ class C: same 256 CPUs, different process/thread splits.
 	zones := npbmz.Classes[npb.ClassC].Zones()
-	t := report.New("BT-MZ class C on 256 CPUs: process/thread splits",
-		"procs x threads", "imbalance", "time/step (s)")
-	for _, cfg := range []struct{ p, th int }{{256, 1}, {128, 2}, {64, 4}, {32, 8}} {
+	btCfgs := []struct{ p, th int }{{256, 1}, {128, 2}, {64, 4}, {32, 8}}
+	btPts := map[int]*sweep.Future[float64]{}
+	for i, cfg := range btCfgs {
 		if cfg.p > zones {
 			continue
 		}
+		btPts[i] = stepTime("BT-MZ", npb.ClassC, cfg.p, cfg.th, pinning.Dplace)
+	}
+	// Pinning ablation (Fig. 7) — submitted before either table is assembled.
+	spCfgs := []struct{ p, th int }{{128, 1}, {32, 4}, {8, 16}}
+	type pinPair struct{ pinned, unpinned *sweep.Future[float64] }
+	spPts := make([]pinPair, len(spCfgs))
+	for i, cfg := range spCfgs {
+		spPts[i] = pinPair{
+			pinned:   stepTime("SP-MZ", npb.ClassC, cfg.p, cfg.th, pinning.Dplace),
+			unpinned: stepTime("SP-MZ", npb.ClassC, cfg.p, cfg.th, pinning.None),
+		}
+	}
+
+	t := report.New("BT-MZ class C on 256 CPUs: process/thread splits",
+		"procs x threads", "imbalance", "time/step (s)")
+	for i, cfg := range btCfgs {
+		f, ok := btPts[i]
+		if !ok {
+			continue
+		}
 		_, info := npbmz.Skeleton("BT-MZ", npb.ClassC, cfg.p)
-		t.AddF(fmt.Sprintf("%dx%d", cfg.p, cfg.th), info.Imbalance(),
-			stepTime("BT-MZ", npb.ClassC, cfg.p, cfg.th, pinning.Dplace))
+		t.AddF(fmt.Sprintf("%dx%d", cfg.p, cfg.th), info.Imbalance(), f.Wait())
 	}
 	t.Note("Fewer processes balance the uneven zones better but pay the limited intra-zone OpenMP scaling (Fig. 9).")
 	fmt.Println(t)
 
-	// Pinning ablation (Fig. 7).
 	t2 := report.New("SP-MZ class C on 128 CPUs: pinning effect",
 		"procs x threads", "pinned (s)", "unpinned (s)", "slowdown")
-	for _, cfg := range []struct{ p, th int }{{128, 1}, {32, 4}, {8, 16}} {
-		a := stepTime("SP-MZ", npb.ClassC, cfg.p, cfg.th, pinning.Dplace)
-		b := stepTime("SP-MZ", npb.ClassC, cfg.p, cfg.th, pinning.None)
+	for i, cfg := range spCfgs {
+		a, b := spPts[i].pinned.Wait(), spPts[i].unpinned.Wait()
 		t2.AddF(fmt.Sprintf("%dx%d", cfg.p, cfg.th), a, b, b/a)
 	}
 	fmt.Println(t2)

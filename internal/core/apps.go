@@ -9,6 +9,7 @@ import (
 	"columbia/internal/md"
 	"columbia/internal/overflow"
 	"columbia/internal/report"
+	"columbia/internal/sweep"
 	"columbia/internal/vmpi"
 )
 
@@ -105,18 +106,24 @@ func runTable5() []*report.Table {
 	w := md.PaperWeakScaling()
 	t := report.New("Table 5: MD weak scaling (64,000 atoms/processor, NUMAlink4)",
 		"CPUs", "atoms (millions)", "s/step", "efficiency")
-	var base float64
-	for _, p := range []int{1, 8, 64, 256, 504, 1020, 2040} {
+	procCounts := []int{1, 8, 64, 256, 504, 1020, 2040}
+	points := make([]*sweep.Future[float64], len(procCounts))
+	for i, p := range procCounts {
+		p := p
 		nodes := (p + 509) / 510
 		if nodes > 4 {
 			nodes = 4
 		}
-		res := vmpi.Run(vmpi.Config{
-			Cluster: machine.NewBX2bQuad(),
-			Procs:   p,
-			Nodes:   nodes,
-		}, w.Skeleton(p))
-		perStep := res.Time / md.SkeletonSteps
+		cfg := vmpi.Config{Cluster: machine.NewBX2bQuad(), Procs: p, Nodes: nodes}
+		key := fmt.Sprintf("md-weak/atoms=%d/%s", w.AtomsPerProc, cfg.Fingerprint())
+		points[i] = sweep.Cached(sweep.Default(), key, func() float64 {
+			res := vmpi.Run(cfg, w.Skeleton(p))
+			return res.Time / md.SkeletonSteps
+		})
+	}
+	var base float64
+	for i, p := range procCounts {
+		perStep := points[i].Wait()
 		if p == 1 {
 			base = perStep
 		}

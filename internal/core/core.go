@@ -48,16 +48,19 @@ func order(id string) int {
 	return len(seq)
 }
 
-// Lookup finds an experiment by ID.
+// Lookup finds an experiment by ID. It searches the same sorted slice that
+// Experiments (and therefore `columbia list`) presents, so every listed ID
+// resolves and the error message enumerates IDs in paper order.
 func Lookup(id string) (Experiment, error) {
-	for _, e := range registry {
+	exps := Experiments()
+	for _, e := range exps {
 		if e.ID == id {
 			return e, nil
 		}
 	}
-	var ids []string
-	for _, e := range Experiments() {
-		ids = append(ids, e.ID)
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
 	}
 	return Experiment{}, fmt.Errorf("core: unknown experiment %q (have: %s)", id, strings.Join(ids, ", "))
 }

@@ -33,6 +33,21 @@ func TestRegistryComplete(t *testing.T) {
 	}
 }
 
+// TestLookupFindsAllListedExperiments pins Lookup to the same slice `columbia
+// list` prints: every listed ID must resolve, to the same experiment.
+func TestLookupFindsAllListedExperiments(t *testing.T) {
+	for _, e := range Experiments() {
+		got, err := Lookup(e.ID)
+		if err != nil {
+			t.Errorf("Lookup(%q) failed: %v", e.ID, err)
+			continue
+		}
+		if got.ID != e.ID || got.Title != e.Title {
+			t.Errorf("Lookup(%q) returned %q (%q)", e.ID, got.ID, got.Title)
+		}
+	}
+}
+
 // cell parses a numeric table cell.
 func cell(t *testing.T, tb *report.Table, row, col int) float64 {
 	t.Helper()

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+
+	"columbia/internal/sweep"
+)
+
+// TestMain caps the default pool under the race detector: on a many-core
+// machine GOMAXPROCS workers times 2048-rank simulations would blow the
+// race runtime's goroutine ceiling before any race was found.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if sweep.RaceEnabled {
+		sweep.SetWorkers(2)
+	}
+	os.Exit(m.Run())
+}
+
+// experimentCSV renders an experiment's full output in the canonical CSV
+// form shared by the determinism and golden tests.
+func experimentCSV(e Experiment) string {
+	var b strings.Builder
+	for _, t := range e.Run() {
+		b.WriteString("# " + t.Title + "\n")
+		b.WriteString(t.CSV())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// heavyExperiments submit sweep points with up to 2048 simulated ranks each.
+// They are skipped in -short mode, and under the race detector their
+// parallel replay runs on fewer workers: the race runtime dies hard at
+// ~8k simultaneously live goroutines, which eight concurrent 2048-rank
+// simulations would exceed.
+var heavyExperiments = map[string]bool{
+	"fig5": true, "fig6": true, "fig9": true, "fig10": true,
+	"fig11": true, "table5": true,
+}
+
+// parallelWorkers picks the worker count for an experiment's parallel
+// replay: 8 normally (the -j 8 of the acceptance criteria), 2 for heavy
+// experiments under -race.
+func parallelWorkers(id string) int {
+	if sweep.RaceEnabled && heavyExperiments[id] {
+		return 2
+	}
+	return 8
+}
+
+// TestParallelReplayDeterminism runs every registered experiment once on a
+// single worker and once on many, asserting byte-identical CSV output.
+// SetWorkers replaces the default pool and drops its cache, so the second
+// run recomputes every sweep point under real concurrency.
+func TestParallelReplayDeterminism(t *testing.T) {
+	defer sweep.SetWorkers(0)
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if testing.Short() && heavyExperiments[e.ID] {
+				t.Skip("heavy experiment in -short mode")
+			}
+			sweep.SetWorkers(1)
+			serial := experimentCSV(e)
+			sweep.SetWorkers(parallelWorkers(e.ID))
+			parallel := experimentCSV(e)
+			if serial != parallel {
+				t.Fatalf("%s: parallel output differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+					e.ID, serial, parallel)
+			}
+		})
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// TestGoldenOutputs diffs each experiment's CSV rendering against the
+// checked-in file under testdata/golden. Regenerate after an intentional
+// model change with
+//
+//	go test ./internal/core -run TestGoldenOutputs -update
+func TestGoldenOutputs(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if testing.Short() && heavyExperiments[e.ID] {
+				t.Skip("heavy experiment in -short mode")
+			}
+			path := filepath.Join("testdata", "golden", e.ID+".csv")
+			got := experimentCSV(e)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output drifted from golden file %s\n%s", e.ID, path, firstDiff(string(want), got))
+			}
+		})
+	}
+}
+
+// firstDiff reports the first differing line, keeping failure output short.
+func firstDiff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  golden: %s\n  got:    %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: golden %d, got %d", len(wl), len(gl))
+}

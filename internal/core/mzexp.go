@@ -9,6 +9,7 @@ import (
 	"columbia/internal/npbmz"
 	"columbia/internal/pinning"
 	"columbia/internal/report"
+	"columbia/internal/sweep"
 	"columbia/internal/vmpi"
 )
 
@@ -33,27 +34,41 @@ func init() {
 	})
 }
 
-// mzTime returns the per-step virtual time of a hybrid multi-zone run.
+// mzTimeAsync submits a hybrid multi-zone run as a sweep point and returns
+// the per-step virtual-time future.
+func mzTimeAsync(bench string, class npb.Class, cl *machine.Cluster, procs, threads, nodes int,
+	pin pinning.Method, mpt machine.MPTVersion) *sweep.Future[float64] {
+	// OMP options derive deterministically from bench/class (pinned by the
+	// key prefix), and the MPT version is keyed explicitly because the net
+	// model is built inside the point.
+	keyCfg := vmpi.Config{Cluster: cl, Procs: procs, Threads: threads, Nodes: nodes, Pin: pin}
+	key := fmt.Sprintf("mz/%s/%s/mpt=%s/%s", bench, class, mpt, keyCfg.Fingerprint())
+	return sweep.Cached(sweep.Default(), key, func() float64 {
+		fn, info := npbmz.Skeleton(bench, class, procs)
+		net := netmodel.New(cl)
+		net.MPT = mpt
+		res := vmpi.Run(vmpi.Config{
+			Cluster: cl,
+			Net:     net,
+			Procs:   procs,
+			Threads: threads,
+			Nodes:   nodes,
+			Pin:     pin,
+			OMP:     info.OMPOpts(),
+		}, fn)
+		t := res.Time / npbmz.SkeletonIters
+		if bench == "SP-MZ" {
+			// The released-MPT InfiniBand anomaly taxes SP-MZ whole runs.
+			t *= net.MPTRunFactor(procs)
+		}
+		return t
+	})
+}
+
+// mzTime is the synchronous form used by shape tests.
 func mzTime(bench string, class npb.Class, cl *machine.Cluster, procs, threads, nodes int,
 	pin pinning.Method, mpt machine.MPTVersion) float64 {
-	fn, info := npbmz.Skeleton(bench, class, procs)
-	net := netmodel.New(cl)
-	net.MPT = mpt
-	res := vmpi.Run(vmpi.Config{
-		Cluster: cl,
-		Net:     net,
-		Procs:   procs,
-		Threads: threads,
-		Nodes:   nodes,
-		Pin:     pin,
-		OMP:     info.OMPOpts(),
-	}, fn)
-	t := res.Time / npbmz.SkeletonIters
-	if bench == "SP-MZ" {
-		// The released-MPT InfiniBand anomaly taxes SP-MZ whole runs.
-		t *= net.MPTRunFactor(procs)
-	}
-	return t
+	return mzTimeAsync(bench, class, cl, procs, threads, nodes, pin, mpt).Wait()
 }
 
 // mzGflops converts a per-step time into whole-job Gflop/s.
@@ -64,18 +79,32 @@ func mzGflops(bench string, class npb.Class, perStep float64) float64 {
 
 func runFig7() []*report.Table {
 	cl := machine.NewSingleNode(machine.AltixBX2b)
-	var tables []*report.Table
-	for _, cpus := range []int{64, 128, 256} {
-		t := report.New(fmt.Sprintf("Fig. 7: SP-MZ class C on %d CPUs, time/step (s)", cpus),
-			"Threads/proc", "pinned", "no pinning", "slowdown")
+	type point struct {
+		label            string
+		pinned, unpinned *sweep.Future[float64]
+	}
+	cpuCounts := []int{64, 128, 256}
+	points := make([][]point, len(cpuCounts))
+	for i, cpus := range cpuCounts {
 		for th := 1; th <= 64 && cpus/th >= 1; th *= 2 {
 			procs := cpus / th
 			if procs > npbmz.Classes[npb.ClassC].Zones() {
 				continue
 			}
-			pinned := mzTime("SP-MZ", npb.ClassC, cl, procs, th, 1, pinning.Dplace, machine.MPT111b)
-			unpinned := mzTime("SP-MZ", npb.ClassC, cl, procs, th, 1, pinning.None, machine.MPT111b)
-			t.AddF(fmt.Sprintf("%dx%d", procs, th), pinned, unpinned, unpinned/pinned)
+			points[i] = append(points[i], point{
+				label:    fmt.Sprintf("%dx%d", procs, th),
+				pinned:   mzTimeAsync("SP-MZ", npb.ClassC, cl, procs, th, 1, pinning.Dplace, machine.MPT111b),
+				unpinned: mzTimeAsync("SP-MZ", npb.ClassC, cl, procs, th, 1, pinning.None, machine.MPT111b),
+			})
+		}
+	}
+	var tables []*report.Table
+	for i, cpus := range cpuCounts {
+		t := report.New(fmt.Sprintf("Fig. 7: SP-MZ class C on %d CPUs, time/step (s)", cpus),
+			"Threads/proc", "pinned", "no pinning", "slowdown")
+		for _, pt := range points[i] {
+			pinned, unpinned := pt.pinned.Wait(), pt.unpinned.Wait()
+			t.AddF(pt.label, pinned, unpinned, unpinned/pinned)
 		}
 		t.Note("Paper: pinning matters most with many threads per process and high CPU counts; pure process mode (x1) is least affected.")
 		tables = append(tables, t)
@@ -85,32 +114,50 @@ func runFig7() []*report.Table {
 
 func runFig9() []*report.Table {
 	cl := machine.NewSingleNode(machine.AltixBX2b)
+	point := func(procs, th int) *sweep.Future[float64] {
+		if procs*th > 512 {
+			return nil
+		}
+		return mzTimeAsync("BT-MZ", npb.ClassC, cl, procs, th, 1, pinning.Dplace, machine.MPT111b)
+	}
+	leftProcs := []int{1, 4, 16, 64, 256}
+	leftThreads := []int{1, 2, 4}
+	rightThreads := []int{1, 2, 4, 8, 16, 32}
+	rightProcs := []int{16, 64, 256}
+	leftPts := make([][]*sweep.Future[float64], len(leftProcs))
+	for i, procs := range leftProcs {
+		for _, th := range leftThreads {
+			leftPts[i] = append(leftPts[i], point(procs, th))
+		}
+	}
+	rightPts := make([][]*sweep.Future[float64], len(rightThreads))
+	for i, th := range rightThreads {
+		for _, procs := range rightProcs {
+			rightPts[i] = append(rightPts[i], point(procs, th))
+		}
+	}
+	cellFor := func(f *sweep.Future[float64]) interface{} {
+		if f == nil {
+			return "-"
+		}
+		return mzGflops("BT-MZ", npb.ClassC, f.Wait())
+	}
 	left := report.New("Fig. 9 (left): BT-MZ class C total Gflop/s, fixed threads, varying processes",
 		"CPUs", "1 thread", "2 threads", "4 threads")
-	for _, procs := range []int{1, 4, 16, 64, 256} {
+	for i, procs := range leftProcs {
 		row := []interface{}{procs}
-		for _, th := range []int{1, 2, 4} {
-			if procs*th > 512 {
-				row = append(row, "-")
-				continue
-			}
-			perStep := mzTime("BT-MZ", npb.ClassC, cl, procs, th, 1, pinning.Dplace, machine.MPT111b)
-			row = append(row, mzGflops("BT-MZ", npb.ClassC, perStep))
+		for _, f := range leftPts[i] {
+			row = append(row, cellFor(f))
 		}
 		left.AddF(row...)
 	}
 	left.Note("Paper: MPI scales almost linearly up to the load-imbalance point.")
 	right := report.New("Fig. 9 (right): BT-MZ class C total Gflop/s, fixed processes, varying threads",
 		"Threads/proc", "16 procs", "64 procs", "256 procs")
-	for _, th := range []int{1, 2, 4, 8, 16, 32} {
+	for i, th := range rightThreads {
 		row := []interface{}{th}
-		for _, procs := range []int{16, 64, 256} {
-			if procs*th > 512 {
-				row = append(row, "-")
-				continue
-			}
-			perStep := mzTime("BT-MZ", npb.ClassC, cl, procs, th, 1, pinning.Dplace, machine.MPT111b)
-			row = append(row, mzGflops("BT-MZ", npb.ClassC, perStep))
+		for _, f := range rightPts[i] {
+			row = append(row, cellFor(f))
 		}
 		right.AddF(row...)
 	}
@@ -119,37 +166,39 @@ func runFig9() []*report.Table {
 }
 
 func runFig11() []*report.Table {
-	var tables []*report.Table
-	// Top row: per-CPU Gflop/s, NUMAlink4 quad vs a single box.
-	for _, bench := range []string{"BT-MZ", "SP-MZ"} {
-		t := report.New(fmt.Sprintf("Fig. 11 (top): %s class E per-CPU Gflop/s, in-node vs NUMAlink4", bench),
-			"CPUs x threads", "single box", "NUMAlink4 quad")
-		for _, cfg := range []struct{ p, th int }{{256, 1}, {256, 2}, {508, 1}, {512, 1}} {
+	benches := []string{"BT-MZ", "SP-MZ"}
+	topCfgs := []struct{ p, th int }{{256, 1}, {256, 2}, {508, 1}, {512, 1}}
+	bottomCPUs := []int{256, 512, 1024, 2048}
+	// Top row points: per-CPU Gflop/s, NUMAlink4 quad vs a single box.
+	type topPoint struct {
+		single, quad *sweep.Future[float64]
+	}
+	top := map[string][]topPoint{}
+	for _, bench := range benches {
+		for _, cfg := range topCfgs {
 			cpus := cfg.p * cfg.th
-			single := "-"
+			var pt topPoint
 			if cpus <= 512 {
-				perStep := mzTime(bench, npb.ClassE, machine.NewSingleNode(machine.AltixBX2b),
+				pt.single = mzTimeAsync(bench, npb.ClassE, machine.NewSingleNode(machine.AltixBX2b),
 					cfg.p, cfg.th, 1, pinning.Dplace, machine.MPT111b)
-				single = report.Fmt(mzGflops(bench, npb.ClassE, perStep) / float64(cpus))
 			}
 			nodes := (cpus + 511) / 512
 			if nodes < 2 {
 				nodes = 2
 			}
-			perStep := mzTime(bench, npb.ClassE, machine.NewBX2bQuad(),
+			pt.quad = mzTimeAsync(bench, npb.ClassE, machine.NewBX2bQuad(),
 				cfg.p, cfg.th, nodes, pinning.Dplace, machine.MPT111b)
-			t.Add(fmt.Sprintf("%dx%d", cfg.p, cfg.th),
-				single, report.Fmt(mzGflops(bench, npb.ClassE, perStep)/float64(cpus)))
+			top[bench] = append(top[bench], pt)
 		}
-		t.Note("Paper: NUMAlink4 comparable to or better than in-node; 512-CPU in-node runs drop 10-15%% (boot cpuset) — compare the 508x1 and 512x1 rows.")
-		tables = append(tables, t)
 	}
-	// Bottom row: total Gflop/s, NUMAlink4 vs InfiniBand (both MPT
+	// Bottom row points: total Gflop/s, NUMAlink4 vs InfiniBand (both MPT
 	// versions for SP-MZ's anomaly).
-	for _, bench := range []string{"BT-MZ", "SP-MZ"} {
-		t := report.New(fmt.Sprintf("Fig. 11 (bottom): %s class E total Gflop/s by fabric", bench),
-			"CPUs", "NUMAlink4", "IB mpt1.11r", "IB mpt1.11b")
-		for _, cpus := range []int{256, 512, 1024, 2048} {
+	type bottomPoint struct {
+		nl, ibr, ibb *sweep.Future[float64]
+	}
+	bottom := map[string][]bottomPoint{}
+	for _, bench := range benches {
+		for _, cpus := range bottomCPUs {
 			nodes := (cpus + 511) / 512
 			if nodes < 2 {
 				nodes = 2
@@ -161,13 +210,39 @@ func runFig11() []*report.Table {
 				// limit; hybrid mode (2 threads/process) is required.
 				th, procs = 2, cpus/2
 			}
-			nl := mzTime(bench, npb.ClassE, machine.NewBX2bQuad(), procs, th, nodes, pinning.Dplace, machine.MPT111b)
-			ibr := mzTime(bench, npb.ClassE, machine.NewBX2bQuadIB(), procs, th, nodes, pinning.Dplace, machine.MPT111r)
-			ibb := mzTime(bench, npb.ClassE, machine.NewBX2bQuadIB(), procs, th, nodes, pinning.Dplace, machine.MPT111b)
+			bottom[bench] = append(bottom[bench], bottomPoint{
+				nl:  mzTimeAsync(bench, npb.ClassE, machine.NewBX2bQuad(), procs, th, nodes, pinning.Dplace, machine.MPT111b),
+				ibr: mzTimeAsync(bench, npb.ClassE, machine.NewBX2bQuadIB(), procs, th, nodes, pinning.Dplace, machine.MPT111r),
+				ibb: mzTimeAsync(bench, npb.ClassE, machine.NewBX2bQuadIB(), procs, th, nodes, pinning.Dplace, machine.MPT111b),
+			})
+		}
+	}
+	var tables []*report.Table
+	for _, bench := range benches {
+		t := report.New(fmt.Sprintf("Fig. 11 (top): %s class E per-CPU Gflop/s, in-node vs NUMAlink4", bench),
+			"CPUs x threads", "single box", "NUMAlink4 quad")
+		for i, cfg := range topCfgs {
+			cpus := cfg.p * cfg.th
+			pt := top[bench][i]
+			single := "-"
+			if pt.single != nil {
+				single = report.Fmt(mzGflops(bench, npb.ClassE, pt.single.Wait()) / float64(cpus))
+			}
+			t.Add(fmt.Sprintf("%dx%d", cfg.p, cfg.th),
+				single, report.Fmt(mzGflops(bench, npb.ClassE, pt.quad.Wait())/float64(cpus)))
+		}
+		t.Note("Paper: NUMAlink4 comparable to or better than in-node; 512-CPU in-node runs drop 10-15%% (boot cpuset) — compare the 508x1 and 512x1 rows.")
+		tables = append(tables, t)
+	}
+	for _, bench := range benches {
+		t := report.New(fmt.Sprintf("Fig. 11 (bottom): %s class E total Gflop/s by fabric", bench),
+			"CPUs", "NUMAlink4", "IB mpt1.11r", "IB mpt1.11b")
+		for i, cpus := range bottomCPUs {
+			pt := bottom[bench][i]
 			t.AddF(cpus,
-				mzGflops(bench, npb.ClassE, nl),
-				mzGflops(bench, npb.ClassE, ibr),
-				mzGflops(bench, npb.ClassE, ibb))
+				mzGflops(bench, npb.ClassE, pt.nl.Wait()),
+				mzGflops(bench, npb.ClassE, pt.ibr.Wait()),
+				mzGflops(bench, npb.ClassE, pt.ibb.Wait()))
 		}
 		if bench == "BT-MZ" {
 			t.Note("Paper: close-to-linear BT-MZ speedup; InfiniBand only ~7%% worse.")

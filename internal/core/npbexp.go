@@ -7,6 +7,7 @@ import (
 	"columbia/internal/machine"
 	"columbia/internal/npb"
 	"columbia/internal/report"
+	"columbia/internal/sweep"
 	"columbia/internal/vmpi"
 )
 
@@ -25,41 +26,81 @@ func init() {
 	})
 }
 
-// npbRateMPI returns per-CPU Gflop/s for an MPI run of bench/class.
-func npbRateMPI(bench string, class npb.Class, nt machine.NodeType, procs int) float64 {
-	fn, ct := npb.Skeleton(bench, class, procs)
-	res := vmpi.Run(vmpi.Config{Cluster: machine.NewSingleNode(nt), Procs: procs}, fn)
-	perIter := res.Time / npb.SkeletonIters
-	return ct.Flops / perIter / float64(procs) / 1e9
+// npbRateMPIAsync submits an MPI run of bench/class as a sweep point and
+// returns the per-CPU Gflop/s future.
+func npbRateMPIAsync(bench string, class npb.Class, nt machine.NodeType, procs int) *sweep.Future[float64] {
+	cfg := vmpi.Config{Cluster: machine.NewSingleNode(nt), Procs: procs}
+	key := fmt.Sprintf("npb/mpi/%s/%s/%s", bench, class, cfg.Fingerprint())
+	return sweep.Cached(sweep.Default(), key, func() float64 {
+		fn, ct := npb.Skeleton(bench, class, procs)
+		res := vmpi.Run(cfg, fn)
+		perIter := res.Time / npb.SkeletonIters
+		return ct.Flops / perIter / float64(procs) / 1e9
+	})
 }
 
-// npbRateOpenMP returns per-CPU Gflop/s for a pure OpenMP run with the
-// given compute factor (compiler model).
-func npbRateOpenMP(bench string, class npb.Class, nt machine.NodeType, threads int, factor float64) float64 {
-	fn, ct := npb.Skeleton(bench, class, 1)
-	res := vmpi.Run(vmpi.Config{
+// npbRateMPI is the synchronous form used by shape tests.
+func npbRateMPI(bench string, class npb.Class, nt machine.NodeType, procs int) float64 {
+	return npbRateMPIAsync(bench, class, nt, procs).Wait()
+}
+
+// npbRateOpenMPAsync submits a pure OpenMP run with the given compute
+// factor (compiler model) and returns the per-CPU Gflop/s future.
+func npbRateOpenMPAsync(bench string, class npb.Class, nt machine.NodeType, threads int, factor float64) *sweep.Future[float64] {
+	// The OMP options derive deterministically from bench/class, which the
+	// key prefix already pins, so the fingerprint omits them safely.
+	cfg := vmpi.Config{
 		Cluster:       machine.NewSingleNode(nt),
 		Procs:         1,
 		Threads:       threads,
-		OMP:           npb.OMPOptsFor(ct),
 		ComputeFactor: factor,
-	}, fn)
-	perIter := res.Time / npb.SkeletonIters
-	return ct.Flops / perIter / float64(threads) / 1e9
+	}
+	key := fmt.Sprintf("npb/omp/%s/%s/%s", bench, class, cfg.Fingerprint())
+	return sweep.Cached(sweep.Default(), key, func() float64 {
+		fn, ct := npb.Skeleton(bench, class, 1)
+		cfg := cfg
+		cfg.OMP = npb.OMPOptsFor(ct)
+		res := vmpi.Run(cfg, fn)
+		perIter := res.Time / npb.SkeletonIters
+		return ct.Flops / perIter / float64(threads) / 1e9
+	})
+}
+
+// npbRateOpenMP is the synchronous form used by shape tests.
+func npbRateOpenMP(bench string, class npb.Class, nt machine.NodeType, threads int, factor float64) float64 {
+	return npbRateOpenMPAsync(bench, class, nt, threads, factor).Wait()
 }
 
 func runFig6() []*report.Table {
-	var tables []*report.Table
 	mpiCPUs := []int{4, 16, 64, 256}
 	ompThreads := []int{4, 16, 64, 128}
+	// Submit every sweep point before assembling any table, so the whole
+	// figure fans out across the pool at once.
+	mpi := map[string][][3]*sweep.Future[float64]{}
+	omp := map[string][][3]*sweep.Future[float64]{}
+	for _, bench := range npb.Benchmarks {
+		for _, p := range mpiCPUs {
+			mpi[bench] = append(mpi[bench], [3]*sweep.Future[float64]{
+				npbRateMPIAsync(bench, npb.ClassC, machine.Altix3700, p),
+				npbRateMPIAsync(bench, npb.ClassC, machine.AltixBX2a, p),
+				npbRateMPIAsync(bench, npb.ClassC, machine.AltixBX2b, p),
+			})
+		}
+		for _, th := range ompThreads {
+			omp[bench] = append(omp[bench], [3]*sweep.Future[float64]{
+				npbRateOpenMPAsync(bench, npb.ClassB, machine.Altix3700, th, 1),
+				npbRateOpenMPAsync(bench, npb.ClassB, machine.AltixBX2a, th, 1),
+				npbRateOpenMPAsync(bench, npb.ClassB, machine.AltixBX2b, th, 1),
+			})
+		}
+	}
+	var tables []*report.Table
 	for _, bench := range npb.Benchmarks {
 		t := report.New(fmt.Sprintf("Fig. 6: %s class C, MPI, per-CPU Gflop/s", bench),
 			"CPUs", "3700", "BX2a", "BX2b")
-		for _, p := range mpiCPUs {
-			t.AddF(p,
-				npbRateMPI(bench, npb.ClassC, machine.Altix3700, p),
-				npbRateMPI(bench, npb.ClassC, machine.AltixBX2a, p),
-				npbRateMPI(bench, npb.ClassC, machine.AltixBX2b, p))
+		for i, p := range mpiCPUs {
+			row := mpi[bench][i]
+			t.AddF(p, row[0].Wait(), row[1].Wait(), row[2].Wait())
 		}
 		if bench == "FT" {
 			t.Note("Paper: FT ~2x faster on BX2 at 256 procs (all-to-all bandwidth).")
@@ -72,11 +113,9 @@ func runFig6() []*report.Table {
 	for _, bench := range npb.Benchmarks {
 		t := report.New(fmt.Sprintf("Fig. 6: %s class B, OpenMP, per-CPU Gflop/s", bench),
 			"Threads", "3700", "BX2a", "BX2b")
-		for _, th := range ompThreads {
-			t.AddF(th,
-				npbRateOpenMP(bench, npb.ClassB, machine.Altix3700, th, 1),
-				npbRateOpenMP(bench, npb.ClassB, machine.AltixBX2a, th, 1),
-				npbRateOpenMP(bench, npb.ClassB, machine.AltixBX2b, th, 1))
+		for i, th := range ompThreads {
+			row := omp[bench][i]
+			t.AddF(th, row[0].Wait(), row[1].Wait(), row[2].Wait())
 		}
 		if bench == "FT" || bench == "BT" {
 			t.Note("Paper: OpenMP difference up to 2x at 128 threads on BX2 vs 3700.")
@@ -87,16 +126,26 @@ func runFig6() []*report.Table {
 }
 
 func runFig8() []*report.Table {
-	var tables []*report.Table
 	threads := []int{4, 16, 32, 64, 128, 256}
+	points := map[string][][]*sweep.Future[float64]{}
+	for _, bench := range npb.Benchmarks {
+		for _, th := range threads {
+			var row []*sweep.Future[float64]
+			for _, v := range compiler.Versions {
+				f := compiler.Factor(v, bench, th)
+				row = append(row, npbRateOpenMPAsync(bench, npb.ClassB, machine.AltixBX2b, th, f))
+			}
+			points[bench] = append(points[bench], row)
+		}
+	}
+	var tables []*report.Table
 	for _, bench := range npb.Benchmarks {
 		t := report.New(fmt.Sprintf("Fig. 8: %s class B OpenMP per-CPU Gflop/s by compiler (BX2b)", bench),
 			"Threads", "7.1", "8.0", "8.1", "9.0b")
-		for _, th := range threads {
+		for i, th := range threads {
 			cells := []interface{}{th}
-			for _, v := range compiler.Versions {
-				f := compiler.Factor(v, bench, th)
-				cells = append(cells, npbRateOpenMP(bench, npb.ClassB, machine.AltixBX2b, th, f))
+			for _, f := range points[bench][i] {
+				cells = append(cells, f.Wait())
 			}
 			t.AddF(cells...)
 		}

@@ -1,0 +1,9 @@
+//go:build race
+
+package sweep
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// The race runtime refuses to track more than ~8k simultaneously alive
+// goroutines, so tests that fan out many 2048-rank simulations consult this
+// to cap their worker count instead of dying mid-run.
+const RaceEnabled = true

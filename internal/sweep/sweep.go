@@ -1,0 +1,144 @@
+package sweep
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool bounds how many leaf simulation points run concurrently and
+// memoizes completed points by fingerprint key.
+type Pool struct {
+	sem   chan struct{}
+	mu    sync.Mutex
+	cache map[string]*entry
+}
+
+// entry is one submitted point: a completion signal plus its value, or the
+// panic it died with.
+type entry struct {
+	done     chan struct{}
+	val      any
+	panicVal any
+}
+
+// NewPool returns a pool admitting workers concurrent leaf points; values
+// below 1 select GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, workers), cache: make(map[string]*entry)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// ResetCache drops every memoized result, forcing subsequent Cached calls
+// to recompute. Tests and benchmarks use it to observe fresh computation.
+func (p *Pool) ResetCache() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cache = make(map[string]*entry)
+}
+
+var (
+	defaultMu   sync.Mutex
+	defaultPool = NewPool(0)
+)
+
+// Default returns the process-wide pool the core experiments submit to.
+func Default() *Pool {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	return defaultPool
+}
+
+// SetWorkers replaces the default pool with a fresh one of n workers
+// (n < 1 selects GOMAXPROCS). The previous pool's cache is dropped; points
+// already running on it complete undisturbed.
+func SetWorkers(n int) {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	defaultPool = NewPool(n)
+}
+
+// ResetCache clears the default pool's memoized results.
+func ResetCache() { Default().ResetCache() }
+
+// Future is the pending result of a submitted point.
+type Future[T any] struct {
+	e *entry
+}
+
+// Wait blocks until the point completes and returns its value. If the
+// point's function panicked, Wait re-panics with that value, so failures
+// surface on the collecting goroutine exactly as they would serially.
+func (f *Future[T]) Wait() T {
+	<-f.e.done
+	if f.e.panicVal != nil {
+		panic(f.e.panicVal)
+	}
+	return f.e.val.(T)
+}
+
+// start runs fn on a worker slot, recording its value or panic in e.
+func (p *Pool) start(e *entry, fn func() any) {
+	go func() {
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		defer close(e.done)
+		defer func() {
+			if r := recover(); r != nil {
+				e.panicVal = r
+			}
+		}()
+		e.val = fn()
+	}()
+}
+
+// Go runs fn concurrently on a plain goroutine, outside the worker bound.
+// It exists for coordination tasks — a whole experiment submitting its
+// points and assembling tables — which spend their time waiting on Cached
+// futures and would deadlock a small pool if they held a slot meanwhile.
+func Go[T any](p *Pool, fn func() T) *Future[T] {
+	e := &entry{done: make(chan struct{})}
+	go func() {
+		defer close(e.done)
+		defer func() {
+			if r := recover(); r != nil {
+				e.panicVal = r
+			}
+		}()
+		e.val = fn()
+	}()
+	return &Future[T]{e: e}
+}
+
+// Cached submits the leaf point fn under the given fingerprint key, or, if
+// the key was already submitted to this pool, returns the existing future
+// (possibly already complete). At most Workers leaf points execute at any
+// moment. The key must canonically identify both the workload and the
+// configuration — build it from vmpi.Config.Fingerprint plus a workload
+// prefix. fn must not wait on other futures.
+func Cached[T any](p *Pool, key string, fn func() T) *Future[T] {
+	p.mu.Lock()
+	if e, ok := p.cache[key]; ok {
+		p.mu.Unlock()
+		return &Future[T]{e: e}
+	}
+	e := &entry{done: make(chan struct{})}
+	p.cache[key] = e
+	p.mu.Unlock()
+	p.start(e, func() any { return fn() })
+	return &Future[T]{e: e}
+}
+
+// Collect waits on futures in submission order and returns their values —
+// the step that restores sequential output order after a parallel fan-out.
+func Collect[T any](fs []*Future[T]) []T {
+	out := make([]T, len(fs))
+	for i, f := range fs {
+		out[i] = f.Wait()
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCachedComputesOncePerKey(t *testing.T) {
+	p := NewPool(4)
+	var calls atomic.Int32
+	var fs []*Future[int]
+	for i := 0; i < 20; i++ {
+		fs = append(fs, Cached(p, "same-key", func() int {
+			calls.Add(1)
+			return 42
+		}))
+	}
+	for _, f := range fs {
+		if got := f.Wait(); got != 42 {
+			t.Fatalf("Wait = %d, want 42", got)
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("function ran %d times for one key, want 1", n)
+	}
+	// A distinct key computes again.
+	if got := Cached(p, "other-key", func() int { calls.Add(1); return 7 }).Wait(); got != 7 {
+		t.Errorf("other-key = %d, want 7", got)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("calls = %d after second key, want 2", n)
+	}
+}
+
+func TestResetCacheForcesRecompute(t *testing.T) {
+	p := NewPool(2)
+	var calls atomic.Int32
+	point := func() int { calls.Add(1); return 1 }
+	Cached(p, "k", point).Wait()
+	p.ResetCache()
+	Cached(p, "k", point).Wait()
+	if n := calls.Load(); n != 2 {
+		t.Errorf("calls after reset = %d, want 2", n)
+	}
+}
+
+func TestWorkerBoundRespected(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	var active, peak atomic.Int32
+	var fs []*Future[int]
+	for i := 0; i < 24; i++ {
+		i := i
+		fs = append(fs, Cached(p, fmt.Sprintf("point-%d", i), func() int {
+			n := active.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			active.Add(-1)
+			return i
+		}))
+	}
+	for i, f := range fs {
+		if got := f.Wait(); got != i {
+			t.Fatalf("future %d = %d", i, got)
+		}
+	}
+	if pk := peak.Load(); pk > workers {
+		t.Errorf("peak concurrent leaf points = %d, want <= %d", pk, workers)
+	}
+}
+
+func TestCollectPreservesSubmissionOrder(t *testing.T) {
+	p := NewPool(8)
+	var fs []*Future[int]
+	for i := 0; i < 50; i++ {
+		i := i
+		// Later points finish sooner; Collect must still return 0..49.
+		fs = append(fs, Cached(p, fmt.Sprintf("o-%d", i), func() int {
+			time.Sleep(time.Duration(50-i) * 100 * time.Microsecond)
+			return i
+		}))
+	}
+	for i, v := range Collect(fs) {
+		if v != i {
+			t.Fatalf("Collect[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestCoordinatorsDoNotHoldSlots is the deadlock regression: a one-worker
+// pool must survive coordinators (Go) that wait on leaf points (Cached).
+func TestCoordinatorsDoNotHoldSlots(t *testing.T) {
+	p := NewPool(1)
+	done := make(chan struct{})
+	go func() {
+		var outer []*Future[int]
+		for i := 0; i < 4; i++ {
+			i := i
+			outer = append(outer, Go(p, func() int {
+				return Cached(p, fmt.Sprintf("leaf-%d", i), func() int { return i * i }).Wait()
+			}))
+		}
+		for i, f := range outer {
+			if got := f.Wait(); got != i*i {
+				t.Errorf("outer %d = %d, want %d", i, got, i*i)
+			}
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadlock: coordinator waiting on leaf starved a 1-worker pool")
+	}
+}
+
+func TestPanicPropagatesToWaiter(t *testing.T) {
+	p := NewPool(2)
+	f := Cached(p, "boom", func() int { panic("simulated failure") })
+	defer func() {
+		if r := recover(); r != "simulated failure" {
+			t.Errorf("recovered %v, want the point's panic value", r)
+		}
+	}()
+	f.Wait()
+	t.Fatal("Wait returned after a panicking point")
+}
+
+func TestSetWorkersReplacesDefaultPool(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(5)
+	if got := Default().Workers(); got != 5 {
+		t.Errorf("Workers = %d after SetWorkers(5)", got)
+	}
+	var calls atomic.Int32
+	Cached(Default(), "dk", func() int { calls.Add(1); return 1 }).Wait()
+	// Replacing the pool drops the cache.
+	SetWorkers(5)
+	Cached(Default(), "dk", func() int { calls.Add(1); return 1 }).Wait()
+	if n := calls.Load(); n != 2 {
+		t.Errorf("calls across SetWorkers = %d, want 2", n)
+	}
+	SetWorkers(0)
+	if Default().Workers() < 1 {
+		t.Error("SetWorkers(0) should select at least one worker")
+	}
+}
+
+func TestConcurrentCachedSameKey(t *testing.T) {
+	p := NewPool(4)
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := Cached(p, "contended", func() int {
+				calls.Add(1)
+				time.Sleep(2 * time.Millisecond)
+				return 9
+			}).Wait(); got != 9 {
+				t.Errorf("Wait = %d", got)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Errorf("contended key ran %d times, want 1", n)
+	}
+}

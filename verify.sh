@@ -1,0 +1,31 @@
+#!/bin/sh
+# Tier-1 verification: formatting, vet, build, tests, and the race detector.
+# Run from anywhere; the script cds to the repo root.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+# -short skips the 2048-rank experiments: their race-instrumented goroutine
+# churn takes tens of minutes on small hosts while exercising the exact same
+# engine and scheduler code paths as the light experiments, which the
+# determinism tests still replay on 8 workers here.
+echo "== go test -race -short =="
+go test -race -short ./...
+
+echo "verify: all checks passed"
