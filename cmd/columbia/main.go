@@ -11,104 +11,154 @@
 //	columbia -plot run <id>   append ASCII plots to figure tables
 //	columbia -j 8 all         run sweep points on up to 8 workers
 //
-// Output is byte-identical for every -j value: experiments render
+// Robustness flags (see DESIGN.md, "Fault injection"):
+//
+//	columbia -faults nodedown=0 run stride     simulate with node 0 lost
+//	columbia -timeout 30s all                  bound each sweep point's wall clock
+//	columbia -max-retries 2 -faults ... all    retry retryable failures
+//
+// A failed point degrades to an annotated "!kind" cell instead of aborting
+// the run; if any point failed, the command prints a summary to stderr and
+// exits 1. Output is byte-identical for every -j value: experiments render
 // concurrently, but the CLI prints them in submission order.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"columbia/internal/core"
+	"columbia/internal/fault"
 	"columbia/internal/report"
 	"columbia/internal/sweep"
 )
 
-var (
-	csvOut  = flag.Bool("csv", false, "emit CSV")
-	plotOut = flag.Bool("plot", false, "append ASCII plots")
-	jobs    = flag.Int("j", 0, "max concurrent sweep points (0 = GOMAXPROCS)")
-)
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-func main() {
-	flag.Parse()
-	sweep.SetWorkers(*jobs)
-	args := flag.Args()
+// rendered is one experiment's output plus its degraded-cell count.
+type rendered struct {
+	text     string
+	failures int
+}
+
+// run is the testable entry point: it parses argv, configures the sweep
+// pool and fault plan, executes the requested experiments and returns the
+// process exit code (0 healthy, 1 on any failed point or bad ID, 2 usage).
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("columbia", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		csvOut     = fs.Bool("csv", false, "emit CSV")
+		plotOut    = fs.Bool("plot", false, "append ASCII plots")
+		jobs       = fs.Int("j", 0, "max concurrent sweep points (0 = GOMAXPROCS)")
+		timeout    = fs.Duration("timeout", 0, "wall-clock budget per sweep point (0 = none)")
+		maxRetries = fs.Int("max-retries", 0, "retries for retryable point failures (timeouts, transient faults)")
+		faultSpec  = fs.String("faults", "", "comma-separated fault plan, e.g. nodedown=0,slownode=1:1.5 (see DESIGN.md)")
+	)
+	usage := func() int {
+		fmt.Fprintln(stderr, "usage: columbia [-csv] [-plot] [-j N] [-timeout D] [-max-retries N] [-faults SPEC] {list | all | run <id>...}")
+		return 2
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	sweep.Configure(context.Background(), sweep.Options{
+		Workers:    *jobs,
+		Timeout:    *timeout,
+		MaxRetries: *maxRetries,
+	})
+	if *faultSpec != "" {
+		plan, err := fault.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, "columbia:", err)
+			return 2
+		}
+		core.SetFaultPlan(plan)
+		defer core.SetFaultPlan(nil)
+	}
+	emit := func(b *strings.Builder, t *report.Table) {
+		if *csvOut {
+			b.WriteString(t.CSV())
+			return
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+		if *plotOut {
+			b.WriteString(t.Plot(10))
+			b.WriteByte('\n')
+		}
+	}
+	// renderAsync runs an experiment on a coordinator goroutine and returns
+	// its full rendered output. Concurrency lives in the sweep points the
+	// experiment submits; rendering to a string keeps stdout in paper order.
+	renderAsync := func(e core.Experiment) *sweep.Future[rendered] {
+		return sweep.Go(sweep.Default(), func() rendered {
+			var b strings.Builder
+			fmt.Fprintf(&b, "== %s: %s ==\n", e.ID, e.Title)
+			fmt.Fprintf(&b, "paper: %s\n\n", e.Paper)
+			var failures int
+			for _, t := range e.Run() {
+				emit(&b, t)
+				failures += t.Failures
+			}
+			return rendered{text: b.String(), failures: failures}
+		})
+	}
+	failures := 0
+	flush := func(futs []*sweep.Future[rendered]) {
+		for _, f := range futs {
+			r := f.Wait()
+			fmt.Fprint(stdout, r.text)
+			failures += r.failures
+		}
+	}
+	finish := func() int {
+		if failures > 0 {
+			fmt.Fprintf(stderr, "columbia: %d point(s) failed; see FAILED notes above\n", failures)
+			return 1
+		}
+		return 0
+	}
+	args := fs.Args()
 	if len(args) == 0 {
-		usage()
+		return usage()
 	}
 	switch args[0] {
 	case "list":
 		for _, e := range core.Experiments() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
 		}
+		return 0
 	case "all":
-		var futs []*sweep.Future[string]
+		var futs []*sweep.Future[rendered]
 		for _, e := range core.Experiments() {
 			futs = append(futs, renderAsync(e))
 		}
-		for _, f := range futs {
-			fmt.Print(f.Wait())
-		}
+		flush(futs)
+		return finish()
 	case "run":
 		if len(args) < 2 {
-			usage()
+			return usage()
 		}
 		// Lookups stay lazy so a bad ID after valid ones still prints the
 		// earlier experiments first, exactly as a sequential loop would.
-		var futs []*sweep.Future[string]
-		flush := func() {
-			for _, f := range futs {
-				fmt.Print(f.Wait())
-			}
-			futs = nil
-		}
+		var futs []*sweep.Future[rendered]
 		for _, id := range args[1:] {
 			e, err := core.Lookup(id)
 			if err != nil {
-				flush()
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				flush(futs)
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
 			futs = append(futs, renderAsync(e))
 		}
-		flush()
+		flush(futs)
+		return finish()
 	default:
-		usage()
+		return usage()
 	}
-}
-
-// renderAsync runs an experiment on a coordinator goroutine and returns its
-// full rendered output. Concurrency lives in the sweep points the experiment
-// submits; rendering to a string keeps stdout in paper order.
-func renderAsync(e core.Experiment) *sweep.Future[string] {
-	return sweep.Go(sweep.Default(), func() string {
-		var b strings.Builder
-		fmt.Fprintf(&b, "== %s: %s ==\n", e.ID, e.Title)
-		fmt.Fprintf(&b, "paper: %s\n\n", e.Paper)
-		for _, t := range e.Run() {
-			emit(&b, t)
-		}
-		return b.String()
-	})
-}
-
-func emit(b *strings.Builder, t *report.Table) {
-	if *csvOut {
-		b.WriteString(t.CSV())
-		return
-	}
-	b.WriteString(t.String())
-	b.WriteByte('\n')
-	if *plotOut {
-		b.WriteString(t.Plot(10))
-		b.WriteByte('\n')
-	}
-}
-
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: columbia [-csv] [-plot] [-j N] {list | all | run <id>...}")
-	os.Exit(2)
 }

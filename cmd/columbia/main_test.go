@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"columbia/internal/sweep"
+)
+
+// Runs mutate the process-global sweep pool and fault plan; restore the
+// defaults so test order never matters.
+func resetGlobals() { sweep.SetWorkers(0) }
+
+func TestFaultedRunExitsNonzeroWithAnnotatedCells(t *testing.T) {
+	defer resetGlobals()
+	var out, errOut strings.Builder
+	code := run([]string{"-faults", "nodedown=0", "run", "stride"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, errOut.String())
+	}
+	s := out.String()
+	// Healthy analytic rows render alongside the degraded simulation row.
+	if !strings.Contains(s, "DGEMM per-CPU") {
+		t.Errorf("healthy rows missing:\n%s", s)
+	}
+	if !strings.Contains(s, "!node-down") {
+		t.Errorf("degraded cells missing:\n%s", s)
+	}
+	if !strings.Contains(errOut.String(), "3 point(s) failed") {
+		t.Errorf("stderr summary missing: %q", errOut.String())
+	}
+}
+
+func TestHealthyRunExitsZero(t *testing.T) {
+	defer resetGlobals()
+	var out, errOut strings.Builder
+	code := run([]string{"run", "table1", "stride"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"== table1:", "== stride:", "Ping-Pong latency"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if errOut.Len() != 0 {
+		t.Errorf("stderr not empty on a healthy run: %q", errOut.String())
+	}
+}
+
+func TestBadFaultSpecIsUsageError(t *testing.T) {
+	defer resetGlobals()
+	var out, errOut strings.Builder
+	if code := run([]string{"-faults", "bogus=1", "run", "stride"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "bogus") {
+		t.Errorf("stderr should name the bad directive: %q", errOut.String())
+	}
+}
+
+func TestBadExperimentIDExitsOne(t *testing.T) {
+	defer resetGlobals()
+	var out, errOut strings.Builder
+	if code := run([]string{"run", "nope"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Errorf("stderr: %q", errOut.String())
+	}
+}
+
+func TestTimeoutFlagParses(t *testing.T) {
+	defer resetGlobals()
+	var out, errOut strings.Builder
+	// A generous per-point budget must not perturb a healthy run.
+	if code := run([]string{"-timeout", "5m", "-max-retries", "1", "run", "table1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr: %s", code, errOut.String())
+	}
+}

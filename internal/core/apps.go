@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"columbia/internal/compiler"
@@ -114,20 +115,34 @@ func runTable5() []*report.Table {
 		if nodes > 4 {
 			nodes = 4
 		}
-		cfg := vmpi.Config{Cluster: machine.NewBX2bQuad(), Procs: p, Nodes: nodes}
+		cfg := withFaults(vmpi.Config{Cluster: machine.NewBX2bQuad(), Procs: p, Nodes: nodes})
 		key := fmt.Sprintf("md-weak/atoms=%d/%s", w.AtomsPerProc, cfg.Fingerprint())
-		points[i] = sweep.Cached(sweep.Default(), key, func() float64 {
-			res := vmpi.Run(cfg, w.Skeleton(p))
-			return res.Time / md.SkeletonSteps
+		points[i] = sweep.CachedCtx(sweep.Default(), key, func(ctx context.Context) (float64, error) {
+			res, err := vmpi.RunCtx(ctx, cfg, w.Skeleton(p))
+			if err != nil {
+				return 0, err
+			}
+			return res.Time / md.SkeletonSteps, nil
 		})
 	}
 	var base float64
 	for i, p := range procCounts {
-		perStep := points[i].Wait()
+		atoms := float64(p) * float64(w.AtomsPerProc) / 1e6
+		perStep, err := points[i].WaitErr()
+		if err != nil {
+			// A failed point degrades to an annotated cell; the efficiency
+			// column (which needs the 1-CPU base) degrades with it.
+			t.AddF(p, atoms, t.FailCell(err), "-")
+			continue
+		}
 		if p == 1 {
 			base = perStep
 		}
-		t.AddF(p, float64(p)*float64(w.AtomsPerProc)/1e6, perStep, base/perStep)
+		eff := any("-")
+		if base > 0 {
+			eff = base / perStep
+		}
+		t.AddF(p, atoms, perStep, eff)
 	}
 	t.Note("Paper: 130.56 million atoms at 2040 processors; almost perfect scalability; communication insignificant over 100 steps.")
 	return []*report.Table{t}

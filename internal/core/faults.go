@@ -1,0 +1,56 @@
+package core
+
+import (
+	"sync"
+
+	"columbia/internal/fault"
+	"columbia/internal/report"
+	"columbia/internal/sweep"
+	"columbia/internal/vmpi"
+)
+
+// The active fault plan is process-global, like the sweep pool: experiments
+// are free functions registered at init time, so the CLI (and tests)
+// install a plan here and every simulated point picks it up via withFaults.
+var (
+	faultMu   sync.Mutex
+	faultPlan *fault.Plan
+)
+
+// SetFaultPlan installs the fault plan applied to every subsequently
+// submitted simulation point; nil restores healthy operation. Faulted and
+// healthy points never share memo-cache entries — the plan is part of each
+// point's fingerprint key.
+func SetFaultPlan(p *fault.Plan) {
+	faultMu.Lock()
+	defer faultMu.Unlock()
+	faultPlan = p
+}
+
+// FaultPlan returns the currently installed plan (nil when healthy).
+func FaultPlan() *fault.Plan {
+	faultMu.Lock()
+	defer faultMu.Unlock()
+	return faultPlan
+}
+
+// withFaults stamps the active plan into a point's config. Call it before
+// computing the cache key so the fingerprint reflects the plan.
+func withFaults(cfg vmpi.Config) vmpi.Config {
+	cfg.Faults = FaultPlan()
+	return cfg
+}
+
+// waitCell collects one sweep point into a table cell: the rendered value
+// on success, or a degraded "!kind" annotation (counted in t.Failures) on
+// failure, so one sick point cannot abort a whole table.
+func waitCell[T any](t *report.Table, f *sweep.Future[T], render func(T) any) any {
+	v, err := f.WaitErr()
+	if err != nil {
+		return t.FailCell(err)
+	}
+	return render(v)
+}
+
+// numCell is the identity render for float64-valued points.
+func numCell(v float64) any { return v }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"columbia/internal/hpcc"
@@ -71,19 +72,20 @@ func runTable1() []*report.Table {
 }
 
 // beffAsync submits the b_eff subset on a cluster configuration as a sweep
-// point and returns the result future.
+// point and returns the result future. The active fault plan is stamped
+// into the config (and therefore the cache key) before submission.
 func beffAsync(cl *machine.Cluster, procs, nodes int, random bool) *sweep.Future[hpcc.BeffResult] {
-	cfg := vmpi.Config{Cluster: cl, Procs: procs, Nodes: nodes, RandomPattern: random}
+	cfg := withFaults(vmpi.Config{Cluster: cl, Procs: procs, Nodes: nodes, RandomPattern: random})
 	key := "beff/reps=3/" + cfg.Fingerprint()
-	return sweep.Cached(sweep.Default(), key, func() hpcc.BeffResult {
+	return sweep.CachedCtx(sweep.Default(), key, func(ctx context.Context) (hpcc.BeffResult, error) {
 		var out hpcc.BeffResult
-		vmpi.Run(cfg, func(c par.Comm) {
+		_, err := vmpi.RunCtx(ctx, cfg, func(c par.Comm) {
 			r := hpcc.Beff(c, 3)
 			if c.Rank() == 0 {
 				out = r
 			}
 		})
-		return out
+		return out, err
 	})
 }
 
@@ -115,9 +117,12 @@ func runFig5() []*report.Table {
 	for _, m := range metrics {
 		t := report.New("Fig. 5: "+m.name, "CPUs", "3700", "BX2a", "BX2b")
 		for _, p := range cpus {
-			t.AddF(p, m.get(results[machine.Altix3700][p].Wait()),
-				m.get(results[machine.AltixBX2a][p].Wait()),
-				m.get(results[machine.AltixBX2b][p].Wait()))
+			row := []interface{}{p}
+			for _, nt := range nodeTypes {
+				row = append(row, waitCell(t, results[nt][p],
+					func(r hpcc.BeffResult) any { return m.get(r) }))
+			}
+			t.AddF(row...)
 		}
 		tables = append(tables, t)
 	}
@@ -140,20 +145,22 @@ func runStride() []*report.Table {
 		hpcc.StreamModel(strided(2)).Triad/1e9,
 		hpcc.StreamModel(strided(4)).Triad/1e9)
 	lat := func(stride int) *sweep.Future[float64] {
-		cfg := vmpi.Config{Cluster: cl, Procs: 8, Stride: stride}
-		return sweep.Cached(sweep.Default(), "pingpong-lat/reps=3/"+cfg.Fingerprint(), func() float64 {
-			var out float64
-			vmpi.Run(cfg, func(c par.Comm) {
-				r := hpcc.PingPong(c, 3)
-				if c.Rank() == 0 {
-					out = r.Latency * 1e6
-				}
+		cfg := withFaults(vmpi.Config{Cluster: cl, Procs: 8, Stride: stride})
+		return sweep.CachedCtx(sweep.Default(), "pingpong-lat/reps=3/"+cfg.Fingerprint(),
+			func(ctx context.Context) (float64, error) {
+				var out float64
+				_, err := vmpi.RunCtx(ctx, cfg, func(c par.Comm) {
+					r := hpcc.PingPong(c, 3)
+					if c.Rank() == 0 {
+						out = r.Latency * 1e6
+					}
+				})
+				return out, err
 			})
-			return out
-		})
 	}
 	l1, l2, l4 := lat(1), lat(2), lat(4)
-	t.AddF("Ping-Pong latency (µs)", l1.Wait(), l2.Wait(), l4.Wait())
+	t.AddF("Ping-Pong latency (µs)",
+		waitCell(t, l1, numCell), waitCell(t, l2, numCell), waitCell(t, l4, numCell))
 	t.Note("Paper: DGEMM moves <0.5%%; Triad is ~1.9x higher spread out; latency slightly worse for spread CPUs.")
 	return []*report.Table{t}
 }
@@ -191,11 +198,18 @@ func runFig10() []*report.Table {
 	for _, m := range metrics {
 		t := report.New("Fig. 10: "+m.name+" across BX2b boxes", "CPUs", "NUMAlink4", "InfiniBand")
 		for _, p := range cpus {
+			fmtCell := func(v any) string {
+				if f, ok := v.(float64); ok {
+					return report.Fmt(f)
+				}
+				return v.(string)
+			}
 			ibCell := "n/a (IB card limit)"
 			if f, ok := ib[p]; ok {
-				ibCell = report.Fmt(m.get(f.Wait()))
+				ibCell = fmtCell(waitCell(t, f, func(r hpcc.BeffResult) any { return m.get(r) }))
 			}
-			t.Add(fmt.Sprintf("%d", p), report.Fmt(m.get(nl[p].Wait())), ibCell)
+			nlCell := fmtCell(waitCell(t, nl[p], func(r hpcc.BeffResult) any { return m.get(r) }))
+			t.Add(fmt.Sprintf("%d", p), nlCell, ibCell)
 		}
 		tables = append(tables, t)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"columbia/internal/machine"
@@ -41,13 +42,13 @@ func mzTimeAsync(bench string, class npb.Class, cl *machine.Cluster, procs, thre
 	// OMP options derive deterministically from bench/class (pinned by the
 	// key prefix), and the MPT version is keyed explicitly because the net
 	// model is built inside the point.
-	keyCfg := vmpi.Config{Cluster: cl, Procs: procs, Threads: threads, Nodes: nodes, Pin: pin}
+	keyCfg := withFaults(vmpi.Config{Cluster: cl, Procs: procs, Threads: threads, Nodes: nodes, Pin: pin})
 	key := fmt.Sprintf("mz/%s/%s/mpt=%s/%s", bench, class, mpt, keyCfg.Fingerprint())
-	return sweep.Cached(sweep.Default(), key, func() float64 {
+	return sweep.CachedCtx(sweep.Default(), key, func(ctx context.Context) (float64, error) {
 		fn, info := npbmz.Skeleton(bench, class, procs)
 		net := netmodel.New(cl)
 		net.MPT = mpt
-		res := vmpi.Run(vmpi.Config{
+		res, err := vmpi.RunCtx(ctx, vmpi.Config{
 			Cluster: cl,
 			Net:     net,
 			Procs:   procs,
@@ -55,13 +56,17 @@ func mzTimeAsync(bench string, class npb.Class, cl *machine.Cluster, procs, thre
 			Nodes:   nodes,
 			Pin:     pin,
 			OMP:     info.OMPOpts(),
+			Faults:  keyCfg.Faults,
 		}, fn)
+		if err != nil {
+			return 0, err
+		}
 		t := res.Time / npbmz.SkeletonIters
 		if bench == "SP-MZ" {
 			// The released-MPT InfiniBand anomaly taxes SP-MZ whole runs.
 			t *= net.MPTRunFactor(procs)
 		}
-		return t
+		return t, nil
 	})
 }
 
@@ -103,8 +108,20 @@ func runFig7() []*report.Table {
 		t := report.New(fmt.Sprintf("Fig. 7: SP-MZ class C on %d CPUs, time/step (s)", cpus),
 			"Threads/proc", "pinned", "no pinning", "slowdown")
 		for _, pt := range points[i] {
-			pinned, unpinned := pt.pinned.Wait(), pt.unpinned.Wait()
-			t.AddF(pt.label, pinned, unpinned, unpinned/pinned)
+			pinned, perr := pt.pinned.WaitErr()
+			unpinned, uerr := pt.unpinned.WaitErr()
+			pc, uc := any(pinned), any(unpinned)
+			slowdown := any("-")
+			if perr != nil {
+				pc = t.FailCell(perr)
+			}
+			if uerr != nil {
+				uc = t.FailCell(uerr)
+			}
+			if perr == nil && uerr == nil {
+				slowdown = unpinned / pinned
+			}
+			t.AddF(pt.label, pc, uc, slowdown)
 		}
 		t.Note("Paper: pinning matters most with many threads per process and high CPU counts; pure process mode (x1) is least affected.")
 		tables = append(tables, t)
@@ -136,18 +153,20 @@ func runFig9() []*report.Table {
 			rightPts[i] = append(rightPts[i], point(procs, th))
 		}
 	}
-	cellFor := func(f *sweep.Future[float64]) interface{} {
+	cellFor := func(t *report.Table, f *sweep.Future[float64]) interface{} {
 		if f == nil {
 			return "-"
 		}
-		return mzGflops("BT-MZ", npb.ClassC, f.Wait())
+		return waitCell(t, f, func(perStep float64) any {
+			return mzGflops("BT-MZ", npb.ClassC, perStep)
+		})
 	}
 	left := report.New("Fig. 9 (left): BT-MZ class C total Gflop/s, fixed threads, varying processes",
 		"CPUs", "1 thread", "2 threads", "4 threads")
 	for i, procs := range leftProcs {
 		row := []interface{}{procs}
 		for _, f := range leftPts[i] {
-			row = append(row, cellFor(f))
+			row = append(row, cellFor(left, f))
 		}
 		left.AddF(row...)
 	}
@@ -157,7 +176,7 @@ func runFig9() []*report.Table {
 	for i, th := range rightThreads {
 		row := []interface{}{th}
 		for _, f := range rightPts[i] {
-			row = append(row, cellFor(f))
+			row = append(row, cellFor(right, f))
 		}
 		right.AddF(row...)
 	}
@@ -224,12 +243,15 @@ func runFig11() []*report.Table {
 		for i, cfg := range topCfgs {
 			cpus := cfg.p * cfg.th
 			pt := top[bench][i]
+			perCPU := func(perStep float64) any {
+				return report.Fmt(mzGflops(bench, npb.ClassE, perStep) / float64(cpus))
+			}
 			single := "-"
 			if pt.single != nil {
-				single = report.Fmt(mzGflops(bench, npb.ClassE, pt.single.Wait()) / float64(cpus))
+				single = waitCell(t, pt.single, perCPU).(string)
 			}
 			t.Add(fmt.Sprintf("%dx%d", cfg.p, cfg.th),
-				single, report.Fmt(mzGflops(bench, npb.ClassE, pt.quad.Wait())/float64(cpus)))
+				single, waitCell(t, pt.quad, perCPU).(string))
 		}
 		t.Note("Paper: NUMAlink4 comparable to or better than in-node; 512-CPU in-node runs drop 10-15%% (boot cpuset) — compare the 508x1 and 512x1 rows.")
 		tables = append(tables, t)
@@ -239,10 +261,11 @@ func runFig11() []*report.Table {
 			"CPUs", "NUMAlink4", "IB mpt1.11r", "IB mpt1.11b")
 		for i, cpus := range bottomCPUs {
 			pt := bottom[bench][i]
+			total := func(perStep float64) any { return mzGflops(bench, npb.ClassE, perStep) }
 			t.AddF(cpus,
-				mzGflops(bench, npb.ClassE, pt.nl.Wait()),
-				mzGflops(bench, npb.ClassE, pt.ibr.Wait()),
-				mzGflops(bench, npb.ClassE, pt.ibb.Wait()))
+				waitCell(t, pt.nl, total),
+				waitCell(t, pt.ibr, total),
+				waitCell(t, pt.ibb, total))
 		}
 		if bench == "BT-MZ" {
 			t.Note("Paper: close-to-linear BT-MZ speedup; InfiniBand only ~7%% worse.")

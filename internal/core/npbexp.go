@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"columbia/internal/compiler"
@@ -29,13 +30,16 @@ func init() {
 // npbRateMPIAsync submits an MPI run of bench/class as a sweep point and
 // returns the per-CPU Gflop/s future.
 func npbRateMPIAsync(bench string, class npb.Class, nt machine.NodeType, procs int) *sweep.Future[float64] {
-	cfg := vmpi.Config{Cluster: machine.NewSingleNode(nt), Procs: procs}
+	cfg := withFaults(vmpi.Config{Cluster: machine.NewSingleNode(nt), Procs: procs})
 	key := fmt.Sprintf("npb/mpi/%s/%s/%s", bench, class, cfg.Fingerprint())
-	return sweep.Cached(sweep.Default(), key, func() float64 {
+	return sweep.CachedCtx(sweep.Default(), key, func(ctx context.Context) (float64, error) {
 		fn, ct := npb.Skeleton(bench, class, procs)
-		res := vmpi.Run(cfg, fn)
+		res, err := vmpi.RunCtx(ctx, cfg, fn)
+		if err != nil {
+			return 0, err
+		}
 		perIter := res.Time / npb.SkeletonIters
-		return ct.Flops / perIter / float64(procs) / 1e9
+		return ct.Flops / perIter / float64(procs) / 1e9, nil
 	})
 }
 
@@ -49,20 +53,23 @@ func npbRateMPI(bench string, class npb.Class, nt machine.NodeType, procs int) f
 func npbRateOpenMPAsync(bench string, class npb.Class, nt machine.NodeType, threads int, factor float64) *sweep.Future[float64] {
 	// The OMP options derive deterministically from bench/class, which the
 	// key prefix already pins, so the fingerprint omits them safely.
-	cfg := vmpi.Config{
+	cfg := withFaults(vmpi.Config{
 		Cluster:       machine.NewSingleNode(nt),
 		Procs:         1,
 		Threads:       threads,
 		ComputeFactor: factor,
-	}
+	})
 	key := fmt.Sprintf("npb/omp/%s/%s/%s", bench, class, cfg.Fingerprint())
-	return sweep.Cached(sweep.Default(), key, func() float64 {
+	return sweep.CachedCtx(sweep.Default(), key, func(ctx context.Context) (float64, error) {
 		fn, ct := npb.Skeleton(bench, class, 1)
 		cfg := cfg
 		cfg.OMP = npb.OMPOptsFor(ct)
-		res := vmpi.Run(cfg, fn)
+		res, err := vmpi.RunCtx(ctx, cfg, fn)
+		if err != nil {
+			return 0, err
+		}
 		perIter := res.Time / npb.SkeletonIters
-		return ct.Flops / perIter / float64(threads) / 1e9
+		return ct.Flops / perIter / float64(threads) / 1e9, nil
 	})
 }
 
@@ -100,7 +107,8 @@ func runFig6() []*report.Table {
 			"CPUs", "3700", "BX2a", "BX2b")
 		for i, p := range mpiCPUs {
 			row := mpi[bench][i]
-			t.AddF(p, row[0].Wait(), row[1].Wait(), row[2].Wait())
+			t.AddF(p, waitCell(t, row[0], numCell), waitCell(t, row[1], numCell),
+				waitCell(t, row[2], numCell))
 		}
 		if bench == "FT" {
 			t.Note("Paper: FT ~2x faster on BX2 at 256 procs (all-to-all bandwidth).")
@@ -115,7 +123,8 @@ func runFig6() []*report.Table {
 			"Threads", "3700", "BX2a", "BX2b")
 		for i, th := range ompThreads {
 			row := omp[bench][i]
-			t.AddF(th, row[0].Wait(), row[1].Wait(), row[2].Wait())
+			t.AddF(th, waitCell(t, row[0], numCell), waitCell(t, row[1], numCell),
+				waitCell(t, row[2], numCell))
 		}
 		if bench == "FT" || bench == "BT" {
 			t.Note("Paper: OpenMP difference up to 2x at 128 threads on BX2 vs 3700.")
@@ -145,7 +154,7 @@ func runFig8() []*report.Table {
 		for i, th := range threads {
 			cells := []interface{}{th}
 			for _, f := range points[bench][i] {
-				cells = append(cells, f.Wait())
+				cells = append(cells, waitCell(t, f, numCell))
 			}
 			t.AddF(cells...)
 		}

@@ -57,6 +57,16 @@ func (w Work) Plus(o Work) Work {
 // its compute time at Efficiency x peak and its effective memory traffic at
 // the CPU's share of bus bandwidth.
 func (c *Cluster) ComputeTime(w Work, l Loc, busShare int) float64 {
+	return c.ComputeTimeDegraded(w, l, busShare, 1)
+}
+
+// ComputeTimeDegraded is ComputeTime on a machine whose memory bus at l
+// delivers only busScale (0 < busScale <= 1) of its healthy bandwidth —
+// the fault-injection entry point (package fault). Scaling the bandwidth
+// inside the roofline rather than inflating the result keeps the physics:
+// a compute-bound phase shrugs off a sick bus, a bandwidth-bound phase
+// slows in proportion, and phases in between degrade partially.
+func (c *Cluster) ComputeTimeDegraded(w Work, l Loc, busShare int, busScale float64) float64 {
 	spec := c.Spec(l)
 	eff := w.Efficiency
 	if eff <= 0 {
@@ -74,6 +84,9 @@ func (c *Cluster) ComputeTime(w Work, l Loc, busShare int) float64 {
 		bw := spec.BusStreamBW / float64(busShare)
 		if bw > spec.CPUStreamBW {
 			bw = spec.CPUStreamBW
+		}
+		if busScale > 0 && busScale < 1 {
+			bw *= busScale
 		}
 		traffic := w.MemBytes * CacheTrafficFactor(w.WorkingSet, spec.L3Bytes)
 		tMem = traffic / bw

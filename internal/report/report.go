@@ -4,6 +4,8 @@
 package report
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -16,6 +18,10 @@ type Table struct {
 	Rows    [][]string
 	// Notes are printed under the table (provenance, paper expectations).
 	Notes []string
+	// Failures counts the cells rendered via FailCell — points whose
+	// simulation failed and degraded to an annotation instead of aborting
+	// the table. A nonzero count makes the CLI exit nonzero.
+	Failures int
 }
 
 // New returns an empty table with the given title and column headers.
@@ -57,6 +63,40 @@ func (t *Table) AddF(cells ...interface{}) {
 // Note appends a footnote line.
 func (t *Table) Note(format string, args ...interface{}) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// FailureKinder is implemented by structured failures (vmpi.RunError,
+// sweep.PanicError) that can label their degraded cell with a short kind.
+type FailureKinder interface {
+	FailureKind() string
+}
+
+// FailCell records a failed point and returns its degraded cell: "!kind"
+// (e.g. "!node-down", "!deadlock"), which Plot already skips as
+// non-numeric. The failure is counted in t.Failures and its first line is
+// preserved as a footnote, so the table completes with every healthy cell
+// intact and the failure still diagnosable.
+func (t *Table) FailCell(err error) string {
+	kind := "error"
+	var fk FailureKinder
+	switch {
+	case errors.As(err, &fk):
+		kind = fk.FailureKind()
+	case errors.Is(err, context.Canceled):
+		kind = "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		kind = "timeout"
+	}
+	t.Failures++
+	msg := err.Error()
+	if i := strings.IndexByte(msg, '\n'); i >= 0 {
+		msg = msg[:i]
+	}
+	if len(msg) > 160 {
+		msg = msg[:157] + "..."
+	}
+	t.Note("FAILED (%s): %s", kind, msg)
+	return "!" + kind
 }
 
 // Fmt renders a float compactly: 3-4 significant digits, scientific only

@@ -1,6 +1,9 @@
 package report
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -75,5 +78,60 @@ func TestAddPadsAndTruncates(t *testing.T) {
 	}
 	if len(tb.Rows[1]) != 2 {
 		t.Errorf("row 1: %v", tb.Rows[1])
+	}
+}
+
+type kindedErr struct{ kind string }
+
+func (e *kindedErr) Error() string       { return "simulated " + e.kind + " failure\nsecond line" }
+func (e *kindedErr) FailureKind() string { return e.kind }
+
+func TestFaultFailCellAnnotatesAndCounts(t *testing.T) {
+	tb := New("D", "cfg", "val")
+	tb.Add("healthy", "1.5")
+	tb.Add("sick", tb.FailCell(&kindedErr{kind: "node-down"}))
+	if tb.Failures != 1 {
+		t.Errorf("Failures = %d, want 1", tb.Failures)
+	}
+	s := tb.String()
+	if !strings.Contains(s, "!node-down") {
+		t.Errorf("degraded cell missing:\n%s", s)
+	}
+	if !strings.Contains(s, "note: FAILED (node-down): simulated node-down failure") {
+		t.Errorf("failure footnote missing:\n%s", s)
+	}
+	if strings.Contains(s, "second line") {
+		t.Errorf("footnote must keep only the first line:\n%s", s)
+	}
+	// Healthy cells survive alongside the failed one.
+	if !strings.Contains(s, "1.5") {
+		t.Errorf("healthy cell lost:\n%s", s)
+	}
+}
+
+func TestFaultFailCellContextErrors(t *testing.T) {
+	tb := New("D", "cfg", "val")
+	if c := tb.FailCell(context.Canceled); c != "!canceled" {
+		t.Errorf("canceled cell = %q", c)
+	}
+	if c := tb.FailCell(fmt.Errorf("attempt: %w", context.DeadlineExceeded)); c != "!timeout" {
+		t.Errorf("deadline cell = %q", c)
+	}
+	if c := tb.FailCell(errors.New("opaque")); c != "!error" {
+		t.Errorf("opaque cell = %q", c)
+	}
+	if tb.Failures != 3 {
+		t.Errorf("Failures = %d, want 3", tb.Failures)
+	}
+}
+
+func TestFaultPlotSkipsFailCells(t *testing.T) {
+	tb := New("P", "x", "y")
+	tb.Add("1", "2.0")
+	tb.Add("2", "!deadlock")
+	tb.Add("3", "8.0")
+	out := tb.Plot(6)
+	if !strings.Contains(out, "log scale") {
+		t.Errorf("plot should still render around the failed point: %q", out)
 	}
 }

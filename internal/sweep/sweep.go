@@ -1,33 +1,92 @@
 package sweep
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 )
 
-// Pool bounds how many leaf simulation points run concurrently and
-// memoizes completed points by fingerprint key.
+// Options configures a Pool's execution policy beyond its concurrency
+// bound: a per-attempt wall-clock budget, and a bounded retry loop for
+// failures that report themselves retryable (vmpi timeouts, transient
+// faults).
+type Options struct {
+	// Workers bounds concurrent leaf points; values below 1 select
+	// GOMAXPROCS.
+	Workers int
+	// Timeout is the wall-clock budget for one attempt of one leaf point;
+	// zero means no per-point deadline. Expired attempts surface as a
+	// retryable error (vmpi maps the deadline to ErrTimeout).
+	Timeout time.Duration
+	// MaxRetries is how many times a retryable failure is resubmitted
+	// after the first attempt. Deterministic failures (config errors,
+	// deadlocks, panics) are never retried regardless.
+	MaxRetries int
+	// Backoff is the delay before the first retry; it doubles per retry
+	// and is capped at maxBackoff. Zero selects defaultBackoff.
+	Backoff time.Duration
+}
+
+const (
+	defaultBackoff = 50 * time.Millisecond
+	maxBackoff     = 2 * time.Second
+)
+
+// Pool bounds how many leaf simulation points run concurrently, memoizes
+// completed points by fingerprint key, and owns the context / timeout /
+// retry policy every leaf runs under. Canceling the pool's context stops
+// queued points immediately and running points at their next scheduling
+// step (leaf functions receive a derived context for exactly that).
 type Pool struct {
 	sem   chan struct{}
+	ctx   context.Context
+	opts  Options
 	mu    sync.Mutex
 	cache map[string]*entry
 }
 
 // entry is one submitted point: a completion signal plus its value, or the
-// panic it died with.
+// structured error (including wrapped panics) it failed with.
 type entry struct {
-	done     chan struct{}
-	val      any
-	panicVal any
+	done chan struct{}
+	key  string
+	val  any
+	err  error
 }
 
 // NewPool returns a pool admitting workers concurrent leaf points; values
-// below 1 select GOMAXPROCS.
+// below 1 select GOMAXPROCS. The pool runs under context.Background with
+// no per-point timeout and no retries.
 func NewPool(workers int) *Pool {
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
+	return NewPoolOpts(context.Background(), Options{Workers: workers})
+}
+
+// NewPoolOpts returns a pool with the full execution policy. All leaf
+// points run under contexts derived from ctx; canceling it drains the
+// pool: queued points fail with ctx's error without running.
+func NewPoolOpts(ctx context.Context, o Options) *Pool {
+	if o.Workers < 1 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{sem: make(chan struct{}, workers), cache: make(map[string]*entry)}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = defaultBackoff
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Pool{
+		sem:   make(chan struct{}, o.Workers),
+		ctx:   ctx,
+		opts:  o,
+		cache: make(map[string]*entry),
+	}
 }
 
 // Workers returns the pool's concurrency bound.
@@ -56,14 +115,72 @@ func Default() *Pool {
 // SetWorkers replaces the default pool with a fresh one of n workers
 // (n < 1 selects GOMAXPROCS). The previous pool's cache is dropped; points
 // already running on it complete undisturbed.
-func SetWorkers(n int) {
+func SetWorkers(n int) { Configure(context.Background(), Options{Workers: n}) }
+
+// Configure replaces the default pool with one running the given policy
+// under ctx. Like SetWorkers, the previous pool's cache is dropped and
+// in-flight points complete undisturbed on the old pool.
+func Configure(ctx context.Context, o Options) {
+	p := NewPoolOpts(ctx, o)
 	defaultMu.Lock()
 	defer defaultMu.Unlock()
-	defaultPool = NewPool(n)
+	defaultPool = p
 }
 
 // ResetCache clears the default pool's memoized results.
 func ResetCache() { Default().ResetCache() }
+
+// PanicError wraps a panic recovered from a submitted function, preserving
+// the panic value and the goroutine stack captured at recovery time so the
+// crash site survives the trip across the pool to whichever goroutine
+// ultimately collects the future.
+type PanicError struct {
+	// Key is the cache key of the panicking leaf point; empty for
+	// coordinator (Go) panics.
+	Key string
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack.
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	where := "sweep: point panicked"
+	if e.Key != "" {
+		where = fmt.Sprintf("sweep: point %q panicked", e.Key)
+	}
+	return fmt.Sprintf("%s: %v\n%s", where, e.Value, e.Stack)
+}
+
+// Unwrap exposes an error-typed panic value to errors.Is/As chains, so a
+// rank program that panics with a *vmpi.RunError keeps its kind visible.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// FailureKind labels degraded report cells (see report.FailureKinder).
+// A wrapped error-typed panic value with its own kind wins.
+func (e *PanicError) FailureKind() string {
+	if fk, ok := e.Value.(interface{ FailureKind() string }); ok {
+		return fk.FailureKind()
+	}
+	return "panic"
+}
+
+// retryable reports whether err (or anything it wraps) declares itself
+// worth resubmitting via a Retryable() method — vmpi timeouts and
+// transient faults do; deterministic failures do not.
+func retryable(err error) bool {
+	for e := err; e != nil; e = errors.Unwrap(e) {
+		if r, ok := e.(interface{ Retryable() bool }); ok {
+			return r.Retryable()
+		}
+	}
+	return false
+}
 
 // Future is the pending result of a submitted point.
 type Future[T any] struct {
@@ -71,28 +188,114 @@ type Future[T any] struct {
 }
 
 // Wait blocks until the point completes and returns its value. If the
-// point's function panicked, Wait re-panics with that value, so failures
-// surface on the collecting goroutine exactly as they would serially.
+// point failed, Wait panics with its error (panicking points arrive as a
+// *PanicError carrying the original value and stack), so failures surface
+// on the collecting goroutine exactly as they would serially. Callers that
+// can degrade gracefully use WaitErr instead.
 func (f *Future[T]) Wait() T {
-	<-f.e.done
-	if f.e.panicVal != nil {
-		panic(f.e.panicVal)
+	v, err := f.WaitErr()
+	if err != nil {
+		panic(err)
 	}
-	return f.e.val.(T)
+	return v
 }
 
-// start runs fn on a worker slot, recording its value or panic in e.
-func (p *Pool) start(e *entry, fn func() any) {
+// WaitErr blocks until the point completes and returns its value or its
+// structured error: the leaf function's own error, a *PanicError for a
+// recovered panic, or the pool context's error for points drained by
+// cancellation.
+func (f *Future[T]) WaitErr() (T, error) {
+	<-f.e.done
+	if f.e.err != nil {
+		var zero T
+		return zero, f.e.err
+	}
+	return f.e.val.(T), nil
+}
+
+// Err blocks until the point completes and returns only its error.
+func (f *Future[T]) Err() error {
+	<-f.e.done
+	return f.e.err
+}
+
+// evict removes a failed entry from the cache — unless a ResetCache or
+// pool replacement already installed a different entry under the key — so
+// a later resubmission of the same point can attempt a fresh computation
+// instead of being served the memoized failure forever.
+func (p *Pool) evict(e *entry) {
+	if e.key == "" {
+		return
+	}
+	p.mu.Lock()
+	if p.cache[e.key] == e {
+		delete(p.cache, e.key)
+	}
+	p.mu.Unlock()
+}
+
+// attempt runs fn once under a fresh per-attempt context, converting a
+// panic into a *PanicError with the stack captured here, at the source.
+func (p *Pool) attempt(key string, fn func(context.Context) (any, error)) (val any, err error) {
+	ctx := p.ctx
+	if p.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.opts.Timeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Key: key, Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	return fn(ctx)
+}
+
+// runLeaf executes a leaf entry on a worker slot: acquire (or bail on pool
+// cancellation), then attempt with bounded doubling-backoff retries for
+// retryable failures. A final failure is recorded for current waiters and
+// the entry is evicted so resubmission recomputes.
+func (p *Pool) runLeaf(e *entry, fn func(context.Context) (any, error)) {
 	go func() {
-		p.sem <- struct{}{}
-		defer func() { <-p.sem }()
 		defer close(e.done)
-		defer func() {
-			if r := recover(); r != nil {
-				e.panicVal = r
+		select {
+		case p.sem <- struct{}{}:
+		case <-p.ctx.Done():
+			e.err = p.ctx.Err()
+			p.evict(e)
+			return
+		}
+		defer func() { <-p.sem }()
+		// Re-check after acquiring: a cancellation that raced the slot
+		// release must still drain the queue deterministically.
+		if err := p.ctx.Err(); err != nil {
+			e.err = err
+			p.evict(e)
+			return
+		}
+		delay := p.opts.Backoff
+		for attempt := 0; ; attempt++ {
+			val, err := p.attempt(e.key, fn)
+			if err == nil {
+				e.val, e.err = val, nil
+				return
 			}
-		}()
-		e.val = fn()
+			e.err = err
+			if attempt >= p.opts.MaxRetries || !retryable(err) {
+				break
+			}
+			select {
+			case <-time.After(delay):
+			case <-p.ctx.Done():
+				e.err = p.ctx.Err()
+				p.evict(e)
+				return
+			}
+			if delay < maxBackoff {
+				delay *= 2
+			}
+		}
+		p.evict(e)
 	}()
 }
 
@@ -106,7 +309,7 @@ func Go[T any](p *Pool, fn func() T) *Future[T] {
 		defer close(e.done)
 		defer func() {
 			if r := recover(); r != nil {
-				e.panicVal = r
+				e.err = &PanicError{Value: r, Stack: string(debug.Stack())}
 			}
 		}()
 		e.val = fn()
@@ -121,20 +324,32 @@ func Go[T any](p *Pool, fn func() T) *Future[T] {
 // configuration — build it from vmpi.Config.Fingerprint plus a workload
 // prefix. fn must not wait on other futures.
 func Cached[T any](p *Pool, key string, fn func() T) *Future[T] {
+	return CachedCtx(p, key, func(context.Context) (T, error) { return fn(), nil })
+}
+
+// CachedCtx is Cached for fault-aware leaf points: fn receives a context
+// derived from the pool's (with the per-attempt Timeout applied) and may
+// return a structured error instead of panicking. Failed points are
+// retried per the pool's policy when the error is retryable, recorded for
+// all current waiters, and evicted from the cache so a later resubmission
+// recomputes rather than replaying the failure.
+func CachedCtx[T any](p *Pool, key string, fn func(context.Context) (T, error)) *Future[T] {
 	p.mu.Lock()
 	if e, ok := p.cache[key]; ok {
 		p.mu.Unlock()
 		return &Future[T]{e: e}
 	}
-	e := &entry{done: make(chan struct{})}
+	e := &entry{done: make(chan struct{}), key: key}
 	p.cache[key] = e
 	p.mu.Unlock()
-	p.start(e, func() any { return fn() })
+	p.runLeaf(e, func(ctx context.Context) (any, error) { return fn(ctx) })
 	return &Future[T]{e: e}
 }
 
 // Collect waits on futures in submission order and returns their values —
 // the step that restores sequential output order after a parallel fan-out.
+// Like Wait, it panics on the first failed point; degraded-mode callers
+// iterate with WaitErr themselves.
 func Collect[T any](fs []*Future[T]) []T {
 	out := make([]T, len(fs))
 	for i, f := range fs {

@@ -126,8 +126,15 @@ func TestPanicPropagatesToWaiter(t *testing.T) {
 	p := NewPool(2)
 	f := Cached(p, "boom", func() int { panic("simulated failure") })
 	defer func() {
-		if r := recover(); r != "simulated failure" {
-			t.Errorf("recovered %v, want the point's panic value", r)
+		pe, ok := recover().(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T, want *PanicError", pe)
+		}
+		if pe.Value != "simulated failure" {
+			t.Errorf("panic value = %v, want the point's original value", pe.Value)
+		}
+		if pe.Key != "boom" {
+			t.Errorf("panic key = %q, want the point's cache key", pe.Key)
 		}
 	}()
 	f.Wait()

@@ -1,0 +1,137 @@
+package vmpi
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ErrorKind classifies the ways a simulated run can fail. The distinction
+// matters downstream: the sweep scheduler retries retryable kinds with
+// backoff, the report layer labels degraded cells with the kind, and tests
+// assert on kinds instead of parsing panic strings.
+type ErrorKind int
+
+const (
+	// ErrConfig is an invalid Config: nil cluster, non-positive rank
+	// count, a placement that does not fit the cluster, and so on.
+	// Deterministic — never retryable.
+	ErrConfig ErrorKind = iota
+	// ErrDeadlock means no rank was runnable while some were blocked; the
+	// blocked ranks are enumerated in RunError.Blocked.
+	ErrDeadlock
+	// ErrPanic means a rank program panicked; RunError carries the rank,
+	// the panic value and the stack captured at the panic site.
+	ErrPanic
+	// ErrNodeDown means the placement touches a node the fault plan has
+	// lost. Retryable when the plan marks losses transient.
+	ErrNodeDown
+	// ErrTimeout means the run's context deadline expired. Retryable: the
+	// wall-clock budget may have been blown by host contention.
+	ErrTimeout
+	// ErrCanceled means the run's context was canceled.
+	ErrCanceled
+)
+
+// String returns the short lower-case label used in degraded report cells.
+func (k ErrorKind) String() string {
+	switch k {
+	case ErrConfig:
+		return "config"
+	case ErrDeadlock:
+		return "deadlock"
+	case ErrPanic:
+		return "panic"
+	case ErrNodeDown:
+		return "node-down"
+	case ErrTimeout:
+		return "timeout"
+	case ErrCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// BlockedRank describes one rank stuck at the moment a deadlock was
+// declared: which operation it was blocked in and, for receives, the
+// (source, tag) it was waiting for.
+type BlockedRank struct {
+	Rank int
+	// Op is "recv" or "barrier".
+	Op string
+	// Src and Tag identify the awaited message when Op == "recv"
+	// (Src == AnySource for wildcard receives); both are -1 in barriers.
+	Src, Tag int
+	// Time is the rank's virtual clock when it blocked.
+	Time float64
+}
+
+func (b BlockedRank) String() string {
+	if b.Op == "recv" {
+		return fmt.Sprintf("rank %d waiting Recv(src=%d tag=%d) at t=%.6g", b.Rank, b.Src, b.Tag, b.Time)
+	}
+	return fmt.Sprintf("rank %d in barrier at t=%.6g", b.Rank, b.Time)
+}
+
+// RunError is the structured failure of a simulated run. Run panics with a
+// *RunError; TryRun and RunCtx return it.
+type RunError struct {
+	Kind ErrorKind
+	// Msg is the kind-specific detail line.
+	Msg string
+	// Rank is the panicking rank for ErrPanic, -1 otherwise.
+	Rank int
+	// PanicValue and Stack capture a rank panic at its source.
+	PanicValue any
+	Stack      string
+	// Blocked enumerates stuck ranks for ErrDeadlock, in rank order.
+	Blocked []BlockedRank
+	// Transient marks the failure plausibly self-healing (a transient
+	// node loss); together with the kind it decides Retryable.
+	Transient bool
+	// Err is the underlying cause (e.g. the context error), if any.
+	Err error
+}
+
+// Error formats the failure; deadlocks enumerate up to 16 blocked ranks.
+func (e *RunError) Error() string {
+	switch e.Kind {
+	case ErrDeadlock:
+		var b strings.Builder
+		fmt.Fprintf(&b, "vmpi: deadlock; %d ranks blocked:", len(e.Blocked))
+		for i, r := range e.Blocked {
+			if i == 16 {
+				b.WriteString("\n...")
+				break
+			}
+			b.WriteString("\n" + r.String())
+		}
+		return b.String()
+	case ErrPanic:
+		s := fmt.Sprintf("vmpi: rank %d panicked: %v", e.Rank, e.PanicValue)
+		if e.Stack != "" {
+			s += "\n" + strings.TrimRight(e.Stack, "\n")
+		}
+		return s
+	case ErrTimeout, ErrCanceled:
+		return fmt.Sprintf("vmpi: run %s: %s", e.Kind, e.Msg)
+	}
+	return "vmpi: " + e.Msg
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As chains.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// Retryable reports whether resubmitting the point may plausibly succeed:
+// timeouts (wall-clock budget, host contention) and transient faults are;
+// config errors, deadlocks and rank panics are deterministic and are not.
+func (e *RunError) Retryable() bool {
+	return e.Kind == ErrTimeout || e.Transient
+}
+
+// FailureKind labels degraded report cells (see report.FailureKinder).
+func (e *RunError) FailureKind() string { return e.Kind.String() }
+
+// configErr builds an ErrConfig RunError.
+func configErr(format string, args ...any) *RunError {
+	return &RunError{Kind: ErrConfig, Rank: -1, Msg: "invalid config: " + fmt.Sprintf(format, args...)}
+}

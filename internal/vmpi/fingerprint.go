@@ -41,6 +41,12 @@ func (c Config) Fingerprint() string {
 			fmt.Fprintf(&b, "%d:%d", l.Node, l.CPU)
 		}
 	}
+	// Injected faults change results, so they must change the cache key;
+	// healthy configs keep their historical fingerprints byte-identical.
+	if !c.Faults.Empty() {
+		b.WriteString("|faults=")
+		b.WriteString(c.Faults.Fingerprint())
+	}
 	return b.String()
 }
 

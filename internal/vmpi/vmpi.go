@@ -30,10 +30,12 @@
 package vmpi
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"sort"
+	"runtime/debug"
 
+	"columbia/internal/fault"
 	"columbia/internal/machine"
 	"columbia/internal/netmodel"
 	"columbia/internal/omp"
@@ -76,6 +78,11 @@ type Config struct {
 	// RandomPattern marks communication with no locality, enabling the
 	// InfiniBand random-ring protocol collapse.
 	RandomPattern bool
+	// Faults injects deterministic hardware degradation (slow CPUs,
+	// degraded buses, flapping links, lost nodes — see package fault).
+	// nil simulates the healthy machine; the plan is fingerprint-visible,
+	// so faulted and healthy runs never share a cache entry.
+	Faults *fault.Plan
 }
 
 func (c *Config) placement() *machine.Placement {
@@ -169,57 +176,134 @@ type engine struct {
 	barrierLat float64
 	bootFactor float64
 	computeFac float64
-	panicVal   interface{}
+	faults     *fault.Plan
+	// runErr records the first rank failure; stopping tells resumed ranks
+	// to unwind via stopToken so shutdown leaks no goroutines.
+	runErr   *RunError
+	stopping bool
 }
 
+// stopToken unwinds a rank goroutine during shutdown; the recover handler
+// recognizes it and does not record it as a rank panic.
+type stopToken struct{}
+
 // Run simulates fn on cfg.Procs ranks and returns the virtual-time result.
+// It panics with a *RunError on any failure — the legacy contract kept for
+// callers that treat a failed simulation as fatal; robust callers use
+// TryRun or RunCtx instead.
 func Run(cfg Config, fn func(par.Comm)) Result {
-	e := newEngine(cfg)
+	res, err := TryRun(cfg, fn)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// TryRun is the error-returning variant of Run: invalid configurations,
+// deadlocks, node-down faults and rank panics come back as a *RunError
+// instead of a panic.
+func TryRun(cfg Config, fn func(par.Comm)) (Result, error) {
+	return RunCtx(context.Background(), cfg, fn)
+}
+
+// RunCtx is TryRun under a context: cancellation or a deadline stops the
+// simulation at its next scheduling step (every compute or communication
+// operation is one), shuts every rank goroutine down cleanly, and returns
+// an ErrCanceled or ErrTimeout RunError. Rank programs that loop without
+// ever touching their Comm cannot be preempted; none of the workloads in
+// this repository do that.
+func RunCtx(ctx context.Context, cfg Config, fn func(par.Comm)) (Result, error) {
+	e, err := newEngine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	for i := range e.ranks {
 		r := e.ranks[i]
 		go func(r *rankState) {
 			<-r.resume
 			defer func() {
 				if p := recover(); p != nil {
-					e.panicVal = fmt.Sprintf("vmpi rank %d: %v", r.id, p)
+					if _, stop := p.(stopToken); !stop && e.runErr == nil {
+						e.runErr = &RunError{
+							Kind:       ErrPanic,
+							Rank:       r.id,
+							PanicValue: p,
+							Stack:      string(debug.Stack()),
+						}
+					}
 				}
 				r.status = stDone
 				e.parked <- r
 			}()
+			if e.stopping {
+				panic(stopToken{})
+			}
 			fn(&comm{e: e, r: r})
 		}(r)
 	}
 	active := len(e.ranks)
 	for active > 0 {
+		if cerr := ctx.Err(); cerr != nil {
+			e.shutdown()
+			kind := ErrCanceled
+			if cerr == context.DeadlineExceeded {
+				kind = ErrTimeout
+			}
+			return Result{}, &RunError{Kind: kind, Rank: -1, Msg: cerr.Error(), Err: cerr}
+		}
 		r := e.pickReady()
 		if r == nil {
-			e.deadlock()
+			derr := e.deadlockErr()
+			e.shutdown()
+			return Result{}, derr
 		}
 		r.status = stRunning
 		r.resume <- struct{}{}
 		p := <-e.parked
-		if e.panicVal != nil {
-			panic(e.panicVal)
+		if e.runErr != nil {
+			e.shutdown()
+			return Result{}, e.runErr
 		}
 		if p.status == stDone {
 			active--
 		}
 	}
-	return e.result()
+	return e.result(), nil
 }
 
-func newEngine(cfg Config) *engine {
+// shutdown resumes every live rank with stopping set so it unwinds through
+// stopToken; after it returns no rank goroutine is left behind.
+func (e *engine) shutdown() {
+	e.stopping = true
+	for _, r := range e.ranks {
+		if r.status == stDone {
+			continue
+		}
+		r.resume <- struct{}{}
+		<-e.parked
+	}
+}
+
+func newEngine(cfg Config) (e *engine, err error) {
 	if cfg.Cluster == nil {
-		panic("vmpi: Config.Cluster is required")
+		return nil, configErr("Config.Cluster is required")
 	}
 	if cfg.Procs < 1 {
-		panic("vmpi: Config.Procs must be positive")
+		return nil, configErr("Config.Procs must be positive, got %d", cfg.Procs)
 	}
+	// The placement constructors in package machine report impossible
+	// geometries (too few CPUs, invalid node counts, duplicated slots) by
+	// panicking; surface those as structured config errors.
+	defer func() {
+		if p := recover(); p != nil {
+			e, err = nil, configErr("%v", p)
+		}
+	}()
 	net := cfg.Net
 	if net == nil {
 		net = netmodel.New(cfg.Cluster)
 	}
-	e := &engine{
+	e = &engine{
 		cfg:        cfg,
 		net:        net,
 		place:      cfg.placement(),
@@ -228,6 +312,19 @@ func newEngine(cfg Config) *engine {
 		linkBusy:   make([]float64, len(cfg.Cluster.Nodes)),
 		fabricBusy: make([]float64, len(cfg.Cluster.Nodes)),
 		computeFac: cfg.ComputeFactor,
+		faults:     cfg.Faults,
+	}
+	if !e.faults.Empty() {
+		for _, l := range e.place.Locs() {
+			if e.faults.NodeDown(l.Node) {
+				return nil, &RunError{
+					Kind:      ErrNodeDown,
+					Rank:      -1,
+					Msg:       fmt.Sprintf("placement uses node %d, which the fault plan lost", l.Node),
+					Transient: e.faults.Transient(),
+				}
+			}
+		}
 	}
 	if e.computeFac <= 0 {
 		e.computeFac = 1
@@ -256,7 +353,7 @@ func newEngine(cfg Config) *engine {
 	a := e.slot(0, 0)
 	b := e.slot(cfg.Procs-1, 0)
 	e.barrierLat = e.net.Latency(a, b)
-	return e
+	return e, nil
 }
 
 // slot returns the CPU of rank r's thread t.
@@ -277,39 +374,28 @@ func (e *engine) pickReady() *rankState {
 	return best
 }
 
-func (e *engine) deadlock() {
-	var blocked []string
+// deadlockErr enumerates every blocked rank (in rank order) into a
+// structured ErrDeadlock error.
+func (e *engine) deadlockErr() *RunError {
+	var blocked []BlockedRank
 	for _, r := range e.ranks {
 		switch r.status {
 		case stBlockedRecv:
-			blocked = append(blocked, fmt.Sprintf("rank %d waiting Recv(src=%d tag=%d) at t=%.6g",
-				r.id, r.wantSrc, r.wantTag, r.now))
+			blocked = append(blocked, BlockedRank{Rank: r.id, Op: "recv", Src: r.wantSrc, Tag: r.wantTag, Time: r.now})
 		case stBlockedBarrier:
-			blocked = append(blocked, fmt.Sprintf("rank %d in barrier at t=%.6g", r.id, r.now))
+			blocked = append(blocked, BlockedRank{Rank: r.id, Op: "barrier", Src: -1, Tag: -1, Time: r.now})
 		}
 	}
-	sort.Strings(blocked)
-	panic(fmt.Sprintf("vmpi: deadlock; %d ranks blocked:\n%s", len(blocked), join(blocked)))
-}
-
-func join(ss []string) string {
-	out := ""
-	for i, s := range ss {
-		if i > 0 {
-			out += "\n"
-		}
-		out += s
-		if i == 15 && len(ss) > 16 {
-			return out + "\n..."
-		}
-	}
-	return out
+	return &RunError{Kind: ErrDeadlock, Rank: -1, Blocked: blocked}
 }
 
 // yield parks the calling rank goroutine and hands control to the engine.
 func (e *engine) yield(r *rankState) {
 	e.parked <- r
 	<-r.resume
+	if e.stopping {
+		panic(stopToken{})
+	}
 }
 
 // yieldReady parks the rank in the ready state after its clock advanced, so
@@ -339,13 +425,23 @@ func (e *engine) send(r *rankState, dst, tag int, bytes float64, data []float64)
 		bw *= machine.IBRandomRingCollapse
 	}
 	start := r.now
+	if internode {
+		// A degraded or flapping link throttles the per-stream rate too:
+		// the path is only as good as its worse endpoint, evaluated at
+		// the (virtual) send time so flapping stays deterministic.
+		s := e.faults.LinkScale(a.Node, start)
+		if sb := e.faults.LinkScale(b.Node, start); sb < s {
+			s = sb
+		}
+		bw *= s
+	}
 	arr := start + lat + bytes/bw
 	if !internode && e.cfg.Cluster.Brick(a) != e.cfg.Cluster.Brick(b) {
 		// Same box, different C-bricks: the transfer occupies the node's
 		// shared NUMAlink fabric FCFS. This is what makes bisection-
 		// hungry patterns (FT's transpose, random rings) degrade with
 		// CPU count, and degrade harder on the 3700.
-		occ := bytes / e.net.IntraNodeCapacity(a.Node)
+		occ := bytes / (e.net.IntraNodeCapacity(a.Node) * e.faults.FabricScale(a.Node))
 		free := e.fabricBusy[a.Node]
 		if start > free {
 			free = start
@@ -358,7 +454,7 @@ func (e *engine) send(r *rankState, dst, tag int, bytes float64, data []float64)
 	if internode {
 		// FCFS occupancy of each box's internode capacity.
 		for _, nd := range [2]int{a.Node, b.Node} {
-			occ := bytes / e.net.InternodeCapacity(nd)
+			occ := bytes / (e.net.InternodeCapacity(nd) * e.faults.LinkScale(nd, start))
 			free := e.linkBusy[nd]
 			if start > free {
 				free = start
@@ -486,19 +582,35 @@ func (e *engine) barrier(r *rankState) {
 }
 
 // computeTime evaluates work w for rank r including threads, compiler
-// factor, pinning penalty and boot-cpuset interference.
+// factor, pinning penalty, boot-cpuset interference and injected faults.
 func (e *engine) computeTime(r *rankState, w machine.Work) float64 {
 	var t float64
 	total := e.place.N()
+	l := e.slot(r.id, 0)
 	if e.threads == 1 {
-		t = e.place.ComputeTime(r.id, w)
+		if bs := e.faults.BusScale(l.Node, e.cfg.Cluster.Bus(l)); bs != 1 {
+			// A degraded memory bus reshapes the roofline rather than
+			// inflating the whole phase: compute-bound work rides it out.
+			t = e.cfg.Cluster.ComputeTimeDegraded(w, l, e.place.BusShare(r.id), bs)
+		} else {
+			t = e.place.ComputeTime(r.id, w)
+		}
 		t *= pinning.MemPenalty(e.cfg.Pin, 1, total)
 	} else {
 		o := e.cfg.OMP
 		o.Method = e.cfg.Pin
 		t = omp.ModelTime(e.subPlace[r.id], w, o, total)
 	}
-	return t * e.computeFac * e.bootFactor
+	t *= e.computeFac * e.bootFactor
+	// OS-jitter faults steal cycles across the board; a hybrid rank is
+	// dragged by its slowest thread slot (its parallel regions barrier).
+	jf := e.faults.CPUFactor(l)
+	for th := 1; th < e.threads; th++ {
+		if f := e.faults.CPUFactor(e.slot(r.id, th)); f > jf {
+			jf = f
+		}
+	}
+	return t * jf
 }
 
 func (e *engine) result() Result {

@@ -19,13 +19,21 @@ echo "== go build =="
 go build ./...
 
 echo "== go test =="
-go test ./...
+go test -timeout 15m ./...
+
+# The fault-injection and crash-recovery tests (TestFault* across vmpi,
+# sweep, fault, core and the CLI) exercise goroutine shutdown, retries and
+# cancellation; run them repeatedly to shake out nondeterministic flakes
+# before they reach the golden suites.
+echo "== go test -run Fault -count=5 (flake gate) =="
+go test -timeout 10m -run Fault -count=5 \
+	./internal/fault/ ./internal/vmpi/ ./internal/sweep/ ./internal/report/ ./internal/core/ ./cmd/columbia/
 
 # -short skips the 2048-rank experiments: their race-instrumented goroutine
 # churn takes tens of minutes on small hosts while exercising the exact same
 # engine and scheduler code paths as the light experiments, which the
 # determinism tests still replay on 8 workers here.
 echo "== go test -race -short =="
-go test -race -short ./...
+go test -timeout 20m -race -short ./...
 
 echo "verify: all checks passed"
