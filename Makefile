@@ -1,9 +1,15 @@
 GO ?= go
 
-.PHONY: build test race bench verify golden
+.PHONY: build test race bench verify golden lint
 
 build:
 	$(GO) build ./...
+
+# Determinism lint suite (see internal/analysis/detlint): builds the
+# detlint vettool and runs it over every package via go vet.
+lint:
+	$(GO) build -o bin/detlint ./cmd/detlint
+	$(GO) vet -vettool=bin/detlint ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,18 @@
+// Detlint is the determinism lint suite for this repository, packaged as
+// a go vet tool. Build it once, then point go vet at it:
+//
+//	go build -o bin/detlint ./cmd/detlint
+//	go vet -vettool=bin/detlint ./...
+//
+// or simply `make lint`. See package detlint for the analyzers and the
+// //detlint:allow suppression protocol.
+package main
+
+import (
+	"columbia/internal/analysis/detlint"
+	"columbia/internal/analysis/unitchecker"
+)
+
+func main() {
+	unitchecker.Main("detlint", detlint.Suite, detlint.Names())
+}

@@ -1,3 +1,9 @@
+// Deliberately dependency-free. The determinism lint suite under
+// internal/analysis mirrors the golang.org/x/tools go/analysis API, but
+// this build environment is offline, so instead of pinning x/tools here
+// the needed subset (analyzer API, checker, analysistest, unitchecker) is
+// reimplemented on the standard library; the mirrored surface keeps a
+// later migration to the real module mechanical. See DESIGN.md §6.
 module columbia
 
 go 1.22

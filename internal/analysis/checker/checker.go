@@ -1,0 +1,227 @@
+// Package checker runs a suite of analyzers over one loaded package and
+// applies detlint's suppression protocol: a `//detlint:allow <analyzer>
+// <reason>` comment silences exactly the named analyzer on exactly the
+// statement (or declaration, spec, or struct field) that the comment is
+// attached to — the one it shares a line with, or the next one after it.
+// An allow that suppresses nothing is itself reported as stale, so
+// suppressions cannot outlive the hazards they were written for.
+package checker
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"columbia/internal/analysis"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// A Diag is one finding surviving suppression, labeled with the analyzer
+// that produced it. Driver-level findings about the suppression comments
+// themselves (stale, malformed, unknown analyzer) carry the reserved
+// analyzer name "allow", which cannot itself be suppressed.
+type Diag struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// AllowPrefix is the comment marker that starts a suppression.
+const AllowPrefix = "//detlint:allow"
+
+// allowName is the reserved pseudo-analyzer for driver diagnostics about
+// suppression comments.
+const allowName = "allow"
+
+// Run applies analyzers to pkg, enforces the allow protocol, and returns
+// the surviving diagnostics sorted by position. known lists every analyzer
+// name that exists in the full suite: an allow naming an analyzer in known
+// but not in analyzers is ignored (partial runs, e.g. a single-analyzer
+// test, cannot judge its staleness), while an allow naming anything else
+// is reported as referring to an unknown analyzer.
+func Run(pkg *Package, analyzers []*analysis.Analyzer, known []string) ([]Diag, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, err
+	}
+	ran := make(map[string]bool, len(analyzers))
+	var diags []Diag
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		name := a.Name
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, Diag{Analyzer: name, Pos: d.Pos, Message: d.Message})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Pkg.Path(), err)
+		}
+	}
+	knownSet := make(map[string]bool, len(known))
+	for _, n := range known {
+		knownSet[n] = true
+	}
+	out := applyAllows(pkg, diags, ran, knownSet)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// allow is one parsed suppression comment.
+type allow struct {
+	comment  *ast.Comment
+	analyzer string
+	lo, hi   token.Pos // targeted statement's extent; NoPos when nothing follows
+	used     bool
+}
+
+func applyAllows(pkg *Package, diags []Diag, ran, known map[string]bool) []Diag {
+	var out []Diag
+	var allows []*allow
+	for _, f := range pkg.Files {
+		fileAllows, bad := parseAllows(pkg, f, ran, known)
+		allows = append(allows, fileAllows...)
+		out = append(out, bad...)
+	}
+	suppressed := make([]bool, len(diags))
+	for _, al := range allows {
+		for i, d := range diags {
+			if d.Analyzer == al.analyzer && al.lo != token.NoPos && al.lo <= d.Pos && d.Pos <= al.hi {
+				suppressed[i] = true
+				al.used = true
+			}
+		}
+	}
+	for i, d := range diags {
+		if !suppressed[i] {
+			out = append(out, d)
+		}
+	}
+	for _, al := range allows {
+		if !al.used {
+			out = append(out, Diag{
+				Analyzer: allowName,
+				Pos:      al.comment.Pos(),
+				Message: fmt.Sprintf("stale %s: no %s diagnostic at the targeted statement",
+					AllowPrefix, al.analyzer),
+			})
+		}
+	}
+	return out
+}
+
+// parseAllows extracts the well-formed allow comments of one file and
+// reports the malformed ones. Allows naming analyzers that exist but did
+// not run are dropped without complaint.
+func parseAllows(pkg *Package, f *ast.File, ran, known map[string]bool) ([]*allow, []Diag) {
+	var allows []*allow
+	var bad []Diag
+	nodes := targetNodes(f)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, AllowPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, AllowPrefix)
+			if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+				continue // e.g. //detlint:allowance — not ours
+			}
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				bad = append(bad, Diag{Analyzer: allowName, Pos: c.Pos(), Message: fmt.Sprintf(
+					"malformed %s: want %q", AllowPrefix, AllowPrefix+" <analyzer> <reason>")})
+				continue
+			}
+			name := fields[0]
+			if !known[name] {
+				bad = append(bad, Diag{Analyzer: allowName, Pos: c.Pos(), Message: fmt.Sprintf(
+					"%s names unknown analyzer %q", AllowPrefix, name)})
+				continue
+			}
+			if !ran[name] {
+				continue
+			}
+			lo, hi := targetOf(pkg.Fset, c, nodes)
+			if lo == token.NoPos {
+				bad = append(bad, Diag{Analyzer: allowName, Pos: c.Pos(), Message: fmt.Sprintf(
+					"stale %s: no statement follows the comment", AllowPrefix)})
+				continue
+			}
+			allows = append(allows, &allow{comment: c, analyzer: name, lo: lo, hi: hi})
+		}
+	}
+	return allows, bad
+}
+
+// targetNodes collects every node an allow comment can attach to:
+// statements, declarations, import/type/value specs, and struct fields.
+func targetNodes(f *ast.File) []ast.Node {
+	var nodes []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, ast.Decl, ast.Spec, *ast.Field:
+			nodes = append(nodes, n)
+		}
+		return true
+	})
+	return nodes
+}
+
+// targetOf resolves the statement an allow comment governs: the outermost
+// node starting on the comment's own line (trailing-comment form), or
+// failing that the outermost node on the nearest following line.
+func targetOf(fset *token.FileSet, c *ast.Comment, nodes []ast.Node) (lo, hi token.Pos) {
+	cLine := fset.Position(c.Pos()).Line
+	bestLine := -1
+	for _, n := range nodes {
+		l := fset.Position(n.Pos()).Line
+		switch {
+		case l == cLine && n.Pos() < c.Pos():
+			if bestLine != cLine || n.Pos() < lo {
+				bestLine, lo, hi = cLine, n.Pos(), n.End()
+			} else if n.Pos() == lo && n.End() > hi {
+				hi = n.End()
+			}
+		case bestLine == cLine || n.Pos() <= c.End():
+			// Inline target already found, or node precedes the comment.
+		case bestLine < 0 || l < bestLine || (l == bestLine && n.Pos() < lo):
+			bestLine, lo, hi = l, n.Pos(), n.End()
+		case l == bestLine && n.Pos() == lo && n.End() > hi:
+			hi = n.End()
+		}
+	}
+	if bestLine < 0 {
+		return token.NoPos, token.NoPos
+	}
+	return lo, hi
+}
+
+// Position formats d's position against fset, for diagnostics output.
+func Position(fset *token.FileSet, d Diag) token.Position {
+	return fset.Position(d.Pos)
+}
+
+// Qualifier returns a types.Qualifier that prints package names the way
+// diagnostics should: the bare package name, or nothing for pkg itself.
+func Qualifier(pkg *types.Package) types.Qualifier {
+	return func(other *types.Package) string {
+		if other == pkg {
+			return ""
+		}
+		return other.Name()
+	}
+}

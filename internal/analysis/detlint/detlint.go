@@ -1,0 +1,163 @@
+// Package detlint holds the determinism lint suite guarding the paper
+// reproduction's two machine-checked promises: byte-identical experiment
+// tables regardless of -j, and a sweep memo cache whose keys
+// (vmpi.Config.Fingerprint) change whenever any result-relevant input
+// does. Four analyzers enforce them:
+//
+//   - fingerprintcover: every field of a struct with a Fingerprint method
+//     (vmpi.Config, fault.Plan) — and of the nested structs it enumerates —
+//     must be read inside its fingerprint functions, so a newly added
+//     field cannot silently alias cache entries.
+//   - nodeterm: simulator packages must not read the wall clock
+//     (time.Now, time.Since), draw from the global math/rand source, or
+//     let map iteration order leak into output.
+//   - stoptoken: every goroutine started in internal/vmpi must be
+//     stop-token aware, so no rank goroutine outlives a RunError shutdown.
+//   - floatcmp: no ==/!= on floating-point operands in simulation core;
+//     exact comparisons must be epsilon helpers or justified suppressions.
+//
+// A finding is silenced by a `//detlint:allow <analyzer> <reason>` comment
+// on (or immediately above) the offending statement; stale allows are
+// themselves diagnostics. See package checker for the exact protocol and
+// DESIGN.md for the mapping from each analyzer to the paper-level
+// guarantee it protects.
+package detlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"columbia/internal/analysis"
+)
+
+// Suite is every detlint analyzer, in reporting order.
+var Suite = []*analysis.Analyzer{FingerprintCover, NoDeterm, StopToken, FloatCmp}
+
+// Names returns the suite's analyzer names, the vocabulary valid in
+// //detlint:allow comments.
+func Names() []string {
+	names := make([]string, len(Suite))
+	for i, a := range Suite {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// simPackages are the simulator packages whose outputs feed the paper's
+// tables; nodeterm and floatcmp apply only there. Pure measurement
+// scaffolding (package par's real wall-clock engine, the workload
+// generators) is deliberately outside the set.
+var simPackages = map[string]bool{
+	"vmpi":     true,
+	"core":     true,
+	"sweep":    true,
+	"machine":  true,
+	"fault":    true,
+	"netmodel": true,
+	"report":   true,
+}
+
+// scopeName reduces a package to the name scope rules match on: the last
+// import-path element, with the external-test suffix stripped so
+// foo_test packages inherit foo's scope.
+func scopeName(pkg *types.Package) string {
+	path := pkg.Path()
+	if i := strings.IndexAny(path, " ["); i >= 0 {
+		path = path[:i] // test-variant decorations like "p [p.test]"
+	}
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		path = path[i+1:]
+	}
+	return strings.TrimSuffix(path, "_test")
+}
+
+// inSimScope reports whether the pass's package is one of the simulator
+// packages.
+func inSimScope(pass *analysis.Pass) bool {
+	return simPackages[scopeName(pass.Pkg)]
+}
+
+// isTestFile reports whether the file at pos is a _test.go file.
+func isTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// calleeFunc resolves a call's callee to its function or method object,
+// or nil for indirect calls, builtins and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// pkgFunc reports whether fn is the package-level function path.name.
+func pkgFunc(fn *types.Func, path, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == path &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// structOf unwraps t to its struct underlying, through one level of
+// pointer and any named/alias chain. It returns nil for non-structs.
+func structOf(t types.Type) *types.Struct {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	s, _ := t.Underlying().(*types.Struct)
+	return s
+}
+
+// namedStructOf is structOf restricted to named struct types; it returns
+// the name the struct is declared under, for diagnostics.
+func namedStructOf(t types.Type) (*types.Named, *types.Struct) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	s, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	return n, s
+}
+
+// funcBodies collects every function body in the file, outermost first,
+// so the smallest enclosing body of a position can be found.
+func funcBodies(f *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				bodies = append(bodies, fn.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, fn.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+// enclosingBody returns the smallest collected body containing pos.
+func enclosingBody(bodies []*ast.BlockStmt, pos token.Pos) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= pos && pos < b.End() {
+			if best == nil || b.Pos() > best.Pos() {
+				best = b
+			}
+		}
+	}
+	return best
+}

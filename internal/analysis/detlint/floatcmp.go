@@ -1,0 +1,69 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"columbia/internal/analysis"
+)
+
+// FloatCmp flags == and != between floating-point operands in simulator
+// packages. The simulated clock and the bandwidth model both accumulate
+// rounding differently depending on evaluation order, so exact equality is
+// a portability hazard: a comparison that holds under one compiler's
+// fusion choices can fail under another's, silently changing table rows.
+// Comparisons must go through an epsilon helper, or carry a
+// //detlint:allow floatcmp comment explaining why exactness is intended
+// (e.g. comparing against a sentinel value that was stored, not computed).
+// Comparisons where both operands are compile-time constants are exempt —
+// those are evaluated exactly, once, by the compiler. Test files are
+// exempt too: golden-value assertions (`if got != 2.5e-3`) pin the exact
+// outputs the determinism guarantee promises, so exactness there is the
+// point, not a hazard.
+var FloatCmp = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag ==/!= on floating-point operands in simulator packages",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *analysis.Pass) error {
+	if !inSimScope(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, xok := pass.TypesInfo.Types[be.X]
+			yt, yok := pass.TypesInfo.Types[be.Y]
+			if !xok || !yok {
+				return true
+			}
+			if !isFloatType(xt.Type) && !isFloatType(yt.Type) {
+				return true
+			}
+			if xt.Value != nil && yt.Value != nil {
+				return true // constant expression, evaluated exactly
+			}
+			pass.Reportf(be.OpPos, "exact %s on floating-point values is order-of-evaluation sensitive; compare with an epsilon helper or justify with //detlint:allow floatcmp <reason>", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloatType reports whether t's underlying type is a float or complex
+// basic type.
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

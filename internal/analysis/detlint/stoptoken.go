@@ -1,0 +1,131 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"columbia/internal/analysis"
+)
+
+// StopToken enforces the vmpi shutdown contract: when a rank panics with a
+// RunError, the engine broadcasts the stop token and every other rank
+// goroutine must observe it and unwind — otherwise goroutines leak across
+// sweep points and the fault-injection tests' goroutine-count gates fail.
+// Concretely, every `go` statement in internal/vmpi (test files exempt:
+// tests may spawn watchdogs freely) must start a function that is
+// stop-aware — its body references the stopToken type, or it calls a
+// same-package function that is, transitively.
+var StopToken = &analysis.Analyzer{
+	Name: "stoptoken",
+	Doc:  "every goroutine started in internal/vmpi must observe the rank stop token",
+	Run:  runStopToken,
+}
+
+func runStopToken(pass *analysis.Pass) error {
+	if scopeName(pass.Pkg) != "vmpi" {
+		return nil
+	}
+	tok, _ := pass.Pkg.Scope().Lookup("stopToken").(*types.TypeName)
+	aware := stopAwareFuncs(pass, tok)
+	for _, f := range pass.Files {
+		if isTestFile(pass, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goIsStopAware(pass, gs, tok, aware) {
+				pass.Reportf(gs.Pos(), "goroutine started without referencing the rank stop token (stopToken); a rank that ignores the token outlives RunError shutdown and leaks across sweep points")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// stopAwareFuncs computes, by fixed point, the package functions whose
+// bodies reference the stopToken type or call another stop-aware function.
+func stopAwareFuncs(pass *analysis.Pass, tok *types.TypeName) map[*types.Func]bool {
+	if tok == nil {
+		return nil
+	}
+	type fnDecl struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var decls []fnDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls = append(decls, fnDecl{fn, fd.Body})
+			}
+		}
+	}
+	aware := make(map[*types.Func]bool)
+	for _, d := range decls {
+		if referencesToken(pass, d.body, tok) {
+			aware[d.fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			if aware[d.fn] {
+				continue
+			}
+			if callsStopAware(pass, d.body, aware) {
+				aware[d.fn] = true
+				changed = true
+			}
+		}
+	}
+	return aware
+}
+
+// referencesToken reports whether any identifier in n resolves to tok.
+func referencesToken(pass *analysis.Pass, n ast.Node, tok *types.TypeName) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == tok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// callsStopAware reports whether n contains a call to a stop-aware function.
+func callsStopAware(pass *analysis.Pass, n ast.Node, aware map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(pass.TypesInfo, call); fn != nil && aware[fn] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// goIsStopAware reports whether the goroutine launched by gs is stop-aware:
+// a function literal whose body references stopToken or calls a stop-aware
+// function, or a named same-package function that is stop-aware.
+func goIsStopAware(pass *analysis.Pass, gs *ast.GoStmt, tok *types.TypeName, aware map[*types.Func]bool) bool {
+	if tok == nil {
+		return false // no stop token declared at all: every goroutine is a leak
+	}
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return referencesToken(pass, lit.Body, tok) || callsStopAware(pass, lit.Body, aware)
+	}
+	if fn := calleeFunc(pass.TypesInfo, gs.Call); fn != nil {
+		return aware[fn]
+	}
+	return false
+}

@@ -1,0 +1,51 @@
+// Package vmpi (fixture) proves the //detlint:allow protocol: an allow
+// silences exactly the named analyzer, on exactly the next (or same-line)
+// statement, and an allow that suppresses nothing is itself reported.
+// Wants for diagnostics about a comment ride in a block comment on the
+// same line, since the line comment slot is taken by the allow itself.
+package vmpi
+
+import "time"
+
+var t0 time.Time
+
+// mixed has two different findings on one statement; the allow names only
+// floatcmp, so nodeterm must still fire.
+func mixed(a, b float64) bool {
+	//detlint:allow floatcmp tie-break needs exact equality
+	return a == b && time.Since(t0) > 0 // want `nodeterm: time.Since reads the wall clock`
+}
+
+// nextOnly shows the allow governs one statement, not the rest of the
+// function.
+func nextOnly() {
+	//detlint:allow nodeterm first read is a justified banner stamp
+	_ = time.Now()
+	_ = time.Now() // want `nodeterm: time.Now leaks wall-clock time`
+}
+
+// inline shows the trailing-comment form on the governed statement itself.
+func inline(a, b float64) bool {
+	return a == b //detlint:allow floatcmp stored sentinel comparison
+}
+
+// stale holds an allow whose target statement is clean.
+func stale() int {
+	/* want `allow: stale //detlint:allow: no nodeterm diagnostic` */ //detlint:allow nodeterm nothing wrong here anymore
+	x := 1 + 2
+	return x
+}
+
+// malformed is missing the reason.
+func malformed(a, b float64) bool {
+	/* want `allow: malformed //detlint:allow` */ //detlint:allow floatcmp
+	return a == b                                 // want `floatcmp: exact == on floating-point values`
+}
+
+// unknown names an analyzer that does not exist.
+func unknown(a, b float64) bool {
+	/* want `allow: //detlint:allow names unknown analyzer "nosuchcheck"` */ //detlint:allow nosuchcheck typo-ed analyzer name
+	return a == b                                                            // want `floatcmp: exact == on floating-point values`
+}
+
+/* want `allow: stale //detlint:allow: no statement follows` */ //detlint:allow floatcmp dangling at end of file

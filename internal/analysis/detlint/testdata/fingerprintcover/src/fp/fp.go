@@ -1,0 +1,41 @@
+// Package fp is the fingerprintcover fixture: a memo-cache key struct
+// modeled on vmpi.Config, with one forgotten top-level field, one
+// forgotten nested field, one deliberately excluded field (allow), and
+// one nested struct delegated to its own Fingerprint method.
+package fp
+
+import "fmt"
+
+// Opts is a nested knob struct enumerated field-by-field by the
+// fingerprint, so every one of its fields must be read there.
+type Opts struct {
+	Depth int
+	Chunk int // want `fingerprintcover: Opts.Chunk \(reached through Config.Opt\) is never read`
+}
+
+// Plan is a nested struct delegated whole to its own Fingerprint; its
+// internals are its own responsibility, not Config's.
+type Plan struct {
+	seed  int64
+	trial int // want `fingerprintcover: Plan.trial is never read`
+}
+
+// Fingerprint covers seed but forgets trial — Plan is itself a target.
+func (p Plan) Fingerprint() string {
+	return fmt.Sprintf("s%d", p.seed)
+}
+
+// Config is the cache key under test.
+type Config struct {
+	Procs  int
+	Stride int    // want `fingerprintcover: Config.Stride is never read`
+	Name   string //detlint:allow fingerprintcover display label only, never result-relevant
+	Opt    Opts
+	In     Plan
+}
+
+// Fingerprint reads Procs, part of Opt, and delegates In; it misses
+// Stride entirely and Opt.Chunk one level down.
+func (c Config) Fingerprint() string {
+	return fmt.Sprintf("p%d-d%d-%s", c.Procs, c.Opt.Depth, c.In.Fingerprint())
+}

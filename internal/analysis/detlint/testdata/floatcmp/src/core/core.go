@@ -1,0 +1,45 @@
+// Package core (fixture) exercises floatcmp: exact ==/!= on floats is
+// flagged, ordered comparisons and constant folds are not.
+package core
+
+func eq(a, b float64) bool {
+	return a == b // want `floatcmp: exact == on floating-point values`
+}
+
+func ne(a, b float32) bool {
+	return a != b // want `floatcmp: exact != on floating-point values`
+}
+
+// clock is a named float type; the underlying type decides.
+type clock float64
+
+func sameTick(a, b clock) bool {
+	return a == b // want `floatcmp: exact == on floating-point values`
+}
+
+const eps = 1e-9
+
+// near is the approved shape: ordered comparison against an epsilon.
+func near(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}
+
+// ints are out of scope.
+func sameCount(a, b int) bool {
+	return a == b
+}
+
+// Both operands constant: the compiler evaluates this exactly, once.
+func constFold() bool {
+	return 0.5+0.25 == 0.75
+}
+
+// blockSentinel compares against a stored sentinel, never a computed sum.
+func blockSentinel(bs float64) bool {
+	//detlint:allow floatcmp bs is stored verbatim, never computed
+	return bs != 1
+}

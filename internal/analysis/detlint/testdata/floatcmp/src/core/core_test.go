@@ -1,0 +1,8 @@
+package core
+
+// Test files are exempt: golden-value assertions pin the exact outputs
+// the determinism guarantee promises.
+
+func assertExact(got float64) bool {
+	return got != 2.5e-3
+}

@@ -1,0 +1,22 @@
+// Package notsim is outside the simulator scope: wall-clock reads and
+// map-ordered output are measurement scaffolding here, and nodeterm must
+// stay silent.
+package notsim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Stamp reads the wall clock; fine outside simulator packages.
+func Stamp() time.Time { return time.Now() }
+
+// Dump emits map entries unsorted; fine outside simulator packages.
+func Dump(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d\n", k, v)
+	}
+	return b.String()
+}

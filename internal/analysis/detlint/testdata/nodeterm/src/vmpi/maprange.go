@@ -1,0 +1,68 @@
+package vmpi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// render streams map entries in iteration order: the classic bug.
+func render(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m { // want `nodeterm: map iteration order leaks into output`
+		fmt.Fprintf(&b, "%s=%d\n", k, v)
+	}
+	return b.String()
+}
+
+// keysOf collects keys but never sorts them.
+func keysOf(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `nodeterm: range over map appends to "out" without a later sort`
+		out = append(out, k)
+	}
+	return out
+}
+
+// total accumulates floats in iteration order; FP addition is not
+// associative, so the sum depends on the order.
+func total(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want `nodeterm: floating-point accumulation over map iteration`
+		sum += v
+	}
+	return sum
+}
+
+// renderSorted is the approved shape: collect, sort, then emit.
+func renderSorted(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, m[k])
+	}
+	return b.String()
+}
+
+// counts ranges a map into another map: order-insensitive, no finding.
+func counts(m map[string]int) map[int]int {
+	out := make(map[int]int)
+	for _, v := range m {
+		out[v]++
+	}
+	return out
+}
+
+// renderOne is justified: the surrounding contract guarantees one entry.
+func renderOne(m map[string]int) string {
+	var b strings.Builder
+	//detlint:allow nodeterm caller guarantees a single-entry map here
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d", k, v)
+	}
+	return b.String()
+}

@@ -1,0 +1,37 @@
+// Package vmpi (fixture) exercises nodeterm's wall-clock and global-rand
+// rules inside a simulator-scoped package name.
+package vmpi
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want `nodeterm: time.Now leaks wall-clock time`
+}
+
+func elapsed(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want `nodeterm: time.Since reads the wall clock`
+}
+
+func jitter() float64 {
+	return rand.Float64() // want `nodeterm: rand.Float64 uses the process-global random source`
+}
+
+// seeded draws from an explicit source: the allowed pattern.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// backoff paces a retry; time.After shapes scheduling, not results.
+func backoff() {
+	<-time.After(time.Millisecond)
+}
+
+// banner is a justified wall-clock read.
+func banner() time.Time {
+	//detlint:allow nodeterm startup banner timestamp, never reaches a table
+	return time.Now()
+}

@@ -1,0 +1,52 @@
+// Package vmpi (fixture) exercises stoptoken: every goroutine in
+// non-test files must reference the rank stop token, directly or through
+// a stop-aware callee.
+package vmpi
+
+// stopToken mirrors the real engine's shutdown panic value.
+type stopToken struct{}
+
+type engine struct {
+	stopping bool
+	parked   chan int
+}
+
+// runRank is stop-aware: it panics with stopToken when asked to unwind.
+func (e *engine) runRank(id int) {
+	if e.stopping {
+		panic(stopToken{})
+	}
+	e.parked <- id
+}
+
+// drain never consults the token.
+func (e *engine) drain() {
+	for range e.parked {
+	}
+}
+
+func (e *engine) start() {
+	// Direct reference in the literal body.
+	go func() {
+		if e.stopping {
+			panic(stopToken{})
+		}
+		e.parked <- 0
+	}()
+	// Stop-aware through a callee.
+	go func() {
+		e.runRank(1)
+	}()
+	// Named stop-aware method.
+	go e.runRank(2)
+	// Neither: leaks past shutdown.
+	go e.drain() // want `stoptoken: goroutine started without referencing the rank stop token`
+	go func() {  // want `stoptoken: goroutine started without referencing the rank stop token`
+		e.parked <- 3
+	}()
+	// Justified fire-and-forget.
+	//detlint:allow stoptoken metrics flush, exits with the process
+	go func() {
+		e.parked <- 4
+	}()
+}

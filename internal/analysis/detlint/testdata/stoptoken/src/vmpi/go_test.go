@@ -1,0 +1,12 @@
+package vmpi
+
+// Test files are exempt: watchdog goroutines in tests need no token.
+
+func watchdog(e *engine) {
+	done := make(chan struct{})
+	go func() {
+		e.parked <- 9
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,184 @@
+// Package unitchecker implements the vettool side of the `go vet
+// -vettool` protocol on the standard library, mirroring the behavior of
+// golang.org/x/tools/go/analysis/unitchecker (see package analysis for why
+// x/tools is reimplemented rather than imported).
+//
+// The go command drives a vettool as follows:
+//
+//   - `tool -flags` must print a JSON array of the tool's flag
+//     definitions; detlint has none, so it prints [].
+//   - `tool -V=full` must print a version line ending in a buildID the go
+//     command caches vet results under; we hash our own executable so the
+//     cache invalidates whenever the tool is rebuilt.
+//   - `tool <unit>.cfg` is then invoked once per package in the build,
+//     with a JSON config naming the package's Go files and the export
+//     data of its dependencies. Dependency-only invocations set VetxOnly
+//     and are answered with an empty facts file; for packages under
+//     analysis, the unit is parsed and type-checked (export data is
+//     loaded with the standard library's gc importer) and the analyzer
+//     suite runs over it.
+//
+// Diagnostics print to stderr as "position: analyzer: message" and make
+// the tool exit 2, which go vet reports as a failure.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"columbia/internal/analysis"
+	"columbia/internal/analysis/checker"
+)
+
+// Config is the subset of the go command's vet config that detlint needs;
+// unknown JSON fields are ignored.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the vettool protocol over os.Args and exits.
+func Main(progname string, analyzers []*analysis.Analyzer, known []string) {
+	os.Exit(run(progname, os.Args[1:], analyzers, known, os.Stdout, os.Stderr))
+}
+
+// run dispatches one vettool invocation and returns its exit code.
+func run(progname string, args []string, analyzers []*analysis.Analyzer, known []string, stdout, stderr io.Writer) int {
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-flags":
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case strings.HasPrefix(args[0], "-V"):
+			fmt.Fprintf(stdout, "%s version devel comments-go-here buildID=%s\n", progname, buildID())
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runUnit(progname, args[0], analyzers, known, stderr)
+		}
+	}
+	fmt.Fprintf(stderr, "usage: %s <unit>.cfg  (invoked by go vet -vettool)\n", progname)
+	return 1
+}
+
+// buildID contributes a content hash of the tool's own executable to the
+// -V=full line, so the go command's vet cache turns over when the tool is
+// rebuilt with different analyzers.
+func buildID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// runUnit analyzes one compilation unit described by cfgPath.
+func runUnit(progname, cfgPath string, analyzers []*analysis.Analyzer, known []string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: reading config: %v\n", progname, err)
+		return 1
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "%s: parsing config %s: %v\n", progname, cfgPath, err)
+		return 1
+	}
+	// Facts are not implemented; the empty output file still must exist
+	// for the go command to cache the unit.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(stderr, "%s: writing vetx output: %v\n", progname, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	pkg, err := load(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "%s: %s: %v\n", progname, cfg.ImportPath, err)
+		return 1
+	}
+	diags, err := checker.Run(pkg, analyzers, known)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s: %s\n", checker.Position(pkg.Fset, d), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// load parses and type-checks the unit's Go files, resolving imports from
+// the export data files the go command listed in the config.
+func load(cfg *Config) (*checker.Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	tconf := &types.Config{
+		Importer:  importer.ForCompiler(fset, cfg.Compiler, lookup),
+		GoVersion: cfg.GoVersion,
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &checker.Package{Fset: fset, Files: files, Pkg: tpkg, Info: info}, nil
+}

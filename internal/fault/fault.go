@@ -407,6 +407,7 @@ func parseArgs(s string) ([]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad number %q", f)
 		}
+		//detlint:allow floatcmp integrality check on a just-parsed literal; Trunc of an integral float is exact
 		if i < 1 && (v != math.Trunc(v) || v < 0) {
 			return nil, fmt.Errorf("node index %q must be a non-negative integer", f)
 		}

@@ -1,0 +1,52 @@
+package par
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock hands out instants advancing by a fixed step per reading, so
+// Comm.Now values are an exact, replayable sequence.
+type fakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) read() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.now
+	c.now = c.now.Add(c.step)
+	return t
+}
+
+// TestRunWithClockDeterministicNow: with an injected clock, Comm.Now is a
+// pure function of how many readings preceded it — no wall-clock jitter.
+// The steps are chosen binary-representable so the equality is exact.
+func TestRunWithClockDeterministicNow(t *testing.T) {
+	fc := &fakeClock{now: time.Unix(1000, 0), step: 250 * time.Millisecond}
+	var got []float64
+	RunWithClock(1, fc.read, func(c Comm) {
+		got = append(got, c.Now(), c.Now(), c.Now())
+	})
+	want := []float64{0.25, 0.5, 0.75}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Now reading %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunUsesWallClock: the default engine still measures real elapsed
+// time — Now must be non-decreasing across consecutive readings.
+func TestRunUsesWallClock(t *testing.T) {
+	Run(1, func(c Comm) {
+		a := c.Now()
+		b := c.Now()
+		if a < 0 || b < a {
+			t.Errorf("wall-clock Now went backwards: %v then %v", a, b)
+		}
+	})
+}

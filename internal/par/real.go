@@ -25,6 +25,7 @@ type realMsg struct {
 
 type realJob struct {
 	size  int
+	clock Clock
 	start time.Time
 	// mailboxes[src*size+dst][tag] is the channel for (src,dst,tag)
 	// traffic. Channels are created lazily under mu.
@@ -84,15 +85,29 @@ func (b *cyclicBarrier) Await() {
 	b.mu.Unlock()
 }
 
+// Clock supplies the engine's notion of the current time. Comm.Now
+// readings are taken against it, so injecting a fake makes elapsed-time
+// values deterministic in tests; production runs use time.Now.
+type Clock func() time.Time
+
 // Run executes fn concurrently on n ranks using the real engine and blocks
-// until all ranks return. Panics in rank functions propagate.
+// until all ranks return. Panics in rank functions propagate. Elapsed
+// time is measured on the wall clock; tests needing deterministic Now
+// values use RunWithClock.
 func Run(n int, fn func(Comm)) {
+	RunWithClock(n, time.Now, fn)
+}
+
+// RunWithClock is Run with an injected time source, the only seam through
+// which wall-clock time enters this engine.
+func RunWithClock(n int, clock Clock, fn func(Comm)) {
 	if n < 1 {
 		panic("par: job needs at least one rank")
 	}
 	job := &realJob{
 		size:      n,
-		start:     time.Now(),
+		clock:     clock,
+		start:     clock(),
 		mailboxes: make(map[mailKey]chan realMsg),
 		barrier:   newCyclicBarrier(n),
 	}
@@ -155,4 +170,4 @@ func (c *realComm) Compute(machine.Work) {}
 
 func (c *realComm) Barrier() { c.job.barrier.Await() }
 
-func (c *realComm) Now() float64 { return time.Since(c.job.start).Seconds() }
+func (c *realComm) Now() float64 { return c.job.clock().Sub(c.job.start).Seconds() }

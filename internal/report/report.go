@@ -104,6 +104,7 @@ func (t *Table) FailCell(err error) string {
 func Fmt(x float64) string {
 	ax := math.Abs(x)
 	switch {
+	//detlint:allow floatcmp only literal zero formats as "0"; near-zero values take the scientific branch
 	case x == 0:
 		return "0"
 	case ax >= 1e6 || ax < 1e-4:

@@ -1,0 +1,65 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRetryBackoffSchedule drives the retry loop with a fake after hook:
+// no sleeping, and the exact doubling schedule (capped at maxBackoff) is
+// asserted rather than timed.
+func TestRetryBackoffSchedule(t *testing.T) {
+	p := NewPoolOpts(context.Background(), Options{
+		Workers: 1, MaxRetries: 6, Backoff: 500 * time.Millisecond,
+	})
+	var delays []time.Duration
+	p.after = func(d time.Duration) <-chan time.Time {
+		delays = append(delays, d)
+		ch := make(chan time.Time, 1)
+		ch <- time.Time{} // fire immediately: virtual time, real schedule
+		return ch
+	}
+	attempts := 0
+	_, err := CachedCtx(p, "flaky", func(context.Context) (int, error) {
+		attempts++
+		return 0, &transientErr{n: attempts}
+	}).WaitErr()
+	var te *transientErr
+	if !errors.As(err, &te) {
+		t.Fatalf("WaitErr = %v, want transientErr after retries exhausted", err)
+	}
+	if attempts != 7 {
+		t.Errorf("attempts = %d, want 7 (1 initial + 6 retries)", attempts)
+	}
+	want := []time.Duration{
+		500 * time.Millisecond, time.Second, 2 * time.Second,
+		2 * time.Second, 2 * time.Second, 2 * time.Second,
+	}
+	if len(delays) != len(want) {
+		t.Fatalf("backoff delays = %v, want %v", delays, want)
+	}
+	for i := range want {
+		if delays[i] != want[i] {
+			t.Errorf("delay %d = %v, want %v", i, delays[i], want[i])
+		}
+	}
+}
+
+// TestRetryBackoffCancellation: a pool cancellation during backoff wins
+// over the pending retry, without waiting out the delay.
+func TestRetryBackoffCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPoolOpts(ctx, Options{Workers: 1, MaxRetries: 3, Backoff: time.Minute})
+	p.after = func(time.Duration) <-chan time.Time {
+		cancel()                    // cancellation arrives while backing off
+		return make(chan time.Time) // the timer itself never fires
+	}
+	_, err := CachedCtx(p, "canceled-midbackoff", func(context.Context) (int, error) {
+		return 0, &transientErr{n: 1}
+	}).WaitErr()
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("WaitErr = %v, want context.Canceled", err)
+	}
+}

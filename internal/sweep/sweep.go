@@ -42,9 +42,12 @@ const (
 // queued points immediately and running points at their next scheduling
 // step (leaf functions receive a derived context for exactly that).
 type Pool struct {
-	sem   chan struct{}
-	ctx   context.Context
-	opts  Options
+	sem  chan struct{}
+	ctx  context.Context
+	opts Options
+	// after paces retry backoff; tests swap in a fake to drive the retry
+	// schedule deterministically instead of sleeping.
+	after func(time.Duration) <-chan time.Time
 	mu    sync.Mutex
 	cache map[string]*entry
 }
@@ -85,6 +88,7 @@ func NewPoolOpts(ctx context.Context, o Options) *Pool {
 		sem:   make(chan struct{}, o.Workers),
 		ctx:   ctx,
 		opts:  o,
+		after: time.After,
 		cache: make(map[string]*entry),
 	}
 }
@@ -285,7 +289,7 @@ func (p *Pool) runLeaf(e *entry, fn func(context.Context) (any, error)) {
 				break
 			}
 			select {
-			case <-time.After(delay):
+			case <-p.after(delay):
 			case <-p.ctx.Done():
 				e.err = p.ctx.Err()
 				p.evict(e)

@@ -1,0 +1,73 @@
+package vmpi
+
+import (
+	"reflect"
+	"testing"
+
+	"columbia/internal/fault"
+	"columbia/internal/machine"
+	"columbia/internal/netmodel"
+	"columbia/internal/pinning"
+)
+
+// fingerprintMutators changes each Config field to a value that must
+// produce a different simulation result. TestFingerprintCoversEveryField
+// walks the struct by reflection, so adding a field to Config without
+// registering a mutator here fails the test — and the mutator in turn
+// fails unless Fingerprint folds the new field in. Together with the
+// fingerprintcover analyzer this closes the cache-aliasing hole from both
+// ends: statically (the field must be read) and behaviorally (reading it
+// must change the key).
+var fingerprintMutators = map[string]func(*Config){
+	"Cluster":       func(c *Config) { c.Cluster = machine.NewBX2bQuad() },
+	"Net":           func(c *Config) { c.Net = &netmodel.Model{C: c.Cluster, MPT: machine.MPT111r} },
+	"Procs":         func(c *Config) { c.Procs = 8 },
+	"Threads":       func(c *Config) { c.Threads = 2 },
+	"Nodes":         func(c *Config) { c.Nodes = 2 },
+	"Stride":        func(c *Config) { c.Stride = 2 },
+	"Placement":     func(c *Config) { c.Placement = machine.Strided(c.Cluster, c.Procs, 2) },
+	"Pin":           func(c *Config) { c.Pin = pinning.None },
+	"ComputeFactor": func(c *Config) { c.ComputeFactor = 1.7 },
+	"OMP":           func(c *Config) { c.OMP.SerialFraction = 0.25 },
+	"RandomPattern": func(c *Config) { c.RandomPattern = true },
+	"Faults":        func(c *Config) { c.Faults = fault.New().SlowNode(0, 2) },
+}
+
+func baseFingerprintConfig() Config {
+	return Config{Cluster: machine.NewSingleNode(machine.Altix3700), Procs: 4, Threads: 1}
+}
+
+// TestFingerprintCoversEveryField mutates each Config field in turn and
+// requires the fingerprint to move.
+func TestFingerprintCoversEveryField(t *testing.T) {
+	base := baseFingerprintConfig().Fingerprint()
+	ct := reflect.TypeOf(Config{})
+	for i := 0; i < ct.NumField(); i++ {
+		name := ct.Field(i).Name
+		mutate, ok := fingerprintMutators[name]
+		if !ok {
+			t.Errorf("Config.%s has no fingerprint mutator; register one here and make Fingerprint cover the field", name)
+			continue
+		}
+		cfg := baseFingerprintConfig()
+		mutate(&cfg)
+		if got := cfg.Fingerprint(); got == base {
+			t.Errorf("mutating Config.%s did not change Fingerprint():\n%s", name, got)
+		}
+	}
+	for name := range fingerprintMutators {
+		if _, ok := ct.FieldByName(name); !ok {
+			t.Errorf("fingerprintMutators has entry %q for a field Config no longer declares", name)
+		}
+	}
+}
+
+// TestFingerprintStableForEqualConfigs: independently built but equal
+// configurations must share a cache entry.
+func TestFingerprintStableForEqualConfigs(t *testing.T) {
+	a := baseFingerprintConfig().Fingerprint()
+	b := baseFingerprintConfig().Fingerprint()
+	if a != b {
+		t.Errorf("equal configs fingerprint differently:\n%s\n%s", a, b)
+	}
+}

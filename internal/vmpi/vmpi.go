@@ -367,6 +367,7 @@ func (e *engine) pickReady() *rankState {
 		if r.status != stReady {
 			continue
 		}
+		//detlint:allow floatcmp rank clocks advance by identical arithmetic, so ties are exact; the id tie-break keeps pick order deterministic
 		if best == nil || r.now < best.now || (r.now == best.now && r.id < best.id) {
 			best = r
 		}
@@ -588,6 +589,7 @@ func (e *engine) computeTime(r *rankState, w machine.Work) float64 {
 	total := e.place.N()
 	l := e.slot(r.id, 0)
 	if e.threads == 1 {
+		//detlint:allow floatcmp BusScale returns the stored scale verbatim, with 1 as the exact no-fault sentinel
 		if bs := e.faults.BusScale(l.Node, e.cfg.Cluster.Bus(l)); bs != 1 {
 			// A degraded memory bus reshapes the roofline rather than
 			// inflating the whole phase: compute-bound work rides it out.

@@ -15,6 +15,13 @@ fi
 echo "== go vet =="
 go vet ./...
 
+# Determinism lint: fingerprint coverage, wall-clock/map-order hazards,
+# stop-token discipline, exact float comparisons. See
+# internal/analysis/detlint and DESIGN.md ("Determinism invariants").
+echo "== detlint =="
+go build -o bin/detlint ./cmd/detlint
+go vet -vettool=bin/detlint ./...
+
 echo "== go build =="
 go build ./...
 
