@@ -16,6 +16,7 @@
 //	columbia -faults nodedown=0 run stride     simulate with node 0 lost
 //	columbia -timeout 30s all                  bound each sweep point's wall clock
 //	columbia -max-retries 2 -faults ... all    retry retryable failures
+//	columbia -commsan run fig8                 run under the communication sanitizer
 //
 // A failed point degrades to an annotated "!kind" cell instead of aborting
 // the run; if any point failed, the command prints a summary to stderr and
@@ -58,9 +59,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		timeout    = fs.Duration("timeout", 0, "wall-clock budget per sweep point (0 = none)")
 		maxRetries = fs.Int("max-retries", 0, "retries for retryable point failures (timeouts, transient faults)")
 		faultSpec  = fs.String("faults", "", "comma-separated fault plan, e.g. nodedown=0,slownode=1:1.5 (see DESIGN.md)")
+		commsan    = fs.Bool("commsan", false, "run every simulation under the communication sanitizer (races, unmatched traffic, collective mismatches fail as !sanitizer cells)")
 	)
 	usage := func() int {
-		fmt.Fprintln(stderr, "usage: columbia [-csv] [-plot] [-j N] [-timeout D] [-max-retries N] [-faults SPEC] {list | all | run <id>...}")
+		fmt.Fprintln(stderr, "usage: columbia [-csv] [-plot] [-j N] [-timeout D] [-max-retries N] [-faults SPEC] [-commsan] {list | all | run <id>...}")
 		return 2
 	}
 	if err := fs.Parse(argv); err != nil {
@@ -79,6 +81,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		core.SetFaultPlan(plan)
 		defer core.SetFaultPlan(nil)
+	}
+	if *commsan {
+		core.SetSanitize(true)
+		defer core.SetSanitize(false)
 	}
 	emit := func(b *strings.Builder, t *report.Table) {
 		if *csvOut {

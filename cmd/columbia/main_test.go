@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"columbia/internal/core"
 	"columbia/internal/sweep"
 )
 
@@ -67,6 +68,26 @@ func TestBadExperimentIDExitsOne(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "unknown experiment") {
 		t.Errorf("stderr: %q", errOut.String())
+	}
+}
+
+func TestCommsanRunMatchesPlain(t *testing.T) {
+	defer resetGlobals()
+	var plain, plainErr strings.Builder
+	if code := run([]string{"run", "stride"}, &plain, &plainErr); code != 0 {
+		t.Fatalf("plain run exit = %d\nstderr: %s", code, plainErr.String())
+	}
+	var san, sanErr strings.Builder
+	if code := run([]string{"-commsan", "run", "stride"}, &san, &sanErr); code != 0 {
+		t.Fatalf("-commsan run exit = %d\nstderr: %s", code, sanErr.String())
+	}
+	if plain.String() != san.String() {
+		t.Errorf("-commsan perturbed the output\n--- plain ---\n%s\n--- commsan ---\n%s",
+			plain.String(), san.String())
+	}
+	// The deferred reset must leave the toggle off for later runs.
+	if core.Sanitize() {
+		t.Error("-commsan leaked: sanitizer still on after run returned")
 	}
 }
 

@@ -1,0 +1,245 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"columbia/internal/analysis"
+)
+
+// Collsplit flags a collective call that is lexically reachable only under
+// a rank-dependent branch — the classic conditional-collective bug: if one
+// rank's condition differs, a strict subset of ranks enters the collective
+// and the job deadlocks (the commsan runtime sanitizer reports exactly this
+// as a subset-collective violation; this analyzer catches it before any run
+// happens). A branch is rank-dependent when its condition (or a switch tag,
+// a case expression, or a for-loop condition) reads the rank: it calls a
+// zero-argument Rank method, or mentions a local variable assigned from
+// one. Point-to-point calls under rank branches are the normal SPMD pattern
+// and are never flagged; test files are exempt. A split that is safe by
+// construction (every arm still enters the collective) is silenced with
+// //detlint:allow collsplit <reason>.
+var Collsplit = &analysis.Analyzer{
+	Name: "collsplit",
+	Doc:  "flag collective calls guarded by rank-dependent branches",
+	Run:  runCollsplit,
+}
+
+// collectiveFuncs are the package-level collective entry points of the par
+// library (and any workload-local helper sharing their names).
+var collectiveFuncs = map[string]bool{
+	"Bcast": true, "BcastBytes": true,
+	"Reduce":    true,
+	"Allreduce": true, "AllreduceBytes": true, "AllreduceSum": true,
+	"Allgather": true, "AllgatherBytes": true,
+	"Alltoall": true, "AlltoallBytes": true,
+}
+
+func runCollsplit(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f.Pos()) {
+			continue
+		}
+		// Check each top-level function body once; the walk itself descends
+		// into nested literals, so they must not be re-entered separately.
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					checkCollsplit(pass, d.Body)
+				}
+			case *ast.GenDecl:
+				// Function literals in package-level initializers.
+				ast.Inspect(d, func(n ast.Node) bool {
+					if fl, ok := n.(*ast.FuncLit); ok {
+						checkCollsplit(pass, fl.Body)
+						return false
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// checkCollsplit walks one function body tracking whether the current
+// position is lexically inside a rank-dependent branch, and reports any
+// collective call found there.
+func checkCollsplit(pass *analysis.Pass, body *ast.BlockStmt) {
+	tainted := rankTaint(pass, body)
+	dep := func(e ast.Expr) bool { return rankDep(pass, tainted, e) }
+	var walk func(n ast.Node, guarded bool)
+	walk = func(n ast.Node, guarded bool) {
+		switch s := n.(type) {
+		case nil:
+			return
+		case *ast.IfStmt:
+			if s.Init != nil {
+				walk(s.Init, guarded)
+			}
+			walk(s.Cond, guarded)
+			g := guarded || dep(s.Cond)
+			walk(s.Body, g)
+			walk(s.Else, g)
+			return
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				walk(s.Init, guarded)
+			}
+			if s.Tag != nil {
+				walk(s.Tag, guarded)
+			}
+			g := guarded || (s.Tag != nil && dep(s.Tag))
+			if !g {
+				// switch { case c.Rank() == 0: ... }: any rank-dependent
+				// case makes every clause's reachability rank-dependent.
+				for _, cc := range s.Body.List {
+					for _, e := range cc.(*ast.CaseClause).List {
+						if dep(e) {
+							g = true
+						}
+					}
+				}
+			}
+			walk(s.Body, g)
+			return
+		case *ast.ForStmt:
+			if s.Init != nil {
+				walk(s.Init, guarded)
+			}
+			if s.Cond != nil {
+				walk(s.Cond, guarded)
+			}
+			// A rank-dependent trip count runs the body a different number
+			// of times per rank — the same subset-collective hazard.
+			g := guarded || (s.Cond != nil && dep(s.Cond))
+			if s.Post != nil {
+				walk(s.Post, g)
+			}
+			walk(s.Body, g)
+			return
+		case *ast.CallExpr:
+			if guarded {
+				if name, ok := collectiveCall(pass, s); ok {
+					pass.Reportf(s.Pos(), "collective %s is reachable only under a rank-dependent branch; if any rank takes another path the job deadlocks — hoist it, or justify with //detlint:allow collsplit <reason>", name)
+				}
+			}
+		}
+		// Generic descent preserving the guard.
+		children(n, func(c ast.Node) { walk(c, guarded) })
+	}
+	walk(body, false)
+}
+
+// children invokes fn on n's immediate child nodes.
+func children(n ast.Node, fn func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			fn(c)
+		}
+		return false
+	})
+}
+
+// collectiveCall reports whether the call enters a collective: a
+// zero-argument Barrier method, or a package-level function named like a
+// par collective.
+func collectiveCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return "", false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		if fn.Name() == "Barrier" && len(call.Args) == 0 {
+			return "Barrier", true
+		}
+		return "", false
+	}
+	if collectiveFuncs[fn.Name()] {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// isRankCall reports whether the call is a zero-argument method named Rank.
+func isRankCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.TypesInfo, call)
+	return fn != nil && fn.Name() == "Rank" && len(call.Args) == 0 &&
+		fn.Type().(*types.Signature).Recv() != nil
+}
+
+// rankDep reports whether the expression reads the rank: directly through a
+// Rank() call, or through an identifier tainted by one.
+func rankDep(pass *analysis.Pass, tainted map[types.Object]bool, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isRankCall(pass, x) {
+				found = true
+			}
+		case *ast.Ident:
+			if tainted[pass.TypesInfo.Uses[x]] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rankTaint computes the body-local variables whose values derive from the
+// rank, by fixed-point propagation over assignments and var declarations.
+func rankTaint(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	tainted := make(map[types.Object]bool)
+	mark := func(lhs ast.Expr) bool {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil || tainted[obj] {
+			return false
+		}
+		tainted[obj] = true
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) == len(s.Rhs) {
+					for i := range s.Lhs {
+						if rankDep(pass, tainted, s.Rhs[i]) && mark(s.Lhs[i]) {
+							changed = true
+						}
+					}
+				} else if len(s.Rhs) == 1 && rankDep(pass, tainted, s.Rhs[0]) {
+					for _, l := range s.Lhs {
+						if mark(l) {
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range s.Values {
+					if rankDep(pass, tainted, v) && i < len(s.Names) && mark(s.Names[i]) {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}

@@ -2,7 +2,8 @@
 // reproduction's two machine-checked promises: byte-identical experiment
 // tables regardless of -j, and a sweep memo cache whose keys
 // (vmpi.Config.Fingerprint) change whenever any result-relevant input
-// does. Four analyzers enforce them:
+// does — plus, since the commsan PR, the communication-correctness
+// invariants of §7 in DESIGN.md. Six analyzers enforce them:
 //
 //   - fingerprintcover: every field of a struct with a Fingerprint method
 //     (vmpi.Config, fault.Plan) — and of the nested structs it enumerates —
@@ -15,6 +16,11 @@
 //     stop-token aware, so no rank goroutine outlives a RunError shutdown.
 //   - floatcmp: no ==/!= on floating-point operands in simulation core;
 //     exact comparisons must be epsilon helpers or justified suppressions.
+//   - collsplit: no collective call reachable only under a rank-dependent
+//     branch — the conditional-collective deadlock the commsan runtime
+//     sanitizer reports as a subset-collective violation.
+//   - tagpair: no literal send/recv tag that can never match within its
+//     package (a leaked send or a forever-blocked receive).
 //
 // A finding is silenced by a `//detlint:allow <analyzer> <reason>` comment
 // on (or immediately above) the offending statement; stale allows are
@@ -33,7 +39,7 @@ import (
 )
 
 // Suite is every detlint analyzer, in reporting order.
-var Suite = []*analysis.Analyzer{FingerprintCover, NoDeterm, StopToken, FloatCmp}
+var Suite = []*analysis.Analyzer{FingerprintCover, NoDeterm, StopToken, FloatCmp, Collsplit, Tagpair}
 
 // Names returns the suite's analyzer names, the vocabulary valid in
 // //detlint:allow comments.

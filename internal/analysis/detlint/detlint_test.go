@@ -21,6 +21,8 @@ func TestAnalyzers(t *testing.T) {
 		{"nodeterm", []string{"vmpi", "notsim"}, []*analysis.Analyzer{detlint.NoDeterm}},
 		{"stoptoken", []string{"vmpi"}, []*analysis.Analyzer{detlint.StopToken}},
 		{"floatcmp", []string{"core"}, []*analysis.Analyzer{detlint.FloatCmp}},
+		{"collsplit", []string{"coll"}, []*analysis.Analyzer{detlint.Collsplit}},
+		{"tagpair", []string{"tags", "tagsdyn"}, []*analysis.Analyzer{detlint.Tagpair}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -41,7 +43,7 @@ func TestAllowProtocol(t *testing.T) {
 // TestNames pins the allow-comment vocabulary; renaming an analyzer is an
 // interface change for every suppression in the repo.
 func TestNames(t *testing.T) {
-	want := []string{"fingerprintcover", "nodeterm", "stoptoken", "floatcmp"}
+	want := []string{"fingerprintcover", "nodeterm", "stoptoken", "floatcmp", "collsplit", "tagpair"}
 	got := detlint.Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

@@ -1,0 +1,96 @@
+// Package coll (fixture) exercises collsplit: collective calls reachable
+// only under rank-dependent branches are flagged; point-to-point traffic
+// under rank branches and collectives guarded by rank-independent
+// conditions are not.
+package coll
+
+type comm struct{ rank, size int }
+
+func (c *comm) Rank() int                         { return c.rank }
+func (c *comm) Size() int                         { return c.size }
+func (c *comm) Barrier()                          {}
+func (c *comm) Send(dst, tag int, data []float64) {}
+func (c *comm) Recv(src, tag int) []float64       { return nil }
+
+func Allreduce(c *comm, data []float64) []float64 { return data }
+
+// The acceptance fixture: a conditional Barrier. One rank skips it and the
+// job deadlocks.
+func condBarrier(c *comm) {
+	if c.Rank() == 0 {
+		c.Barrier() // want `collsplit: collective Barrier is reachable only under a rank-dependent branch`
+	}
+}
+
+func condCollectiveFunc(c *comm) {
+	if c.Rank() > 0 {
+		Allreduce(c, nil) // want `collsplit: collective Allreduce is reachable only under a rank-dependent branch`
+	}
+}
+
+// Rank dependence propagates through local assignments.
+func taintedGuard(c *comm) {
+	r := c.Rank()
+	lower := r < c.Size()/2
+	if lower {
+		c.Barrier() // want `collsplit: collective Barrier is reachable only under a rank-dependent branch`
+	}
+}
+
+func switchOnRank(c *comm) {
+	switch c.Rank() {
+	case 0:
+		c.Barrier() // want `collsplit: collective Barrier is reachable only under a rank-dependent branch`
+	}
+}
+
+func switchCaseOnRank(c *comm) {
+	switch {
+	case c.Rank() == 0:
+		Allreduce(c, nil) // want `collsplit: collective Allreduce is reachable only under a rank-dependent branch`
+	}
+}
+
+// A rank-dependent trip count is the same hazard: ranks enter the
+// collective a different number of times.
+func rankDepLoop(c *comm) {
+	for i := 0; i < c.Rank(); i++ {
+		c.Barrier() // want `collsplit: collective Barrier is reachable only under a rank-dependent branch`
+	}
+}
+
+// Point-to-point under rank branches is the normal SPMD pattern.
+func sendOnlyBranch(c *comm) {
+	if c.Rank() == 0 {
+		c.Send(1, 7, nil)
+	} else if c.Rank() == 1 {
+		c.Recv(0, 7)
+	}
+	c.Barrier()
+}
+
+// Size is not rank-dependent: every rank evaluates it identically.
+func sizeGuard(c *comm) {
+	if c.Size() > 1 {
+		c.Barrier()
+	}
+}
+
+// A rank-independent loop around a collective is symmetric.
+func symmetricLoop(c *comm, steps int) {
+	for i := 0; i < steps; i++ {
+		Allreduce(c, nil)
+	}
+}
+
+// Both arms enter the same collective, so every rank still gets there; the
+// split is safe by construction and the finding is suppressed.
+func symmetricSplit(c *comm) {
+	if c.Rank() == 0 {
+		//detlint:allow collsplit both arms call Allreduce, every rank enters collective #0
+		Allreduce(c, nil)
+	} else {
+		//detlint:allow collsplit both arms call Allreduce, every rank enters collective #0
+		Allreduce(c, nil)
+	}
+}

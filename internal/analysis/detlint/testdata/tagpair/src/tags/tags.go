@@ -1,0 +1,47 @@
+// Package tags (fixture) exercises tagpair: every tag in this package is a
+// literal constant, so a sent tag with no receive (or a received tag with
+// no send) can never match.
+package tags
+
+type comm struct{}
+
+func (c *comm) Send(dst, tag int, data []float64)     {}
+func (c *comm) Recv(src, tag int) []float64           { return nil }
+func (c *comm) SendBytes(dst, tag int, bytes float64) {}
+func (c *comm) RecvBytes(src, tag int) float64        { return 0 }
+func (c *comm) RecvAny(tag int) (int, []float64)      { return 0, nil }
+
+const (
+	tagHalo       = 7
+	tagAck        = 8
+	tagOrphanSend = 21
+	tagOrphanRecv = 22
+	tagWild       = 23
+)
+
+// Matched pairs are silent.
+func matched(c *comm) {
+	c.Send(1, tagHalo, nil)
+	c.Recv(0, tagHalo)
+	c.SendBytes(1, tagAck, 8)
+	c.RecvBytes(0, tagAck)
+}
+
+func orphanSend(c *comm) {
+	c.Send(1, tagOrphanSend, nil) // want `tagpair: literal tag 21 is sent but never received in this package`
+}
+
+func orphanRecv(c *comm) {
+	c.RecvBytes(0, tagOrphanRecv) // want `tagpair: literal tag 22 is received but never sent in this package`
+}
+
+// A wildcard receive still names a tag; nothing here sends it.
+func orphanWildcard(c *comm) {
+	c.RecvAny(tagWild) // want `tagpair: literal tag 23 is received but never sent in this package`
+}
+
+// The matching receive legitimately lives in a peer package.
+func crossPackage(c *comm) {
+	//detlint:allow tagpair the matching receive lives in package peer
+	c.Send(1, 31, nil)
+}

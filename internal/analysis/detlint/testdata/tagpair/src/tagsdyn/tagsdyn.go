@@ -1,0 +1,30 @@
+// Package tagsdyn (fixture) checks tagpair's suppression rule: one dynamic
+// tag expression on the send (or receive) side could supply any value, so
+// no unmatched-receive (or unmatched-send) report in the package is sound.
+// This file must produce no diagnostics.
+package tagsdyn
+
+type comm struct{}
+
+func (c *comm) Send(dst, tag int, data []float64)     {}
+func (c *comm) SendBytes(dst, tag int, bytes float64) {}
+func (c *comm) RecvBytes(src, tag int) float64        { return 0 }
+
+// Ring exchange with per-step tags: both sides are dynamic.
+func ring(c *comm, p int) {
+	for step := 0; step < p; step++ {
+		c.SendBytes(1, 100+step, 8)
+		c.RecvBytes(0, 100+step)
+	}
+}
+
+// Tag 55 has no literal receive, but the dynamic receives above could
+// match it — no report.
+func literalSendAmongDynamicRecvs(c *comm) {
+	c.Send(1, 55, nil)
+}
+
+// Tag 56 has no literal send, but a dynamic send exists — no report.
+func literalRecvAmongDynamicSends(c *comm) {
+	c.RecvBytes(0, 56)
+}

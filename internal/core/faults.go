@@ -9,12 +9,14 @@ import (
 	"columbia/internal/vmpi"
 )
 
-// The active fault plan is process-global, like the sweep pool: experiments
-// are free functions registered at init time, so the CLI (and tests)
-// install a plan here and every simulated point picks it up via withFaults.
+// The active fault plan and sanitizer toggle are process-global, like the
+// sweep pool: experiments are free functions registered at init time, so
+// the CLI (and tests) install them here and every simulated point picks
+// them up via withFaults.
 var (
 	faultMu   sync.Mutex
 	faultPlan *fault.Plan
+	sanitize  bool
 )
 
 // SetFaultPlan installs the fault plan applied to every subsequently
@@ -34,10 +36,29 @@ func FaultPlan() *fault.Plan {
 	return faultPlan
 }
 
-// withFaults stamps the active plan into a point's config. Call it before
-// computing the cache key so the fingerprint reflects the plan.
+// SetSanitize toggles the communication sanitizer (vmpi.Config.Sanitize,
+// package commsan) for every subsequently submitted simulation point.
+// Sanitized and unsanitized points never share memo-cache entries — the
+// toggle is part of each point's fingerprint key.
+func SetSanitize(on bool) {
+	faultMu.Lock()
+	defer faultMu.Unlock()
+	sanitize = on
+}
+
+// Sanitize reports whether the communication sanitizer is on.
+func Sanitize() bool {
+	faultMu.Lock()
+	defer faultMu.Unlock()
+	return sanitize
+}
+
+// withFaults stamps the active fault plan and sanitizer toggle into a
+// point's config. Call it before computing the cache key so the fingerprint
+// reflects both.
 func withFaults(cfg vmpi.Config) vmpi.Config {
 	cfg.Faults = FaultPlan()
+	cfg.Sanitize = Sanitize()
 	return cfg
 }
 

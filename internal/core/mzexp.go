@@ -49,14 +49,15 @@ func mzTimeAsync(bench string, class npb.Class, cl *machine.Cluster, procs, thre
 		net := netmodel.New(cl)
 		net.MPT = mpt
 		res, err := vmpi.RunCtx(ctx, vmpi.Config{
-			Cluster: cl,
-			Net:     net,
-			Procs:   procs,
-			Threads: threads,
-			Nodes:   nodes,
-			Pin:     pin,
-			OMP:     info.OMPOpts(),
-			Faults:  keyCfg.Faults,
+			Cluster:  cl,
+			Net:      net,
+			Procs:    procs,
+			Threads:  threads,
+			Nodes:    nodes,
+			Pin:      pin,
+			OMP:      info.OMPOpts(),
+			Faults:   keyCfg.Faults,
+			Sanitize: keyCfg.Sanitize,
 		}, fn)
 		if err != nil {
 			return 0, err

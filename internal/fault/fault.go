@@ -232,6 +232,15 @@ func (p *Plan) LinkScale(node int, t float64) float64 {
 	return lf.downScale
 }
 
+// LinkDead reports whether the node's internode link counts as severed at
+// virtual time t: its bandwidth scale has collapsed to the minScale floor
+// (a linkdown directive of 0, or a flap in its down phase with down scale
+// 0). The engine fails such traffic with a linkdown error instead of
+// simulating a near-infinite transfer.
+func (p *Plan) LinkDead(node int, t float64) bool {
+	return p != nil && p.LinkScale(node, t) <= minScale
+}
+
 // FabricScale returns the intra-node fabric capacity scale in (0, 1].
 func (p *Plan) FabricScale(node int) float64 {
 	if p == nil {

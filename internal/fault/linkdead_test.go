@@ -1,0 +1,35 @@
+package fault
+
+import "testing"
+
+// TestLinkDead pins the severed-link predicate the engine keys its
+// linkdown failures on: only a scale collapsed to the minScale floor
+// counts as dead, and flapping links are dead exactly in their down phase.
+func TestLinkDead(t *testing.T) {
+	if (*Plan)(nil).LinkDead(0, 0) {
+		t.Error("nil plan (healthy machine) reported a dead link")
+	}
+	if New().LinkDead(0, 0) {
+		t.Error("empty plan reported a dead link")
+	}
+	severed := New().DegradeLink(0, 0) // clamps to the minScale floor
+	if !severed.LinkDead(0, 0) || !severed.LinkDead(0, 1e6) {
+		t.Error("a scale-0 link must be dead at every time")
+	}
+	if severed.LinkDead(1, 0) {
+		t.Error("the fault is per node; node 1 is healthy")
+	}
+	degraded := New().DegradeLink(0, 0.25)
+	if degraded.LinkDead(0, 0) {
+		t.Error("a merely degraded link is slow, not dead")
+	}
+	// Flap: full bandwidth for the first half of each 1s period, severed
+	// for the second half.
+	flap := New().FlapLink(0, 1, 0.5, 0)
+	if flap.LinkDead(0, 0.25) {
+		t.Error("flapping link dead in its up phase")
+	}
+	if !flap.LinkDead(0, 0.75) {
+		t.Error("flapping link alive in its severed down phase")
+	}
+}

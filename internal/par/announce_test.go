@@ -1,0 +1,73 @@
+package par
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// recordingComm wraps a real-engine comm and implements
+// CollectiveAnnouncer, capturing every announcement so the test can pin
+// which collectives announce and with what operand. Only rank 0 records —
+// the collectives themselves still run on every rank.
+type recordingComm struct {
+	Comm
+	events *[]string
+}
+
+func (r *recordingComm) AnnounceCollective(kind string, operand float64) {
+	if r.Comm.Rank() == 0 {
+		*r.events = append(*r.events, fmt.Sprintf("%s:%g", kind, operand))
+	}
+}
+
+// TestCollectivesAnnounceKindAndOperand: every collective entry point
+// announces itself exactly once, before communicating, with the operand
+// the sanitizer compares across ranks — the root for rooted collectives,
+// the byte count for the symmetric ones.
+func TestCollectivesAnnounceKindAndOperand(t *testing.T) {
+	var events []string
+	Run(4, func(c Comm) {
+		w := &recordingComm{Comm: c, events: &events}
+		Bcast(w, 1, []float64{1, 2})
+		BcastBytes(w, 2, 4096)
+		Reduce(w, 0, []float64{1, 2, 3}, SumOp)
+		Allreduce(w, []float64{1, 2, 3}, SumOp)
+		AllreduceBytes(w, 8192)
+		AllreduceSum(w, []float64{5})
+		Allgather(w, []float64{1, 2})
+		AllgatherBytes(w, 512)
+		chunks := make([][]float64, w.Size())
+		for i := range chunks {
+			chunks[i] = []float64{float64(i)}
+		}
+		Alltoall(w, chunks)
+		AlltoallBytes(w, 2048)
+	})
+	want := []string{
+		"Bcast:1",      // root
+		"BcastBytes:2", // root
+		"Reduce:0",     // root
+		"Allreduce:24", // 8 * len(data)
+		"AllreduceBytes:8192",
+		"Allreduce:8",  // AllreduceSum delegates; 8 * 1 element
+		"Allgather:16", // 8 * len(data)
+		"AllgatherBytes:512",
+		"Alltoall:32", // 8 bytes * 1 element * 4 chunks
+		"AlltoallBytes:2048",
+	}
+	if got := strings.Join(events, "\n"); got != strings.Join(want, "\n") {
+		t.Errorf("announcements:\n%s\nwant:\n%s", got, strings.Join(want, "\n"))
+	}
+}
+
+// TestCollectivesRunWithoutAnnouncer: a plain comm (no AnnounceCollective
+// method) pays nothing — the collectives still complete.
+func TestCollectivesRunWithoutAnnouncer(t *testing.T) {
+	Run(3, func(c Comm) {
+		got := AllreduceSum(c, []float64{float64(c.Rank())})
+		if got[0] != 3 {
+			t.Errorf("rank %d: sum = %g, want 3", c.Rank(), got[0])
+		}
+	})
+}

@@ -16,6 +16,23 @@ package par
 // Each data-plane collective has a byte-plane twin used by the performance
 // skeletons.
 
+// CollectiveAnnouncer is implemented by engines that verify collective
+// agreement (the vmpi engine with Config.Sanitize set): every collective
+// entry point announces itself before communicating, with an operand that
+// must match across ranks — the root for rooted collectives, the byte (or
+// element) count for the symmetric ones. Engines without the method pay
+// nothing.
+type CollectiveAnnouncer interface {
+	AnnounceCollective(kind string, operand float64)
+}
+
+// announce reports a collective entry to the engine's sanitizer, if any.
+func announce(c Comm, kind string, operand float64) {
+	if a, ok := c.(CollectiveAnnouncer); ok {
+		a.AnnounceCollective(kind, operand)
+	}
+}
+
 // Op combines two equal-length vectors elementwise into dst.
 type Op func(dst, src []float64)
 
@@ -38,6 +55,7 @@ func MaxOp(dst, src []float64) {
 // Bcast distributes root's data to every rank along a binomial tree and
 // returns each rank's copy (root returns data itself).
 func Bcast(c Comm, root int, data []float64) []float64 {
+	announce(c, "Bcast", float64(root))
 	rank, p := c.Rank(), c.Size()
 	if p == 1 {
 		return data
@@ -68,6 +86,7 @@ func Bcast(c Comm, root int, data []float64) []float64 {
 
 // BcastBytes performs the same binomial-tree pattern carrying only sizes.
 func BcastBytes(c Comm, root int, bytes float64) {
+	announce(c, "BcastBytes", float64(root))
 	rank, p := c.Rank(), c.Size()
 	if p == 1 {
 		return
@@ -90,6 +109,7 @@ func BcastBytes(c Comm, root int, bytes float64) {
 // Reduce combines every rank's data with op down a binomial tree; the root
 // returns the combined vector, other ranks return nil. data is not mutated.
 func Reduce(c Comm, root int, data []float64, op Op) []float64 {
+	announce(c, "Reduce", float64(root))
 	rank, p := c.Rank(), c.Size()
 	acc := make([]float64, len(data))
 	copy(acc, data)
@@ -113,6 +133,7 @@ func Reduce(c Comm, root int, data []float64, op Op) []float64 {
 // Allreduce combines every rank's vector with op and returns the result on
 // all ranks, using recursive doubling with a non-power-of-two fold-in.
 func Allreduce(c Comm, data []float64, op Op) []float64 {
+	announce(c, "Allreduce", float64(8*len(data)))
 	rank, p := c.Rank(), c.Size()
 	acc := make([]float64, len(data))
 	copy(acc, data)
@@ -162,6 +183,7 @@ func Allreduce(c Comm, data []float64, op Op) []float64 {
 
 // AllreduceBytes runs the recursive-doubling pattern carrying only sizes.
 func AllreduceBytes(c Comm, bytes float64) {
+	announce(c, "AllreduceBytes", bytes)
 	rank, p := c.Rank(), c.Size()
 	if p == 1 {
 		return
@@ -210,6 +232,7 @@ func AllreduceSum(c Comm, data []float64) []float64 {
 // Allgather concatenates every rank's equal-length contribution in rank
 // order using a ring, returning the full vector on all ranks.
 func Allgather(c Comm, data []float64) []float64 {
+	announce(c, "Allgather", float64(8*len(data)))
 	rank, p := c.Rank(), c.Size()
 	n := len(data)
 	out := make([]float64, n*p)
@@ -231,6 +254,7 @@ func Allgather(c Comm, data []float64) []float64 {
 
 // AllgatherBytes runs the ring pattern carrying only sizes.
 func AllgatherBytes(c Comm, bytes float64) {
+	announce(c, "AllgatherBytes", bytes)
 	rank, p := c.Rank(), c.Size()
 	if p == 1 {
 		return
@@ -251,6 +275,11 @@ func Alltoall(c Comm, chunks [][]float64) [][]float64 {
 	if len(chunks) != p {
 		panic("par: Alltoall needs one chunk per rank")
 	}
+	var total float64
+	for _, ch := range chunks {
+		total += float64(8 * len(ch))
+	}
+	announce(c, "Alltoall", total)
 	out := make([][]float64, p)
 	own := make([]float64, len(chunks[rank]))
 	copy(own, chunks[rank])
@@ -267,6 +296,7 @@ func Alltoall(c Comm, chunks [][]float64) [][]float64 {
 // AlltoallBytes runs the cyclic-shift exchange with perPair bytes between
 // every pair of ranks.
 func AlltoallBytes(c Comm, perPair float64) {
+	announce(c, "AlltoallBytes", perPair)
 	rank, p := c.Rank(), c.Size()
 	for step := 1; step < p; step++ {
 		dst := (rank + step) % p

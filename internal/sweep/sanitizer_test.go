@@ -1,0 +1,53 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"columbia/internal/vmpi"
+)
+
+// TestSanitizerViolationsNeverRetried pins the retry classification for
+// commsan findings: a sanitizer RunError is a property of the program, so
+// even on a retry-happy pool — and even if the error claims Transient —
+// the point is attempted exactly once.
+func TestSanitizerViolationsNeverRetried(t *testing.T) {
+	p := NewPoolOpts(context.Background(), Options{
+		Workers: 1, MaxRetries: 5, Backoff: time.Millisecond,
+	})
+	backoffs := 0
+	p.after = func(time.Duration) <-chan time.Time {
+		backoffs++
+		ch := make(chan time.Time, 1)
+		ch <- time.Time{}
+		return ch
+	}
+	attempts := 0
+	sanErr := &vmpi.RunError{Kind: vmpi.ErrSanitizer, Transient: true,
+		Msg: "collective: collective #0 (Barrier) entered by a strict subset of ranks"}
+	_, err := CachedCtx(p, "violating-point", func(context.Context) (int, error) {
+		attempts++
+		return 0, sanErr
+	}).WaitErr()
+	var re *vmpi.RunError
+	if !errors.As(err, &re) || re.Kind != vmpi.ErrSanitizer {
+		t.Fatalf("WaitErr = %v, want the sanitizer RunError", err)
+	}
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (sanitizer violations are permanent)", attempts)
+	}
+	if backoffs != 0 {
+		t.Errorf("retry loop backed off %d time(s) on a permanent failure", backoffs)
+	}
+	// The failed entry is evicted: resubmitting the same key recomputes
+	// instead of replaying the memoized violation.
+	_, _ = CachedCtx(p, "violating-point", func(context.Context) (int, error) {
+		attempts++
+		return 0, sanErr
+	}).WaitErr()
+	if attempts != 2 {
+		t.Errorf("attempts after resubmission = %d, want 2 (failure must be evicted)", attempts)
+	}
+}

@@ -63,9 +63,25 @@ func (c *comm) Elapse(dt float64) {
 }
 
 // RecvAny receives the earliest matching message from any source, like
-// MPI_ANY_SOURCE. Available on simulated comms via type assertion to
+// MPI_ANY_SOURCE. The match is chosen by (arrival time, source rank) over
+// every send the program will ever issue — the engine defers it until no
+// earlier candidate can still appear — so the result is a property of the
+// message timeline, not of scheduling order. Available on simulated comms
+// via type assertion to
 // interface{ RecvAny(tag int) (src int, data []float64) }.
 func (c *comm) RecvAny(tag int) (int, []float64) {
 	m := c.e.recv(c.r, AnySource, tag)
 	return m.src, m.data
+}
+
+// AnnounceCollective implements par.CollectiveAnnouncer: with the sanitizer
+// enabled, the entry is checked against every other rank's collective
+// sequence; without it the call is free.
+func (c *comm) AnnounceCollective(kind string, operand float64) {
+	if c.e.san == nil {
+		return
+	}
+	if v := c.e.san.EnterCollective(c.r.id, kind, operand); v != nil {
+		c.e.sanFail(v)
+	}
 }

@@ -1,0 +1,372 @@
+// Package commsan is the communication sanitizer for the virtual-time MPI
+// engine: the ThreadSanitizer/MUST analogue for simulated message passing.
+// The engine (with vmpi.Config.Sanitize set) feeds a Tracker one event per
+// send, match, and collective entry; the Tracker maintains per-rank vector
+// clocks and a ledger of in-flight messages and turns communication bugs —
+// wildcard-receive races, traffic that never matches, ranks disagreeing
+// about the collective sequence — into structured Violations the engine
+// surfaces as sanitizer RunErrors.
+//
+// The Tracker observes and never perturbs: it reads virtual times but all
+// timing decisions stay in the engine, so a clean sanitized run produces
+// output byte-identical to the unsanitized run. It is also deliberately
+// free of any vmpi dependency (the engine imports this package, not the
+// other way around), and everything it renders iterates in sorted order so
+// violation text is deterministic.
+package commsan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies sanitizer violations.
+type Kind int
+
+const (
+	// Race: a wildcard receive had two or more candidate sends that are
+	// concurrent under the vector-clock order, so which one matches is an
+	// accident of interleaving, not a property of the program.
+	Race Kind = iota
+	// Unmatched: traffic left over when every rank finished — sends that
+	// were never received. (Receives never satisfied block their rank and
+	// surface through the deadlock path instead.)
+	Unmatched
+	// Collective: ranks disagree about the collective sequence — different
+	// operations at the same position, different operands (byte counts or
+	// roots), or a strict subset of ranks entering at all.
+	Collective
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Race:
+		return "race"
+	case Unmatched:
+		return "unmatched"
+	case Collective:
+		return "collective"
+	}
+	return fmt.Sprintf("commsan.Kind(%d)", int(k))
+}
+
+// Send is one ledger entry: a message that has departed its source. Entries
+// are removed when the message is received; whatever remains at Finalize is
+// unmatched traffic.
+type Send struct {
+	// ID is the ledger id, assigned in send order.
+	ID int
+	// Src, Dst, Tag identify the message.
+	Src, Dst, Tag int
+	// Bytes is the payload size.
+	Bytes float64
+	// Time is the sender's virtual clock when the message departed.
+	Time float64
+
+	clock vclock
+}
+
+// Violation is one detected communication-correctness failure.
+type Violation struct {
+	Kind Kind
+	// Ranks are the implicated ranks, ascending.
+	Ranks []int
+	// Msg is the rendered detail.
+	Msg string
+	// Sends carries message provenance for Race and Unmatched violations.
+	Sends []Send
+}
+
+func (v *Violation) String() string { return v.Kind.String() + ": " + v.Msg }
+
+// Report aggregates a run's violations; the engine attaches it to the
+// sanitizer RunError. Today the engine stops at the first violation, so a
+// Report carries one, but the type leaves room for a collect-all mode.
+type Report struct {
+	Violations []*Violation
+}
+
+func (r *Report) String() string {
+	lines := make([]string, len(r.Violations))
+	for i, v := range r.Violations {
+		lines[i] = v.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// vclock is a vector clock: element i counts the events of rank i that the
+// owner has observed.
+type vclock []uint64
+
+func (a vclock) clone() vclock {
+	b := make(vclock, len(a))
+	copy(b, a)
+	return b
+}
+
+// leq reports a ≤ b elementwise: every event a has seen, b has seen too.
+func (a vclock) leq(b vclock) bool {
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// concurrent reports a ∥ b: neither send happened before the other, so no
+// program ordering constrains which is matched first.
+func concurrent(a, b vclock) bool { return !a.leq(b) && !b.leq(a) }
+
+func (a vclock) merge(b vclock) {
+	for i := range a {
+		if b[i] > a[i] {
+			a[i] = b[i]
+		}
+	}
+}
+
+// collEntry is one collective entry in a rank's sequence.
+type collEntry struct {
+	kind    string
+	operand float64
+}
+
+// Tracker observes one simulated run. It is not safe for concurrent use —
+// the engine is cooperatively scheduled, so exactly one goroutine touches
+// the tracker at a time.
+type Tracker struct {
+	n       int
+	clocks  []vclock
+	nextID  int
+	pending map[int]*Send
+	// seq[r] is the sequence of collectives rank r has entered.
+	seq [][]collEntry
+}
+
+// New returns a tracker for a run of procs ranks.
+func New(procs int) *Tracker {
+	t := &Tracker{
+		n:       procs,
+		clocks:  make([]vclock, procs),
+		pending: make(map[int]*Send),
+		seq:     make([][]collEntry, procs),
+	}
+	for i := range t.clocks {
+		t.clocks[i] = make(vclock, procs)
+	}
+	return t
+}
+
+// Send records a message departure: the sender's clock ticks, and the
+// ledger entry snapshots it so a later receive (or race check) can compare
+// causal order. It returns the ledger id the engine stores on the message.
+func (t *Tracker) Send(src, dst, tag int, bytes, now float64) int {
+	t.clocks[src][src]++
+	id := t.nextID
+	t.nextID++
+	t.pending[id] = &Send{
+		ID: id, Src: src, Dst: dst, Tag: tag,
+		Bytes: bytes, Time: now,
+		clock: t.clocks[src].clone(),
+	}
+	return id
+}
+
+// Match records ledger entry id being received by dst: the entry leaves the
+// ledger and the receiver's clock absorbs the sender's snapshot, ordering
+// everything after the receive behind everything before the send.
+func (t *Tracker) Match(id, dst int) {
+	s := t.pending[id]
+	if s == nil {
+		return
+	}
+	delete(t.pending, id)
+	t.clocks[dst].merge(s.clock)
+	t.clocks[dst][dst]++
+}
+
+// RecvAny checks a wildcard receive about to complete. candidates are the
+// ledger ids of the messages that could satisfy it (the queue head from
+// each source); if any two are concurrent, the match order is an accident
+// of interleaving and the receive is a message race.
+func (t *Tracker) RecvAny(dst, tag int, candidates []int) *Violation {
+	for i := 0; i < len(candidates); i++ {
+		for j := i + 1; j < len(candidates); j++ {
+			a, b := t.pending[candidates[i]], t.pending[candidates[j]]
+			if a == nil || b == nil {
+				continue
+			}
+			if concurrent(a.clock, b.clock) {
+				return &Violation{
+					Kind:  Race,
+					Ranks: sortedRanks(a.Src, b.Src, dst),
+					Sends: []Send{*a, *b},
+					Msg: fmt.Sprintf(
+						"RecvAny(tag=%d) on rank %d has concurrent candidate sends from rank %d (t=%.6g) and rank %d (t=%.6g); the match order is interleaving-dependent",
+						tag, dst, a.Src, a.Time, b.Src, b.Time),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// EnterCollective records rank entering its next collective and eagerly
+// compares the entry against every rank already at the same position in its
+// own sequence: a different operation or a different operand (byte count,
+// root) is a collective mismatch. Operands are compared exactly — they are
+// passed through verbatim, never computed — so float equality is the right
+// test here.
+func (t *Tracker) EnterCollective(rank int, kind string, operand float64) *Violation {
+	i := len(t.seq[rank])
+	t.seq[rank] = append(t.seq[rank], collEntry{kind, operand})
+	for other := 0; other < t.n; other++ {
+		if other == rank || len(t.seq[other]) <= i {
+			continue
+		}
+		o := t.seq[other][i]
+		if o.kind != kind {
+			return &Violation{
+				Kind:  Collective,
+				Ranks: sortedRanks(rank, other),
+				Msg: fmt.Sprintf(
+					"collective #%d diverges: rank %d entered %s but rank %d entered %s",
+					i, rank, kind, other, o.kind),
+			}
+		}
+		if o.operand != operand {
+			return &Violation{
+				Kind:  Collective,
+				Ranks: sortedRanks(rank, other),
+				Msg: fmt.Sprintf(
+					"collective #%d (%s) operand mismatch: rank %d passed %g but rank %d passed %g",
+					i, kind, rank, operand, other, o.operand),
+			}
+		}
+	}
+	return nil
+}
+
+// SyncAll records a full synchronization (a barrier release): every rank's
+// clock becomes the elementwise maximum over all ranks, then ticks its own
+// component for the barrier event itself.
+func (t *Tracker) SyncAll() {
+	max := make(vclock, t.n)
+	for _, c := range t.clocks {
+		max.merge(c)
+	}
+	for r, c := range t.clocks {
+		copy(c, max)
+		c[r]++
+	}
+}
+
+// Entries reports how many collectives rank has entered.
+func (t *Tracker) Entries(rank int) int { return len(t.seq[rank]) }
+
+// CollectiveSubset explains a deadlock in collective terms: waiting ranks
+// are blocked inside their current collective while finished ranks exited
+// the program. A finished rank whose sequence is shorter than the deepest
+// waiter's never entered the collective the waiters are stuck in — the
+// strict-subset mismatch. Returns nil when the deadlock has another cause.
+func (t *Tracker) CollectiveSubset(waiting, finished []int) *Violation {
+	if len(waiting) == 0 {
+		return nil
+	}
+	w := waiting[0]
+	for _, r := range waiting[1:] {
+		if len(t.seq[r]) > len(t.seq[w]) {
+			w = r
+		}
+	}
+	idx := len(t.seq[w]) - 1
+	if idx < 0 {
+		return nil
+	}
+	kind := t.seq[w][idx].kind
+	var skippers []int
+	for _, f := range finished {
+		if len(t.seq[f]) <= idx {
+			skippers = append(skippers, f)
+		}
+	}
+	if len(skippers) == 0 {
+		return nil
+	}
+	sort.Ints(skippers)
+	return &Violation{
+		Kind:  Collective,
+		Ranks: skippers,
+		Msg: fmt.Sprintf(
+			"collective #%d (%s) entered by a strict subset of ranks: rank(s) %s finished without entering it while %d rank(s) wait inside",
+			idx, kind, intList(skippers), len(waiting)),
+	}
+}
+
+// finalizeMaxSends bounds how many unmatched sends the violation text
+// enumerates; the Sends slice always carries all of them.
+const finalizeMaxSends = 16
+
+// Finalize reports the traffic still in the ledger after every rank
+// finished: sends that were never received, with full src/dst/tag
+// provenance. Returns nil when the ledger is clean.
+func (t *Tracker) Finalize() *Violation {
+	if len(t.pending) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(t.pending))
+	for id := range t.pending {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	sends := make([]Send, 0, len(ids))
+	rankSet := make(map[int]bool)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d send(s) were never received:", len(ids))
+	for i, id := range ids {
+		s := t.pending[id]
+		sends = append(sends, *s)
+		rankSet[s.Src] = true
+		rankSet[s.Dst] = true
+		if i < finalizeMaxSends {
+			fmt.Fprintf(&b, " %d→%d tag=%d (%g bytes at t=%.6g);", s.Src, s.Dst, s.Tag, s.Bytes, s.Time)
+		}
+	}
+	if len(ids) > finalizeMaxSends {
+		fmt.Fprintf(&b, " … %d more;", len(ids)-finalizeMaxSends)
+	}
+	ranks := make([]int, 0, len(rankSet))
+	for r := range rankSet {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	return &Violation{
+		Kind:  Unmatched,
+		Ranks: ranks,
+		Sends: sends,
+		Msg:   strings.TrimSuffix(b.String(), ";"),
+	}
+}
+
+func sortedRanks(rs ...int) []int {
+	seen := make(map[int]bool, len(rs))
+	out := make([]int, 0, len(rs))
+	for _, r := range rs {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func intList(rs []int) string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = fmt.Sprint(r)
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,192 @@
+package commsan
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVectorClockOrder(t *testing.T) {
+	a := vclock{1, 0, 0}
+	b := vclock{1, 2, 0}
+	if !a.leq(b) || b.leq(a) {
+		t.Errorf("a=%v b=%v: want a ≤ b strictly", a, b)
+	}
+	c := vclock{0, 0, 3}
+	if !concurrent(a, c) || !concurrent(b, c) {
+		t.Errorf("c=%v should be concurrent with both %v and %v", c, a, b)
+	}
+	if concurrent(a, a) {
+		t.Error("a clock is never concurrent with itself")
+	}
+	b.merge(c)
+	if want := (vclock{1, 2, 3}); !want.leq(b) || !b.leq(want) {
+		t.Errorf("merge = %v, want %v", b, want)
+	}
+}
+
+func TestSendMatchOrdersAcrossRanks(t *testing.T) {
+	tr := New(3)
+	// Rank 0 sends A to rank 1; rank 1 receives it and then sends B to
+	// rank 2: B is causally after A.
+	a := tr.Send(0, 1, 7, 8, 0)
+	tr.Match(a, 1)
+	b := tr.Send(1, 2, 7, 8, 1)
+	// Rank 2's own send C, issued with no communication, stays concurrent
+	// with both.
+	c := tr.Send(2, 0, 9, 8, 0)
+	if concurrent(tr.pending[b].clock, tr.clocks[1]) {
+		t.Error("a send snapshot must not be concurrent with its own rank")
+	}
+	if v := tr.RecvAny(2, 7, []int{b}); v != nil {
+		t.Errorf("single candidate can never race: %v", v)
+	}
+	if !concurrent(tr.pending[b].clock, tr.pending[c].clock) {
+		t.Error("sends with no ordering path should be concurrent")
+	}
+}
+
+func TestRecvAnyFlagsConcurrentCandidates(t *testing.T) {
+	tr := New(3)
+	a := tr.Send(1, 0, 7, 64, 0.5)
+	b := tr.Send(2, 0, 7, 64, 0.25)
+	v := tr.RecvAny(0, 7, []int{a, b})
+	if v == nil {
+		t.Fatal("two causally unrelated candidates must race")
+	}
+	if v.Kind != Race {
+		t.Errorf("kind = %s, want race", v.Kind)
+	}
+	if got, want := v.Ranks, []int{0, 1, 2}; len(got) != 3 || got[0] != want[0] || got[2] != want[2] {
+		t.Errorf("ranks = %v, want %v", got, want)
+	}
+	if !strings.Contains(v.Msg, "interleaving-dependent") {
+		t.Errorf("msg = %q", v.Msg)
+	}
+	if len(v.Sends) != 2 {
+		t.Errorf("provenance carries %d sends, want 2", len(v.Sends))
+	}
+}
+
+func TestRecvAnyOrderedCandidatesClean(t *testing.T) {
+	tr := New(3)
+	a := tr.Send(1, 0, 7, 8, 0)
+	// A token from rank 1 to rank 2 orders rank 2's later send after a.
+	tok := tr.Send(1, 2, 9, 8, 0.1)
+	tr.Match(tok, 2)
+	b := tr.Send(2, 0, 7, 8, 0.2)
+	if v := tr.RecvAny(0, 7, []int{a, b}); v != nil {
+		t.Errorf("causally ordered candidates reported as a race: %v", v)
+	}
+}
+
+func TestSyncAllOrdersSubsequentSends(t *testing.T) {
+	tr := New(2)
+	a := tr.Send(0, 1, 7, 8, 0)
+	tr.Match(a, 1)
+	tr.SyncAll()
+	b := tr.Send(0, 1, 7, 8, 1)
+	c := tr.Send(1, 0, 7, 8, 1)
+	// After a barrier, each rank's next send has seen every pre-barrier
+	// event; b and c are still concurrent with each other, but both are
+	// after a.
+	if !concurrent(tr.pending[b].clock, tr.pending[c].clock) {
+		t.Error("post-barrier sends on different ranks are still concurrent")
+	}
+}
+
+func TestEnterCollectiveKindMismatch(t *testing.T) {
+	tr := New(2)
+	if v := tr.EnterCollective(0, "Barrier", 0); v != nil {
+		t.Fatalf("first entry: %v", v)
+	}
+	v := tr.EnterCollective(1, "AllreduceBytes", 1024)
+	if v == nil || v.Kind != Collective {
+		t.Fatalf("mismatched kinds must violate, got %v", v)
+	}
+	if !strings.Contains(v.Msg, "rank 1 entered AllreduceBytes but rank 0 entered Barrier") {
+		t.Errorf("msg = %q", v.Msg)
+	}
+}
+
+func TestEnterCollectiveOperandMismatch(t *testing.T) {
+	tr := New(3)
+	tr.EnterCollective(0, "AllreduceBytes", 1024)
+	tr.EnterCollective(1, "AllreduceBytes", 1024)
+	v := tr.EnterCollective(2, "AllreduceBytes", 2048)
+	if v == nil || v.Kind != Collective {
+		t.Fatalf("mismatched operands must violate, got %v", v)
+	}
+	if !strings.Contains(v.Msg, "operand mismatch") || !strings.Contains(v.Msg, "2048") {
+		t.Errorf("msg = %q", v.Msg)
+	}
+	if tr.Entries(2) != 1 {
+		t.Errorf("entries(2) = %d, want 1", tr.Entries(2))
+	}
+}
+
+func TestCollectiveSubset(t *testing.T) {
+	tr := New(4)
+	for r := 1; r < 4; r++ {
+		tr.EnterCollective(r, "Barrier", 0)
+	}
+	v := tr.CollectiveSubset([]int{1, 2, 3}, []int{0})
+	if v == nil || v.Kind != Collective {
+		t.Fatalf("skipped collective must violate, got %v", v)
+	}
+	if len(v.Ranks) != 1 || v.Ranks[0] != 0 {
+		t.Errorf("skippers = %v, want [0]", v.Ranks)
+	}
+	if !strings.Contains(v.Msg, "strict subset") || !strings.Contains(v.Msg, "rank(s) 0 finished") {
+		t.Errorf("msg = %q", v.Msg)
+	}
+	// A finished rank that did enter the collective is not a skipper; the
+	// deadlock has another cause and the sanitizer stays silent.
+	tr2 := New(2)
+	tr2.EnterCollective(0, "Barrier", 0)
+	tr2.EnterCollective(1, "Barrier", 0)
+	if v := tr2.CollectiveSubset([]int{1}, []int{0}); v != nil {
+		t.Errorf("non-subset deadlock misattributed: %v", v)
+	}
+}
+
+func TestFinalizeReportsUnmatchedSends(t *testing.T) {
+	tr := New(3)
+	tr.Send(0, 1, 5, 8, 0.5)
+	m := tr.Send(1, 2, 6, 16, 1)
+	tr.Match(m, 2)
+	v := tr.Finalize()
+	if v == nil || v.Kind != Unmatched {
+		t.Fatalf("leftover send must violate, got %v", v)
+	}
+	if !strings.Contains(v.Msg, "1 send(s) were never received") ||
+		!strings.Contains(v.Msg, "0→1 tag=5 (8 bytes at t=0.5)") {
+		t.Errorf("msg = %q", v.Msg)
+	}
+	if len(v.Ranks) != 2 || v.Ranks[0] != 0 || v.Ranks[1] != 1 {
+		t.Errorf("ranks = %v, want [0 1]", v.Ranks)
+	}
+	// A clean ledger finalizes silently.
+	tr2 := New(2)
+	m2 := tr2.Send(0, 1, 5, 8, 0)
+	tr2.Match(m2, 1)
+	if v := tr2.Finalize(); v != nil {
+		t.Errorf("clean ledger reported: %v", v)
+	}
+}
+
+func TestFinalizeCapsRenderedSends(t *testing.T) {
+	tr := New(2)
+	for i := 0; i < finalizeMaxSends+5; i++ {
+		tr.Send(0, 1, 100+i, 8, float64(i))
+	}
+	v := tr.Finalize()
+	if v == nil {
+		t.Fatal("want a violation")
+	}
+	if !strings.Contains(v.Msg, "… 5 more") {
+		t.Errorf("overflow not summarized: %q", v.Msg)
+	}
+	if len(v.Sends) != finalizeMaxSends+5 {
+		t.Errorf("structured provenance truncated: %d sends", len(v.Sends))
+	}
+}

@@ -1,0 +1,332 @@
+// Engine-level sanitizer tests: real rank programs run under
+// vmpi.Config.Sanitize, asserting which RunError kind (if any) surfaces.
+// The package is commsan_test so it may import vmpi — the engine imports
+// commsan, never the reverse.
+package commsan_test
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"columbia/internal/fault"
+	"columbia/internal/machine"
+	"columbia/internal/par"
+	"columbia/internal/vmpi"
+	"columbia/internal/vmpi/commsan"
+)
+
+// anyReceiver is the simulator-only wildcard receive, obtained by type
+// assertion exactly as drivers do.
+type anyReceiver interface {
+	RecvAny(tag int) (int, []float64)
+}
+
+func sanitized(procs int) vmpi.Config {
+	return vmpi.Config{
+		Cluster:  machine.NewSingleNode(machine.Altix3700),
+		Procs:    procs,
+		Sanitize: true,
+	}
+}
+
+// TestSanitizerViolations is the table-driven heart: each rank program
+// either runs clean or fails with a sanitizer violation of the expected
+// kind and wording.
+func TestSanitizerViolations(t *testing.T) {
+	cases := []struct {
+		name  string
+		procs int
+		fn    func(par.Comm)
+		// wantKind is the expected commsan violation kind; clean cases set
+		// ok instead.
+		ok       bool
+		wantKind commsan.Kind
+		wantSub  string
+	}{
+		{
+			name: "clean ring with collectives", procs: 4, ok: true,
+			fn: func(c par.Comm) {
+				right := (c.Rank() + 1) % c.Size()
+				left := (c.Rank() - 1 + c.Size()) % c.Size()
+				c.SendBytes(right, 3, 1024)
+				c.RecvBytes(left, 3)
+				c.Barrier()
+				par.AllreduceBytes(c, 4096)
+			},
+		},
+		{
+			name: "unmatched send", procs: 2,
+			wantKind: commsan.Unmatched, wantSub: "0→1 tag=5",
+			fn: func(c par.Comm) {
+				if c.Rank() == 0 {
+					c.SendBytes(1, 5, 8) // rank 1 never posts the receive
+				}
+			},
+		},
+		{
+			name: "wildcard receive race", procs: 3,
+			wantKind: commsan.Race, wantSub: "interleaving-dependent",
+			fn: func(c par.Comm) {
+				if c.Rank() == 0 {
+					ar := c.(anyReceiver)
+					ar.RecvAny(7)
+					ar.RecvAny(7)
+				} else {
+					c.SendBytes(0, 7, 64) // both senders at t=0: concurrent
+				}
+			},
+		},
+		{
+			name: "wildcard receive causally ordered", procs: 3, ok: true,
+			fn: func(c par.Comm) {
+				switch c.Rank() {
+				case 0:
+					ar := c.(anyReceiver)
+					ar.RecvAny(7)
+					ar.RecvAny(7)
+				case 1:
+					c.SendBytes(0, 7, 8)
+					c.SendBytes(2, 9, 8) // token orders rank 2's send after ours
+				case 2:
+					c.RecvBytes(1, 9)
+					c.SendBytes(0, 7, 8)
+				}
+			},
+		},
+		{
+			name: "collective kind mismatch", procs: 4,
+			wantKind: commsan.Collective, wantSub: "diverges",
+			fn: func(c par.Comm) {
+				if c.Rank() == 0 {
+					par.AllreduceBytes(c, 1024)
+				} else {
+					c.Barrier()
+				}
+			},
+		},
+		{
+			name: "allreduce operand mismatch", procs: 4,
+			wantKind: commsan.Collective, wantSub: "(AllreduceBytes) operand mismatch",
+			fn: func(c par.Comm) {
+				bytes := 1024.0
+				if c.Rank() == 2 {
+					bytes = 2048
+				}
+				par.AllreduceBytes(c, bytes)
+			},
+		},
+		{
+			name: "alltoall operand mismatch", procs: 4,
+			wantKind: commsan.Collective, wantSub: "(AlltoallBytes) operand mismatch",
+			fn: func(c par.Comm) {
+				perPair := 512.0
+				if c.Rank() == 3 {
+					perPair = 513
+				}
+				par.AlltoallBytes(c, perPair)
+			},
+		},
+		{
+			name: "barrier entered by a strict subset", procs: 4,
+			wantKind: commsan.Collective, wantSub: "strict subset",
+			fn: func(c par.Comm) {
+				if c.Rank() != 0 {
+					c.Barrier() // rank 0 exits without entering
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := vmpi.TryRun(sanitized(tc.procs), tc.fn)
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("clean program failed under the sanitizer: %v", err)
+				}
+				return
+			}
+			var re *vmpi.RunError
+			if !errors.As(err, &re) {
+				t.Fatalf("err = %v (%T), want *vmpi.RunError", err, err)
+			}
+			if re.Kind != vmpi.ErrSanitizer {
+				t.Fatalf("kind = %s, want sanitizer\n%v", re.Kind, re)
+			}
+			if re.Report == nil || len(re.Report.Violations) != 1 {
+				t.Fatalf("RunError carries no structured report: %+v", re)
+			}
+			v := re.Report.Violations[0]
+			if v.Kind != tc.wantKind {
+				t.Errorf("violation kind = %s, want %s", v.Kind, tc.wantKind)
+			}
+			if !strings.Contains(v.Msg, tc.wantSub) {
+				t.Errorf("violation %q does not mention %q", v.Msg, tc.wantSub)
+			}
+			if !strings.Contains(re.Error(), "sanitizer violation") {
+				t.Errorf("rendered error lacks the sanitizer banner: %s", re.Error())
+			}
+			if re.Retryable() {
+				t.Error("sanitizer violations are properties of the program; never retryable")
+			}
+			if re.FailureKind() != "sanitizer" {
+				t.Errorf("FailureKind = %q, want sanitizer (renders as !sanitizer)", re.FailureKind())
+			}
+		})
+	}
+}
+
+// TestSanitizerSubsetBarrierNamesSkipperInCycle is the dynamic half of the
+// conditional-Barrier acceptance criterion: the wait-for chain extracted
+// from the deadlock ends at the finished rank that skipped the collective.
+func TestSanitizerSubsetBarrierNamesSkipperInCycle(t *testing.T) {
+	skipBarrier := func(c par.Comm) {
+		if c.Rank() != 0 {
+			c.Barrier()
+		}
+	}
+	_, err := vmpi.TryRun(sanitized(4), skipBarrier)
+	var re *vmpi.RunError
+	if !errors.As(err, &re) || re.Kind != vmpi.ErrSanitizer {
+		t.Fatalf("err = %v, want sanitizer RunError", err)
+	}
+	if len(re.Cycle) == 0 {
+		t.Fatal("sanitizer deadlock carries no wait-for chain")
+	}
+	last := re.Cycle[len(re.Cycle)-1]
+	if last.On != 0 || !last.OnDone {
+		t.Errorf("chain ends at %+v, want rank 0 marked finished", last)
+	}
+	if !strings.Contains(re.Error(), "wait-for:") || !strings.Contains(re.Error(), "(finished)") {
+		t.Errorf("rendered error lacks the wait-for chain:\n%s", re.Error())
+	}
+	if len(re.Blocked) != 3 {
+		t.Errorf("blocked %d ranks, want 3", len(re.Blocked))
+	}
+
+	// Without the sanitizer the same program is a plain deadlock — but the
+	// wait-for chain is still extracted and still names the finished rank.
+	cfg := sanitized(4)
+	cfg.Sanitize = false
+	_, err = vmpi.TryRun(cfg, skipBarrier)
+	if !errors.As(err, &re) || re.Kind != vmpi.ErrDeadlock {
+		t.Fatalf("unsanitized err = %v, want deadlock RunError", err)
+	}
+	if len(re.Cycle) == 0 || !re.Cycle[len(re.Cycle)-1].OnDone {
+		t.Errorf("unsanitized deadlock lost its wait-for chain: %+v", re.Cycle)
+	}
+}
+
+// TestSanitizerDeadlockCycleExtraction pins the chain on a classic
+// two-rank recv cycle: rank 0 waits on 1 waits on 0.
+func TestSanitizerDeadlockCycleExtraction(t *testing.T) {
+	cfg := sanitized(2)
+	cfg.Sanitize = false
+	_, err := vmpi.TryRun(cfg, func(c par.Comm) {
+		peer := 1 - c.Rank()
+		c.RecvBytes(peer, 4) // both receive first: cyclic wait
+	})
+	var re *vmpi.RunError
+	if !errors.As(err, &re) || re.Kind != vmpi.ErrDeadlock {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+	if len(re.Cycle) != 2 {
+		t.Fatalf("cycle = %+v, want the 2-step recv cycle", re.Cycle)
+	}
+	if re.Cycle[0].On != 1 || re.Cycle[1].On != 0 {
+		t.Errorf("cycle edges = %+v, want 0→1→0", re.Cycle)
+	}
+	if !strings.Contains(re.Error(), "wait-for: rank 0 →[recv(src=1 tag=4)]→ rank 1") {
+		t.Errorf("rendered cycle wrong:\n%s", re.Error())
+	}
+}
+
+// TestSanitizerSeveredLinkWinsOverUnmatched is the fault-interaction
+// satellite: a linkdown plan severing an in-flight pair must fail as
+// linkdown, not as a spurious sanitizer unmatched/deadlock report.
+func TestSanitizerSeveredLinkWinsOverUnmatched(t *testing.T) {
+	cases := []struct {
+		name      string
+		plan      *fault.Plan
+		transient bool
+	}{
+		{"steady severed link", fault.New().DegradeLink(0, 0), false},
+		{"transient severed link", fault.New().DegradeLink(0, 0).MarkTransient(), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := vmpi.Config{
+				Cluster:  machine.NewBX2bQuad(),
+				Procs:    4,
+				Nodes:    2,
+				Faults:   tc.plan,
+				Sanitize: true,
+			}
+			_, err := vmpi.TryRun(cfg, func(c par.Comm) {
+				// Ranks 0..1 sit on node 0, ranks 2..3 on node 1; the pair
+				// crosses the severed link.
+				if c.Rank() == 0 {
+					c.SendBytes(3, 6, 4096)
+				}
+				if c.Rank() == 3 {
+					c.RecvBytes(0, 6)
+				}
+			})
+			var re *vmpi.RunError
+			if !errors.As(err, &re) {
+				t.Fatalf("err = %v, want *vmpi.RunError", err)
+			}
+			if re.Kind != vmpi.ErrLinkDown {
+				t.Fatalf("kind = %s, want linkdown (not a spurious sanitizer report)\n%v", re.Kind, re)
+			}
+			if !strings.Contains(re.Error(), "severed link 0↔1") {
+				t.Errorf("error does not name the link: %s", re.Error())
+			}
+			if re.Retryable() != tc.transient {
+				t.Errorf("Retryable = %v, want %v", re.Retryable(), tc.transient)
+			}
+			if re.FailureKind() != "linkdown" {
+				t.Errorf("FailureKind = %q, want linkdown", re.FailureKind())
+			}
+		})
+	}
+}
+
+// TestSanitizerNeverRetryable: even a Transient-marked sanitizer error
+// refuses retry — the violation is in the program, not the host.
+func TestSanitizerNeverRetryable(t *testing.T) {
+	re := &vmpi.RunError{Kind: vmpi.ErrSanitizer, Transient: true}
+	if re.Retryable() {
+		t.Error("ErrSanitizer with Transient set must still be permanent")
+	}
+}
+
+// TestSanitizerObservesWithoutPerturbing: a clean program produces the
+// same virtual-time result with and without the sanitizer, while the
+// fingerprints split the memo cache.
+func TestSanitizerObservesWithoutPerturbing(t *testing.T) {
+	prog := func(c par.Comm) {
+		c.Compute(machine.Work{Flops: 1e7, Efficiency: 1})
+		par.AlltoallBytes(c, 8192)
+		c.Barrier()
+		par.AllreduceBytes(c, 64)
+	}
+	on := sanitized(8)
+	off := on
+	off.Sanitize = false
+	ron, err := vmpi.TryRun(on, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roff, err := vmpi.TryRun(off, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ron, roff) {
+		t.Errorf("sanitizer perturbed the run: %+v vs %+v", ron, roff)
+	}
+	if on.Fingerprint() == off.Fingerprint() {
+		t.Error("sanitized and unsanitized configs share a fingerprint")
+	}
+}

@@ -3,6 +3,8 @@ package vmpi
 import (
 	"fmt"
 	"strings"
+
+	"columbia/internal/vmpi/commsan"
 )
 
 // ErrorKind classifies the ways a simulated run can fail. The distinction
@@ -30,6 +32,17 @@ const (
 	ErrTimeout
 	// ErrCanceled means the run's context was canceled.
 	ErrCanceled
+	// ErrLinkDown means a message crossed an internode link whose fault
+	// plan had collapsed its bandwidth to the severed floor: the run fails
+	// with the fault named instead of simulating a near-infinite transfer.
+	// Retryable when the plan marks faults transient.
+	ErrLinkDown
+	// ErrSanitizer means the communication sanitizer (Config.Sanitize,
+	// package commsan) detected a correctness violation — a wildcard-
+	// receive race, unmatched traffic, or a collective mismatch. The
+	// violation is a property of the program, so the kind is never
+	// retryable.
+	ErrSanitizer
 )
 
 // String returns the short lower-case label used in degraded report cells.
@@ -47,6 +60,10 @@ func (k ErrorKind) String() string {
 		return "timeout"
 	case ErrCanceled:
 		return "canceled"
+	case ErrLinkDown:
+		return "linkdown"
+	case ErrSanitizer:
+		return "sanitizer"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -72,6 +89,45 @@ func (b BlockedRank) String() string {
 	return fmt.Sprintf("rank %d in barrier at t=%.6g", b.Rank, b.Time)
 }
 
+// CycleStep is one edge of the wait-for chain extracted from a deadlock:
+// the blocked rank, the operation it is blocked in, and the rank it is
+// waiting on. The chain either closes a cycle (classic deadlock) or ends at
+// a rank that already finished — the skipping rank of a subset collective.
+type CycleStep struct {
+	Rank int
+	// Op is "recv" or "barrier".
+	Op string
+	// Src and Tag identify the awaited message when Op == "recv"
+	// (Src == AnySource for wildcard receives); both are -1 in barriers.
+	Src, Tag int
+	// On is the rank this step waits on.
+	On int
+	// OnDone marks On as already finished: the chain terminates there
+	// because a finished rank can never unblock anyone.
+	OnDone bool
+}
+
+func (s CycleStep) String() string {
+	op := "barrier"
+	if s.Op == "recv" {
+		op = fmt.Sprintf("recv(src=%d tag=%d)", s.Src, s.Tag)
+	}
+	suffix := ""
+	if s.OnDone {
+		suffix = " (finished)"
+	}
+	return fmt.Sprintf("rank %d →[%s]→ rank %d%s", s.Rank, op, s.On, suffix)
+}
+
+// renderCycle joins a wait-for chain for error text.
+func renderCycle(steps []CycleStep) string {
+	parts := make([]string, len(steps))
+	for i, s := range steps {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
 // RunError is the structured failure of a simulated run. Run panics with a
 // *RunError; TryRun and RunCtx return it.
 type RunError struct {
@@ -83,8 +139,15 @@ type RunError struct {
 	// PanicValue and Stack capture a rank panic at its source.
 	PanicValue any
 	Stack      string
-	// Blocked enumerates stuck ranks for ErrDeadlock, in rank order.
+	// Blocked enumerates stuck ranks for ErrDeadlock (and for sanitizer
+	// violations discovered at deadlock time), in rank order.
 	Blocked []BlockedRank
+	// Cycle is the wait-for chain extracted from the blocked ranks: who
+	// waits on whom, ending where the chain revisits a rank (a true cycle)
+	// or reaches a finished rank (the skipper of a subset collective).
+	Cycle []CycleStep
+	// Report carries the sanitizer's structured findings for ErrSanitizer.
+	Report *commsan.Report
 	// Transient marks the failure plausibly self-healing (a transient
 	// node loss); together with the kind it decides Retryable.
 	Transient bool
@@ -92,7 +155,8 @@ type RunError struct {
 	Err error
 }
 
-// Error formats the failure; deadlocks enumerate up to 16 blocked ranks.
+// Error formats the failure; deadlocks enumerate up to 16 blocked ranks and
+// render the extracted wait-for chain.
 func (e *RunError) Error() string {
 	switch e.Kind {
 	case ErrDeadlock:
@@ -105,7 +169,16 @@ func (e *RunError) Error() string {
 			}
 			b.WriteString("\n" + r.String())
 		}
+		if len(e.Cycle) > 0 {
+			b.WriteString("\nwait-for: " + renderCycle(e.Cycle))
+		}
 		return b.String()
+	case ErrSanitizer:
+		s := "vmpi: sanitizer violation: " + e.Msg
+		if len(e.Cycle) > 0 {
+			s += "\nwait-for: " + renderCycle(e.Cycle)
+		}
+		return s
 	case ErrPanic:
 		s := fmt.Sprintf("vmpi: rank %d panicked: %v", e.Rank, e.PanicValue)
 		if e.Stack != "" {
@@ -124,7 +197,12 @@ func (e *RunError) Unwrap() error { return e.Err }
 // Retryable reports whether resubmitting the point may plausibly succeed:
 // timeouts (wall-clock budget, host contention) and transient faults are;
 // config errors, deadlocks and rank panics are deterministic and are not.
+// Sanitizer violations are properties of the program, not the host, so they
+// are permanent even under a transient fault plan.
 func (e *RunError) Retryable() bool {
+	if e.Kind == ErrSanitizer {
+		return false
+	}
 	return e.Kind == ErrTimeout || e.Transient
 }
 

@@ -47,6 +47,12 @@ func (c Config) Fingerprint() string {
 		b.WriteString("|faults=")
 		b.WriteString(c.Faults.Fingerprint())
 	}
+	// The sanitizer never perturbs timing, but sanitized runs can fail
+	// where unsanitized runs succeed, so the toggle must split the cache;
+	// unsanitized fingerprints stay byte-identical to past releases.
+	if c.Sanitize {
+		b.WriteString("|commsan=1")
+	}
 	return b.String()
 }
 

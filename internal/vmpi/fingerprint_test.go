@@ -2,6 +2,7 @@ package vmpi
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"columbia/internal/fault"
@@ -31,6 +32,7 @@ var fingerprintMutators = map[string]func(*Config){
 	"OMP":           func(c *Config) { c.OMP.SerialFraction = 0.25 },
 	"RandomPattern": func(c *Config) { c.RandomPattern = true },
 	"Faults":        func(c *Config) { c.Faults = fault.New().SlowNode(0, 2) },
+	"Sanitize":      func(c *Config) { c.Sanitize = true },
 }
 
 func baseFingerprintConfig() Config {
@@ -69,5 +71,30 @@ func TestFingerprintStableForEqualConfigs(t *testing.T) {
 	b := baseFingerprintConfig().Fingerprint()
 	if a != b {
 		t.Errorf("equal configs fingerprint differently:\n%s\n%s", a, b)
+	}
+}
+
+// TestFingerprintSanitizeIff: the fingerprint changes iff the sanitizer
+// toggle changes — sanitized and unsanitized runs must never alias a cache
+// entry, while unsanitized fingerprints stay byte-identical to releases
+// that predate the toggle (no "commsan" component at all).
+func TestFingerprintSanitizeIff(t *testing.T) {
+	off := baseFingerprintConfig()
+	on := baseFingerprintConfig()
+	on.Sanitize = true
+	offFP, onFP := off.Fingerprint(), on.Fingerprint()
+	if offFP == onFP {
+		t.Errorf("Sanitize toggle does not change the fingerprint:\n%s", offFP)
+	}
+	if strings.Contains(offFP, "commsan") {
+		t.Errorf("unsanitized fingerprint mentions commsan (breaks historical cache keys):\n%s", offFP)
+	}
+	if !strings.Contains(onFP, "commsan=1") {
+		t.Errorf("sanitized fingerprint missing commsan component:\n%s", onFP)
+	}
+	on2 := baseFingerprintConfig()
+	on2.Sanitize = true
+	if on2.Fingerprint() != onFP {
+		t.Errorf("equal sanitized configs fingerprint differently")
 	}
 }

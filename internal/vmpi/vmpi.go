@@ -41,6 +41,7 @@ import (
 	"columbia/internal/omp"
 	"columbia/internal/par"
 	"columbia/internal/pinning"
+	"columbia/internal/vmpi/commsan"
 )
 
 // AnySource matches a message from any sender in Recv.
@@ -83,6 +84,14 @@ type Config struct {
 	// nil simulates the healthy machine; the plan is fingerprint-visible,
 	// so faulted and healthy runs never share a cache entry.
 	Faults *fault.Plan
+	// Sanitize enables the communication sanitizer (package commsan):
+	// per-rank vector clocks and a message-match ledger that turn
+	// wildcard-receive races, unmatched traffic and mismatched collectives
+	// into structured ErrSanitizer failures. The sanitizer observes without
+	// perturbing timing — a clean sanitized run is byte-identical to the
+	// unsanitized run — but the toggle is fingerprint-visible because
+	// sanitized runs can fail where unsanitized runs succeed.
+	Sanitize bool
 }
 
 func (c *Config) placement() *machine.Placement {
@@ -146,6 +155,8 @@ type message struct {
 	bytes    float64
 	data     []float64
 	arrival  float64
+	// sid is the sanitizer's ledger id; meaningful only when sanitizing.
+	sid int
 }
 
 type rankState struct {
@@ -177,6 +188,8 @@ type engine struct {
 	bootFactor float64
 	computeFac float64
 	faults     *fault.Plan
+	// san is the communication sanitizer; nil unless Config.Sanitize.
+	san *commsan.Tracker
 	// runErr records the first rank failure; stopping tells resumed ranks
 	// to unwind via stopToken so shutdown leaks no goroutines.
 	runErr   *RunError
@@ -252,6 +265,12 @@ func RunCtx(ctx context.Context, cfg Config, fn func(par.Comm)) (Result, error) 
 			return Result{}, &RunError{Kind: kind, Rank: -1, Msg: cerr.Error(), Err: cerr}
 		}
 		r := e.pickReady()
+		if e.runErr != nil {
+			// A deferred wildcard match inside pickReady can raise a
+			// sanitizer violation on the scheduler itself.
+			e.shutdown()
+			return Result{}, e.runErr
+		}
 		if r == nil {
 			derr := e.deadlockErr()
 			e.shutdown()
@@ -266,6 +285,12 @@ func RunCtx(ctx context.Context, cfg Config, fn func(par.Comm)) (Result, error) 
 		}
 		if p.status == stDone {
 			active--
+		}
+	}
+	if e.san != nil {
+		if v := e.san.Finalize(); v != nil {
+			e.sanFail(v)
+			return Result{}, e.runErr
 		}
 	}
 	return e.result(), nil
@@ -314,6 +339,9 @@ func newEngine(cfg Config) (e *engine, err error) {
 		computeFac: cfg.ComputeFactor,
 		faults:     cfg.Faults,
 	}
+	if cfg.Sanitize {
+		e.san = commsan.New(cfg.Procs)
+	}
 	if !e.faults.Empty() {
 		for _, l := range e.place.Locs() {
 			if e.faults.NodeDown(l.Node) {
@@ -361,22 +389,92 @@ func (e *engine) slot(r, t int) machine.Loc {
 	return e.place.Loc(r*e.threads + t)
 }
 
+// pickReady selects the next rank to resume: the smallest virtual clock,
+// ties to the lowest id. A rank blocked in a wildcard receive competes too,
+// at the time the receive would complete (the earliest candidate arrival):
+// deferring the match to the moment that wake time is globally minimal
+// guarantees every send that could arrive by then has already been issued,
+// so the chosen sender is the (arrival, source) minimum over the whole
+// program — a property of the message timeline, never of the order the
+// engine happened to execute the sends in.
 func (e *engine) pickReady() *rankState {
 	var best *rankState
+	var bestAt float64
 	for _, r := range e.ranks {
-		if r.status != stReady {
+		at := r.now
+		switch r.status {
+		case stReady:
+		case stBlockedRecv:
+			if r.wantSrc != AnySource {
+				continue
+			}
+			arr, ok := e.earliestAny(r)
+			if !ok {
+				continue
+			}
+			if arr > at {
+				at = arr
+			}
+		default:
 			continue
 		}
 		//detlint:allow floatcmp rank clocks advance by identical arithmetic, so ties are exact; the id tie-break keeps pick order deterministic
-		if best == nil || r.now < best.now || (r.now == best.now && r.id < best.id) {
-			best = r
+		if best == nil || at < bestAt || (at == bestAt && r.id < best.id) {
+			best, bestAt = r, at
 		}
+	}
+	if best != nil && best.status == stBlockedRecv {
+		e.completeRecv(best)
 	}
 	return best
 }
 
+// earliestAny returns the earliest arrival among queued messages that could
+// satisfy r's pending wildcard receive.
+func (e *engine) earliestAny(r *rankState) (float64, bool) {
+	arr := math.Inf(1)
+	found := false
+	for s := 0; s < len(e.ranks); s++ {
+		if q := r.mail[mailKey{s, r.wantTag}]; len(q) > 0 && q[0].arrival < arr {
+			arr = q[0].arrival
+			found = true
+		}
+	}
+	return arr, found
+}
+
+// anyCandidates returns the sanitizer ledger ids of the queue-head messages
+// that could satisfy r's pending wildcard receive.
+func (e *engine) anyCandidates(r *rankState) []int {
+	var ids []int
+	for s := 0; s < len(e.ranks); s++ {
+		if q := r.mail[mailKey{s, r.wantTag}]; len(q) > 0 {
+			ids = append(ids, q[0].sid)
+		}
+	}
+	return ids
+}
+
+// sanFail records a sanitizer violation as the run's failure; the first one
+// wins. Callers on rank goroutines keep executing until their next park,
+// where the scheduler aborts the run.
+func (e *engine) sanFail(v *commsan.Violation) {
+	if e.runErr != nil {
+		return
+	}
+	e.runErr = &RunError{
+		Kind:   ErrSanitizer,
+		Rank:   -1,
+		Msg:    v.String(),
+		Report: &commsan.Report{Violations: []*commsan.Violation{v}},
+	}
+}
+
 // deadlockErr enumerates every blocked rank (in rank order) into a
-// structured ErrDeadlock error.
+// structured ErrDeadlock error, extracts the wait-for chain, and — when the
+// sanitizer is on and the deadlock is really a collective entered by a
+// strict subset of ranks — upgrades the failure to ErrSanitizer with the
+// skipping rank named.
 func (e *engine) deadlockErr() *RunError {
 	var blocked []BlockedRank
 	for _, r := range e.ranks {
@@ -387,7 +485,100 @@ func (e *engine) deadlockErr() *RunError {
 			blocked = append(blocked, BlockedRank{Rank: r.id, Op: "barrier", Src: -1, Tag: -1, Time: r.now})
 		}
 	}
-	return &RunError{Kind: ErrDeadlock, Rank: -1, Blocked: blocked}
+	cycle := e.waitCycle()
+	if e.san != nil {
+		// Ranks stuck in the engine barrier, or in a receive whose tag is
+		// in the collective range, are waiting inside a collective; ranks
+		// already finished can never join them.
+		var waiting, finished []int
+		for _, r := range e.ranks {
+			switch {
+			case r.status == stBlockedBarrier,
+				r.status == stBlockedRecv && r.wantTag >= par.TagBase:
+				waiting = append(waiting, r.id)
+			case r.status == stDone:
+				finished = append(finished, r.id)
+			}
+		}
+		if v := e.san.CollectiveSubset(waiting, finished); v != nil {
+			return &RunError{
+				Kind:    ErrSanitizer,
+				Rank:    -1,
+				Msg:     v.String(),
+				Report:  &commsan.Report{Violations: []*commsan.Violation{v}},
+				Blocked: blocked,
+				Cycle:   cycle,
+			}
+		}
+	}
+	return &RunError{Kind: ErrDeadlock, Rank: -1, Blocked: blocked, Cycle: cycle}
+}
+
+// waitCycle follows wait-for edges from the lowest blocked rank until the
+// chain revisits a rank (a true cycle — the lead-in is trimmed) or reaches
+// a rank that cannot unblock anyone (typically one that already finished:
+// the skipper of a subset collective).
+func (e *engine) waitCycle() []CycleStep {
+	start := -1
+	for _, r := range e.ranks {
+		if r.status == stBlockedRecv || r.status == stBlockedBarrier {
+			start = r.id
+			break
+		}
+	}
+	if start < 0 {
+		return nil
+	}
+	var steps []CycleStep
+	index := make(map[int]int)
+	for cur := start; ; {
+		r := e.ranks[cur]
+		if r.status != stBlockedRecv && r.status != stBlockedBarrier {
+			return steps
+		}
+		if at, seen := index[cur]; seen {
+			return steps[at:]
+		}
+		index[cur] = len(steps)
+		step := e.waitStep(r)
+		steps = append(steps, step)
+		if step.On < 0 {
+			return steps
+		}
+		cur = step.On
+	}
+}
+
+// waitStep computes the wait-for edge out of blocked rank r: the rank whose
+// progress could unblock it. A directed receive waits on its source; a
+// wildcard receive or a barrier waits on any rank not already with it —
+// preferring blocked ranks (they extend the chain toward a cycle) over
+// finished ones (they terminate it).
+func (e *engine) waitStep(r *rankState) CycleStep {
+	st := CycleStep{Rank: r.id, On: -1}
+	if r.status == stBlockedRecv {
+		st.Op, st.Src, st.Tag = "recv", r.wantSrc, r.wantTag
+		if r.wantSrc != AnySource {
+			st.On = r.wantSrc
+			st.OnDone = e.ranks[r.wantSrc].status == stDone
+			return st
+		}
+	} else {
+		st.Op, st.Src, st.Tag = "barrier", -1, -1
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, d := range e.ranks {
+			if d.id == r.id || (st.Op == "barrier" && d.status == stBlockedBarrier) {
+				continue
+			}
+			blocked := d.status == stBlockedRecv || d.status == stBlockedBarrier
+			if (pass == 0 && blocked) || (pass == 1 && d.status == stDone) {
+				st.On, st.OnDone = d.id, d.status == stDone
+				return st
+			}
+		}
+	}
+	return st
 }
 
 // yield parks the calling rank goroutine and hands control to the engine.
@@ -426,6 +617,21 @@ func (e *engine) send(r *rankState, dst, tag int, bytes float64, data []float64)
 		bw *= machine.IBRandomRingCollapse
 	}
 	start := r.now
+	if internode && (e.faults.LinkDead(a.Node, start) || e.faults.LinkDead(b.Node, start)) {
+		// A severed link (bandwidth scale at the fault floor) fails the run
+		// with the fault named instead of simulating a near-infinite
+		// transfer; the message never enters the sanitizer's ledger, so the
+		// failure is attributed to the link, not to unmatched traffic.
+		if e.runErr == nil {
+			e.runErr = &RunError{
+				Kind:      ErrLinkDown,
+				Rank:      r.id,
+				Msg:       fmt.Sprintf("rank %d send to rank %d (tag %d, %g bytes) crossed severed link %d↔%d at t=%.6g", r.id, dst, tag, bytes, a.Node, b.Node, start),
+				Transient: e.faults.Transient(),
+			}
+		}
+		return
+	}
 	if internode {
 		// A degraded or flapping link throttles the per-stream rate too:
 		// the path is only as good as its worse endpoint, evaluated at
@@ -474,11 +680,16 @@ func (e *engine) send(r *rankState, dst, tag int, bytes float64, data []float64)
 	if data != nil {
 		m.data = append([]float64(nil), data...)
 	}
+	if e.san != nil {
+		m.sid = e.san.Send(r.id, dst, tag, bytes, start)
+	}
 	d := e.ranks[dst]
 	k := mailKey{r.id, tag}
 	d.mail[k] = append(d.mail[k], m)
-	if d.status == stBlockedRecv && d.wantTag == tag &&
-		(d.wantSrc == r.id || d.wantSrc == AnySource) {
+	// Only directed receivers wake eagerly; wildcard receives stay parked
+	// until pickReady proves their earliest candidate is globally minimal
+	// (see pickReady), which keeps the match independent of send order.
+	if d.status == stBlockedRecv && d.wantTag == tag && d.wantSrc == r.id {
 		e.completeRecv(d)
 	}
 }
@@ -499,6 +710,9 @@ func (e *engine) match(r *rankState, src, tag int) *message {
 		} else {
 			r.mail[k] = q[1:]
 		}
+		if e.san != nil {
+			e.san.Match(m.sid, r.id)
+		}
 		return m
 	}
 	bestSrc := -1
@@ -518,6 +732,11 @@ func (e *engine) match(r *rankState, src, tag int) *message {
 
 // completeRecv finishes a blocked receive whose message has just arrived.
 func (e *engine) completeRecv(d *rankState) {
+	if e.san != nil && d.wantSrc == AnySource {
+		if v := e.san.RecvAny(d.id, d.wantTag, e.anyCandidates(d)); v != nil {
+			e.sanFail(v)
+		}
+	}
 	m := e.match(d, d.wantSrc, d.wantTag)
 	if m == nil {
 		return
@@ -533,6 +752,20 @@ func (e *engine) completeRecv(d *rankState) {
 func (e *engine) recv(r *rankState, src, tag int) *message {
 	if src != AnySource && (src < 0 || src >= len(e.ranks)) {
 		panic(fmt.Sprintf("vmpi: rank %d receives from invalid rank %d", r.id, src))
+	}
+	if src == AnySource {
+		// Wildcard receives always defer to the scheduler, even when a
+		// candidate is already queued: a not-yet-issued send could still
+		// arrive earlier, and only pickReady can prove none will.
+		r.wantSrc, r.wantTag = src, tag
+		r.status = stBlockedRecv
+		e.yield(r)
+		m := r.recvResult
+		r.recvResult = nil
+		if m == nil {
+			panic("vmpi: spurious wakeup")
+		}
+		return m
 	}
 	if m := e.match(r, src, tag); m != nil {
 		if m.arrival > r.now {
@@ -554,6 +787,11 @@ func (e *engine) recv(r *rankState, src, tag int) *message {
 }
 
 func (e *engine) barrier(r *rankState) {
+	if e.san != nil {
+		if v := e.san.EnterCollective(r.id, "Barrier", 0); v != nil {
+			e.sanFail(v)
+		}
+	}
 	e.inBarrier++
 	if r.now > e.barrierMax {
 		e.barrierMax = r.now
@@ -580,6 +818,11 @@ func (e *engine) barrier(r *rankState) {
 	}
 	e.inBarrier = 0
 	e.barrierMax = 0
+	if e.san != nil {
+		// A barrier synchronizes everyone: merge the vector clocks so
+		// traffic after the barrier is ordered behind everything before it.
+		e.san.SyncAll()
+	}
 }
 
 // computeTime evaluates work w for rank r including threads, compiler

@@ -15,9 +15,10 @@ fi
 echo "== go vet =="
 go vet ./...
 
-# Determinism lint: fingerprint coverage, wall-clock/map-order hazards,
-# stop-token discipline, exact float comparisons. See
-# internal/analysis/detlint and DESIGN.md ("Determinism invariants").
+# Determinism and communication lint: fingerprint coverage,
+# wall-clock/map-order hazards, stop-token discipline, exact float
+# comparisons, rank-dependent collectives (collsplit), unmatchable literal
+# tags (tagpair). See internal/analysis/detlint and DESIGN.md §6-§7.
 echo "== detlint =="
 go build -o bin/detlint ./cmd/detlint
 go vet -vettool=bin/detlint ./...
@@ -35,6 +36,15 @@ go test -timeout 15m ./...
 echo "== go test -run Fault -count=5 (flake gate) =="
 go test -timeout 10m -run Fault -count=5 \
 	./internal/fault/ ./internal/vmpi/ ./internal/sweep/ ./internal/report/ ./internal/core/ ./cmd/columbia/
+
+# Communication sanitizer: one representative core experiment per
+# simulating app family (HPCC/b_eff stride, NPB OpenMP fig8, multi-zone
+# fig7, MD table5) runs under -commsan. A violation — a message race, an
+# unmatched send, a collective mismatch — fails the run with exit 1; a
+# clean pass also re-checks (in-process, per experiment) that sanitized
+# output is byte-identical to unsanitized via the core test suite above.
+echo "== commsan (representative experiments) =="
+go run ./cmd/columbia -commsan run stride fig8 fig7 table5 > /dev/null
 
 # -short skips the 2048-rank experiments: their race-instrumented goroutine
 # churn takes tens of minutes on small hosts while exercising the exact same
