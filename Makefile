@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench verify golden lint
+.PHONY: build test race bench bench-all bench-baseline verify golden lint
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,19 @@ test:
 race:
 	$(GO) test -race -short ./...
 
+# Benchmark regression gate: runs the engine and sweep benchmarks and
+# fails if any is >15% slower (ns/op) than the latest committed
+# BENCH_<date>.json baseline. See cmd/benchgate and DESIGN.md §8.
 bench:
+	$(GO) run ./cmd/benchgate
+
+# Refresh the committed baseline after an intentional performance change
+# (writes BENCH_<today>.json; commit it alongside the change).
+bench-baseline:
+	$(GO) run ./cmd/benchgate -write
+
+# Every benchmark in the repo, ungated.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Full tier-1 gate: gofmt, vet, build, tests, race detector.

@@ -1,0 +1,289 @@
+// Command benchgate is the benchmark regression gate: it runs the root
+// bench_test.go suite (or parses a saved `go test -bench` transcript),
+// records the results as a dated JSON baseline, and fails when any
+// benchmark regressed more than the threshold against the most recent
+// committed baseline.
+//
+// Usage:
+//
+//	benchgate [flags]
+//
+//	-bench regexp    benchmarks to run (default "Engine|Sweep")
+//	-benchtime t     passed through to go test (default "2s")
+//	-count n         runs per benchmark; the minimum ns/op is kept, which
+//	                 filters scheduler noise on shared hosts (default 3)
+//	-dir path        directory holding BENCH_*.json baselines (default ".")
+//	-input file      parse a saved `go test -bench` transcript instead of
+//	                 running go test ("-" reads stdin)
+//	-threshold f     fractional ns/op regression that fails the gate
+//	                 (default 0.15)
+//	-write           write BENCH_<date>.json with this run's results
+//
+// Suspected regressions are re-run once (suspects only) and the faster of
+// the two measurements kept, so a transient load spike on the host must
+// reproduce before it can fail the gate.
+//
+// The baseline files sort by name, so the lexically largest BENCH_*.json
+// is the comparison target. A run with no baseline present reports the
+// results and exits 0 (there is nothing to regress against); `make bench`
+// keeps a baseline committed so the gate always has teeth in CI.
+//
+// benchgate compares ns/op only. Benchmarks present in the baseline but
+// not in this run are skipped (they were filtered out by -bench);
+// benchmarks new in this run are reported but cannot regress.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Baseline is the on-disk BENCH_<date>.json schema.
+type Baseline struct {
+	Date       string             `json:"date"`
+	GoVersion  string             `json:"go"`
+	Benchmarks map[string]Measure `json:"benchmarks"`
+}
+
+// Measure is one benchmark's recorded result.
+type Measure struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkEngineAlltoall-8   12   102424883 ns/op   1024 B/op   3 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped from the recorded name so baselines
+// taken on hosts with different core counts stay comparable.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+// parseBench extracts benchmark measurements from `go test -bench` output.
+// Repeated names (go test -count > 1) keep the minimum ns/op: the fastest
+// run is the least contaminated by scheduler noise on a shared host, so
+// the gate compares best-of-N against best-of-N.
+func parseBench(r io.Reader) (map[string]Measure, error) {
+	out := make(map[string]Measure)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+		}
+		if prev, ok := out[m[1]]; ok && prev.NsPerOp <= ns {
+			continue
+		}
+		meas := Measure{NsPerOp: ns}
+		if m[3] != "" {
+			meas.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+		}
+		if m[4] != "" {
+			meas.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		out[m[1]] = meas
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// latestBaseline returns the lexically largest BENCH_*.json in dir, or ""
+// when none exists. BENCH_<ISO-date>.json names make lexical order
+// chronological.
+func latestBaseline(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	if len(matches) == 0 {
+		return "", nil
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1], nil
+}
+
+// regression is one benchmark that slowed past the threshold.
+type regression struct {
+	name     string
+	base, ns float64
+}
+
+// compare diffs current against base and returns the over-threshold
+// regressions, sorted by name for stable output.
+func compare(base, current map[string]Measure, threshold float64) []regression {
+	var regs []regression
+	for name, cur := range current {
+		b, ok := base[name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		if cur.NsPerOp > b.NsPerOp*(1+threshold) {
+			regs = append(regs, regression{name, b.NsPerOp, cur.NsPerOp})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].name < regs[j].name })
+	return regs
+}
+
+// secs renders nanoseconds human-readably.
+func secs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func run() error {
+	bench := flag.String("bench", "Engine|Sweep", "benchmark regexp passed to go test")
+	benchtime := flag.String("benchtime", "2s", "benchtime passed to go test")
+	count := flag.Int("count", 3, "runs per benchmark; the gate keeps the per-benchmark minimum")
+	dir := flag.String("dir", ".", "directory holding BENCH_*.json baselines")
+	input := flag.String("input", "", "parse a saved transcript instead of running go test (- for stdin)")
+	threshold := flag.Float64("threshold", 0.15, "fractional ns/op regression that fails the gate")
+	write := flag.Bool("write", false, "write BENCH_<date>.json with this run's results")
+	flag.Parse()
+
+	runBench := func(re string) ([]byte, error) {
+		cmd := exec.Command("go", "test", "-run", "^$",
+			"-bench", re, "-benchtime", *benchtime,
+			"-count", strconv.Itoa(*count), "-benchmem", ".")
+		cmd.Dir = *dir
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go test -bench failed: %v", err)
+		}
+		os.Stdout.Write(out)
+		return out, nil
+	}
+
+	var raw io.Reader
+	switch *input {
+	case "":
+		out, err := runBench(*bench)
+		if err != nil {
+			return err
+		}
+		raw = strings.NewReader(string(out))
+	case "-":
+		raw = os.Stdin
+	default:
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		raw = f
+	}
+
+	current, err := parseBench(raw)
+	if err != nil {
+		return err
+	}
+	if len(current) == 0 {
+		return fmt.Errorf("no benchmark results found (wrong -bench regexp?)")
+	}
+
+	basePath, err := latestBaseline(*dir)
+	if err != nil {
+		return err
+	}
+	if basePath != "" {
+		data, err := os.ReadFile(basePath)
+		if err != nil {
+			return err
+		}
+		var base Baseline
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("%s: %v", basePath, err)
+		}
+		regs := compare(base.Benchmarks, current, *threshold)
+		// A suspect slowdown on a shared host is usually load, not code:
+		// re-run only the suspects once and keep the faster measurement.
+		// Only confirmed regressions — slow in both passes — fail the gate.
+		if len(regs) > 0 && *input == "" {
+			names := make([]string, len(regs))
+			for i, r := range regs {
+				names[i] = r.name
+			}
+			fmt.Printf("benchgate: %d suspect(s), re-running to confirm: %s\n",
+				len(names), strings.Join(names, " "))
+			out, err := runBench("^(" + strings.Join(names, "|") + ")$")
+			if err != nil {
+				return err
+			}
+			rerun, err := parseBench(strings.NewReader(string(out)))
+			if err != nil {
+				return err
+			}
+			for name, m := range rerun {
+				if cur, ok := current[name]; !ok || m.NsPerOp < cur.NsPerOp {
+					current[name] = m
+				}
+			}
+			regs = compare(base.Benchmarks, current, *threshold)
+		}
+		fmt.Printf("benchgate: %d benchmarks vs %s (threshold %.0f%%)\n",
+			len(current), filepath.Base(basePath), *threshold*100)
+		for _, r := range regs {
+			fmt.Printf("  REGRESSION %s: %s -> %s (%+.1f%%)\n",
+				r.name, secs(r.base), secs(r.ns), (r.ns/r.base-1)*100)
+		}
+		if len(regs) > 0 && !*write {
+			return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%", len(regs), *threshold*100)
+		}
+	} else {
+		fmt.Printf("benchgate: %d benchmarks, no baseline in %s (nothing to compare)\n", len(current), *dir)
+	}
+
+	if *write {
+		b := Baseline{
+			Date:       time.Now().Format("2006-01-02"),
+			GoVersion:  runtime.Version(),
+			Benchmarks: current,
+		}
+		data, err := json.MarshalIndent(b, "", "\t")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*dir, "BENCH_"+b.Date+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("benchgate: wrote %s\n", path)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}

@@ -17,6 +17,7 @@
 //	columbia -timeout 30s all                  bound each sweep point's wall clock
 //	columbia -max-retries 2 -faults ... all    retry retryable failures
 //	columbia -commsan run fig8                 run under the communication sanitizer
+//	columbia -engine goroutine run fig5        select the vmpi execution engine
 //
 // A failed point degrades to an annotated "!kind" cell instead of aborting
 // the run; if any point failed, the command prints a summary to stderr and
@@ -36,6 +37,7 @@ import (
 	"columbia/internal/fault"
 	"columbia/internal/report"
 	"columbia/internal/sweep"
+	"columbia/internal/vmpi"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -60,9 +62,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		maxRetries = fs.Int("max-retries", 0, "retries for retryable point failures (timeouts, transient faults)")
 		faultSpec  = fs.String("faults", "", "comma-separated fault plan, e.g. nodedown=0,slownode=1:1.5 (see DESIGN.md)")
 		commsan    = fs.Bool("commsan", false, "run every simulation under the communication sanitizer (races, unmatched traffic, collective mismatches fail as !sanitizer cells)")
+		engineSel  = fs.String("engine", "", "vmpi execution engine: calendar (default) or goroutine (the legacy central-loop scheduler; byte-identical output, see DESIGN.md §8)")
 	)
 	usage := func() int {
-		fmt.Fprintln(stderr, "usage: columbia [-csv] [-plot] [-j N] [-timeout D] [-max-retries N] [-faults SPEC] [-commsan] {list | all | run <id>...}")
+		fmt.Fprintln(stderr, "usage: columbia [-csv] [-plot] [-j N] [-timeout D] [-max-retries N] [-faults SPEC] [-commsan] [-engine NAME] {list | all | run <id>...}")
 		return 2
 	}
 	if err := fs.Parse(argv); err != nil {
@@ -85,6 +88,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *commsan {
 		core.SetSanitize(true)
 		defer core.SetSanitize(false)
+	}
+	if *engineSel != "" {
+		switch e := vmpi.Engine(*engineSel); e {
+		case vmpi.EngineCalendar, vmpi.EngineGoroutine:
+			core.SetEngine(e)
+			defer core.SetEngine("")
+		default:
+			fmt.Fprintf(stderr, "columbia: unknown engine %q (valid: %s, %s)\n",
+				*engineSel, vmpi.EngineCalendar, vmpi.EngineGoroutine)
+			return 2
+		}
 	}
 	emit := func(b *strings.Builder, t *report.Table) {
 		if *csvOut {

@@ -91,6 +91,37 @@ func TestCommsanRunMatchesPlain(t *testing.T) {
 	}
 }
 
+func TestEngineFlagMatchesDefault(t *testing.T) {
+	defer resetGlobals()
+	var cal, calErr strings.Builder
+	if code := run([]string{"run", "table2"}, &cal, &calErr); code != 0 {
+		t.Fatalf("default run exit = %d\nstderr: %s", code, calErr.String())
+	}
+	var gor, gorErr strings.Builder
+	if code := run([]string{"-engine", "goroutine", "run", "table2"}, &gor, &gorErr); code != 0 {
+		t.Fatalf("-engine goroutine exit = %d\nstderr: %s", code, gorErr.String())
+	}
+	if cal.String() != gor.String() {
+		t.Errorf("-engine goroutine perturbed the output\n--- calendar ---\n%s\n--- goroutine ---\n%s",
+			cal.String(), gor.String())
+	}
+	// The deferred reset must leave the selector at the default.
+	if core.EngineSelector() != "" {
+		t.Errorf("-engine leaked: selector = %q after run returned", core.EngineSelector())
+	}
+}
+
+func TestBadEngineIsUsageError(t *testing.T) {
+	defer resetGlobals()
+	var out, errOut strings.Builder
+	if code := run([]string{"-engine", "bogus", "run", "table1"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2 (usage error)", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown engine") {
+		t.Errorf("stderr %q does not name the bad engine", errOut.String())
+	}
+}
+
 func TestTimeoutFlagParses(t *testing.T) {
 	defer resetGlobals()
 	var out, errOut strings.Builder

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"columbia/internal/fault"
+	"columbia/internal/vmpi"
+)
+
+// diffFaultPlan degrades — never kills — hardware across every fault
+// dimension the engines consult on their hot paths: compute (whole-box
+// jitter), the memory roofline (one degraded bus), internode capacity (one
+// weak link) and the intra-node cross-brick fabric. Killing faults
+// (LoseNode, severed links) are covered by the fault tests; here the plan
+// must let every experiment complete so the outputs can be diffed.
+func diffFaultPlan() *fault.Plan {
+	return fault.New().
+		SlowNode(0, 1.35).
+		DegradeBus(0, 0, 0.8).
+		DegradeLink(1, 0.7).
+		DegradeFabric(0, 0.85)
+}
+
+// TestEngineDifferential is the equivalence contract between the two vmpi
+// execution engines (DESIGN.md §8): every registered experiment, run under
+// the event-calendar engine and the goroutine engine, must render
+// byte-identical report output — plain, under a degrading fault plan, and
+// under the communication sanitizer. The engine selector is part of each
+// point's fingerprint, so the two passes never share a memo-cache entry:
+// the goroutine pass genuinely recomputes every sweep point.
+func TestEngineDifferential(t *testing.T) {
+	modes := []struct {
+		name     string
+		faults   *fault.Plan
+		sanitize bool
+	}{
+		{"plain", nil, false},
+		{"faulted", diffFaultPlan(), false},
+		{"commsan", nil, true},
+	}
+	defer func() {
+		SetEngine("")
+		SetFaultPlan(nil)
+		SetSanitize(false)
+	}()
+	for _, e := range Experiments() {
+		e := e
+		for _, m := range modes {
+			m := m
+			t.Run(e.ID+"/"+m.name, func(t *testing.T) {
+				if testing.Short() && heavyExperiments[e.ID] {
+					t.Skip("heavy experiment in -short mode")
+				}
+				SetFaultPlan(m.faults)
+				SetSanitize(m.sanitize)
+				SetEngine(vmpi.EngineCalendar)
+				cal := experimentCSV(e)
+				SetEngine(vmpi.EngineGoroutine)
+				gor := experimentCSV(e)
+				if cal != gor {
+					t.Fatalf("%s (%s): engines disagree\n--- calendar ---\n%s\n--- goroutine ---\n%s",
+						e.ID, m.name, cal, gor)
+				}
+			})
+		}
+	}
+}

@@ -17,6 +17,7 @@ var (
 	faultMu   sync.Mutex
 	faultPlan *fault.Plan
 	sanitize  bool
+	engine    vmpi.Engine
 )
 
 // SetFaultPlan installs the fault plan applied to every subsequently
@@ -53,12 +54,33 @@ func Sanitize() bool {
 	return sanitize
 }
 
-// withFaults stamps the active fault plan and sanitizer toggle into a
-// point's config. Call it before computing the cache key so the fingerprint
-// reflects both.
+// SetEngine selects the vmpi execution engine for every subsequently
+// submitted simulation point; the zero value restores the default
+// (vmpi.EngineCalendar). The two engines are result-equivalent, so points
+// run under the default share cache entries with explicit EngineCalendar
+// points, while vmpi.EngineGoroutine points are keyed separately — the
+// differential tests rely on that isolation to compare engines honestly.
+func SetEngine(e vmpi.Engine) {
+	faultMu.Lock()
+	defer faultMu.Unlock()
+	engine = e
+}
+
+// EngineSelector returns the currently selected engine (empty for the
+// default).
+func EngineSelector() vmpi.Engine {
+	faultMu.Lock()
+	defer faultMu.Unlock()
+	return engine
+}
+
+// withFaults stamps the active fault plan, sanitizer toggle, and engine
+// selector into a point's config. Call it before computing the cache key so
+// the fingerprint reflects all three.
 func withFaults(cfg vmpi.Config) vmpi.Config {
 	cfg.Faults = FaultPlan()
 	cfg.Sanitize = Sanitize()
+	cfg.Engine = EngineSelector()
 	return cfg
 }
 

@@ -58,6 +58,7 @@ func mzTimeAsync(bench string, class npb.Class, cl *machine.Cluster, procs, thre
 			OMP:      info.OMPOpts(),
 			Faults:   keyCfg.Faults,
 			Sanitize: keyCfg.Sanitize,
+			Engine:   keyCfg.Engine,
 		}, fn)
 		if err != nil {
 			return 0, err

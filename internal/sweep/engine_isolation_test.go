@@ -1,0 +1,67 @@
+package sweep
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"columbia/internal/machine"
+	"columbia/internal/vmpi"
+)
+
+// TestCacheEngineIsolation pins the cross-engine memoization contract: a
+// point run under the goroutine engine must never satisfy a lookup for the
+// same point under the calendar engine (or vice versa), while the default
+// engine and an explicit vmpi.EngineCalendar — which are the same engine —
+// must share one cache entry. The sweep pool itself is engine-agnostic; the
+// isolation comes entirely from vmpi.Config.Fingerprint folding the engine
+// selector in exactly when it is non-default, which is what this test
+// locks down from the caching side.
+func TestCacheEngineIsolation(t *testing.T) {
+	base := vmpi.Config{
+		Cluster: machine.NewSingleNode(machine.Altix3700),
+		Procs:   4,
+	}
+	defCfg := base // Engine zero value: the calendar default
+	calCfg := base
+	calCfg.Engine = vmpi.EngineCalendar
+	gorCfg := base
+	gorCfg.Engine = vmpi.EngineGoroutine
+
+	p := NewPool(2)
+	var computes atomic.Int32
+	leaf := func(cfg vmpi.Config) *Future[string] {
+		return Cached(p, cfg.Fingerprint(), func() string {
+			computes.Add(1)
+			return cfg.Fingerprint()
+		})
+	}
+
+	first := leaf(defCfg).Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("first default-engine point: %d computations, want 1", got)
+	}
+
+	// Explicit EngineCalendar aliases the default: cache hit, no recompute.
+	if v := leaf(calCfg).Wait(); v != first {
+		t.Errorf("explicit calendar point returned %q, want cached default value %q", v, first)
+	}
+	if got := computes.Load(); got != 1 {
+		t.Errorf("explicit calendar point recomputed: %d computations, want 1 (must share the default's cache entry)", got)
+	}
+
+	// The goroutine engine is a different simulation path: distinct key,
+	// fresh computation.
+	if leaf(gorCfg).Wait() == first {
+		t.Errorf("goroutine point returned the calendar cache entry; fingerprints must differ")
+	}
+	if got := computes.Load(); got != 2 {
+		t.Errorf("goroutine point: %d computations, want 2 (must not share the calendar entry)", got)
+	}
+
+	// And resubmitting either side still hits its own entry.
+	leaf(gorCfg).Wait()
+	leaf(defCfg).Wait()
+	if got := computes.Load(); got != 2 {
+		t.Errorf("resubmission recomputed: %d computations, want 2", got)
+	}
+}

@@ -1,0 +1,103 @@
+package vmpi
+
+import (
+	"testing"
+
+	"columbia/internal/machine"
+	"columbia/internal/par"
+)
+
+// The calendar engine's hot paths are pooled: message structs come from an
+// engine-local free list (released back on receive), mailbox queues reuse
+// their ring storage, and heap events live in a reused slice. These tests
+// pin the steady-state allocation budgets so a regression (a forgotten
+// release, a per-event allocation sneaking into calYield) fails loudly.
+//
+// All measurements use the delta technique: run the same program with K
+// and 2K operations and attribute the difference to the extra K. Fixed
+// per-run costs — rank goroutines, the mailbox map, result assembly —
+// appear in both runs and cancel, leaving the marginal per-operation rate.
+//
+// Budgets (measured on the seed implementation):
+//
+//	ping-pong round-trip (2 msgs) — 0 allocs: the receive releases each
+//	  message struct before the next send needs one, so the free list
+//	  reaches steady state immediately.
+//	barrier across 8 ranks       — 0 allocs: release events reuse the
+//	  pooled heap storage; nothing is allocated per barrier.
+//	one-way burst per message    — ≤1.05 allocs: the sender outruns the
+//	  receiver, so every in-flight message needs a live struct; exactly
+//	  the message struct itself is allocated, nothing else.
+
+// allocRun measures total allocations for one engine run of fn.
+func allocRun(t *testing.T, procs int, fn func(par.Comm)) float64 {
+	t.Helper()
+	cfg := Config{Cluster: machine.NewSingleNode(machine.Altix3700), Procs: procs}
+	return testing.AllocsPerRun(5, func() { Run(cfg, fn) })
+}
+
+// pingPong bounces k round-trips between ranks 0 and 1.
+func pingPong(k int) func(par.Comm) {
+	return func(c par.Comm) {
+		for i := 0; i < k; i++ {
+			if c.Rank() == 0 {
+				c.SendBytes(1, 3, 1024)
+				c.RecvBytes(1, 5)
+			} else {
+				c.RecvBytes(0, 3)
+				c.SendBytes(0, 5, 1024)
+			}
+		}
+	}
+}
+
+func TestAllocBudgetPingPong(t *testing.T) {
+	const k = 2000
+	base := allocRun(t, 2, pingPong(k))
+	double := allocRun(t, 2, pingPong(2*k))
+	perRT := (double - base) / k
+	t.Logf("per round-trip: %.4f allocs (base %.0f, double %.0f)", perRT, base, double)
+	if perRT > 0.01 {
+		t.Errorf("ping-pong round-trip allocates %.4f/op, budget is 0: a message release is being missed", perRT)
+	}
+}
+
+func TestAllocBudgetBarrier(t *testing.T) {
+	const k = 2000
+	barriers := func(k int) func(par.Comm) {
+		return func(c par.Comm) {
+			for i := 0; i < k; i++ {
+				c.Barrier()
+			}
+		}
+	}
+	base := allocRun(t, 8, barriers(k))
+	double := allocRun(t, 8, barriers(2*k))
+	perBar := (double - base) / k
+	t.Logf("per barrier (8 ranks): %.4f allocs (base %.0f, double %.0f)", perBar, base, double)
+	if perBar > 0.01 {
+		t.Errorf("barrier allocates %.4f/op, budget is 0: release events must reuse pooled heap storage", perBar)
+	}
+}
+
+func TestAllocBudgetBurst(t *testing.T) {
+	const k = 2000
+	burst := func(k int) func(par.Comm) {
+		return func(c par.Comm) {
+			for i := 0; i < k; i++ {
+				if c.Rank() == 0 {
+					c.SendBytes(1, i%4, 1024)
+				} else {
+					c.RecvBytes(0, i%4)
+				}
+			}
+		}
+	}
+	base := allocRun(t, 2, burst(k))
+	double := allocRun(t, 2, burst(2*k))
+	perMsg := (double - base) / k
+	t.Logf("per burst message: %.4f allocs (base %.0f, double %.0f)", perMsg, base, double)
+	if perMsg > 1.05 {
+		t.Errorf("burst send allocates %.4f/msg, budget is 1 (the message struct): something extra is allocating per message", perMsg)
+	}
+}

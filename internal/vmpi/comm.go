@@ -22,7 +22,10 @@ func (c *comm) Send(dst, tag int, data []float64) {
 }
 
 func (c *comm) Recv(src, tag int) []float64 {
-	return c.e.recv(c.r, src, tag).data
+	m := c.e.recv(c.r, src, tag)
+	data := m.data
+	c.e.release(m)
+	return data
 }
 
 func (c *comm) SendBytes(dst, tag int, bytes float64) {
@@ -30,7 +33,10 @@ func (c *comm) SendBytes(dst, tag int, bytes float64) {
 }
 
 func (c *comm) RecvBytes(src, tag int) float64 {
-	return c.e.recv(c.r, src, tag).bytes
+	m := c.e.recv(c.r, src, tag)
+	bytes := m.bytes
+	c.e.release(m)
+	return bytes
 }
 
 func (c *comm) Compute(w machine.Work) {
@@ -71,7 +77,9 @@ func (c *comm) Elapse(dt float64) {
 // interface{ RecvAny(tag int) (src int, data []float64) }.
 func (c *comm) RecvAny(tag int) (int, []float64) {
 	m := c.e.recv(c.r, AnySource, tag)
-	return m.src, m.data
+	src, data := m.src, m.data
+	c.e.release(m)
+	return src, data
 }
 
 // AnnounceCollective implements par.CollectiveAnnouncer: with the sanitizer

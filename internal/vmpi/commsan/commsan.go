@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"columbia/internal/vmpi/calendar"
 )
 
 // Kind classifies sanitizer violations.
@@ -143,6 +145,12 @@ type Tracker struct {
 	pending map[int]*Send
 	// seq[r] is the sequence of collectives rank r has entered.
 	seq [][]collEntry
+	// free recycles ledger entries (and their clock snapshots' storage)
+	// once matched, so the sanitized hot path allocates nothing in steady
+	// state. Safe because a matched entry can never reappear in a
+	// violation: RecvAny candidates and Finalize leftovers are drawn from
+	// pending only.
+	free calendar.FreeList[Send]
 }
 
 // New returns a tracker for a run of procs ranks.
@@ -166,11 +174,16 @@ func (t *Tracker) Send(src, dst, tag int, bytes, now float64) int {
 	t.clocks[src][src]++
 	id := t.nextID
 	t.nextID++
-	t.pending[id] = &Send{
-		ID: id, Src: src, Dst: dst, Tag: tag,
-		Bytes: bytes, Time: now,
-		clock: t.clocks[src].clone(),
+	s := t.free.Get()
+	s.ID, s.Src, s.Dst, s.Tag = id, src, dst, tag
+	s.Bytes, s.Time = bytes, now
+	if cap(s.clock) >= t.n {
+		s.clock = s.clock[:t.n]
+		copy(s.clock, t.clocks[src])
+	} else {
+		s.clock = t.clocks[src].clone()
 	}
+	t.pending[id] = s
 	return id
 }
 
@@ -185,6 +198,7 @@ func (t *Tracker) Match(id, dst int) {
 	delete(t.pending, id)
 	t.clocks[dst].merge(s.clock)
 	t.clocks[dst][dst]++
+	t.free.Put(s)
 }
 
 // RecvAny checks a wildcard receive about to complete. candidates are the
@@ -202,7 +216,7 @@ func (t *Tracker) RecvAny(dst, tag int, candidates []int) *Violation {
 				return &Violation{
 					Kind:  Race,
 					Ranks: sortedRanks(a.Src, b.Src, dst),
-					Sends: []Send{*a, *b},
+					Sends: []Send{snapshot(a), snapshot(b)},
 					Msg: fmt.Sprintf(
 						"RecvAny(tag=%d) on rank %d has concurrent candidate sends from rank %d (t=%.6g) and rank %d (t=%.6g); the match order is interleaving-dependent",
 						tag, dst, a.Src, a.Time, b.Src, b.Time),
@@ -327,7 +341,7 @@ func (t *Tracker) Finalize() *Violation {
 	fmt.Fprintf(&b, "%d send(s) were never received:", len(ids))
 	for i, id := range ids {
 		s := t.pending[id]
-		sends = append(sends, *s)
+		sends = append(sends, snapshot(s))
 		rankSet[s.Src] = true
 		rankSet[s.Dst] = true
 		if i < finalizeMaxSends {
@@ -348,6 +362,14 @@ func (t *Tracker) Finalize() *Violation {
 		Sends: sends,
 		Msg:   strings.TrimSuffix(b.String(), ";"),
 	}
+}
+
+// snapshot copies a ledger entry for a Violation, detaching the pooled
+// clock slice so later ledger reuse cannot mutate reported provenance.
+func snapshot(s *Send) Send {
+	c := *s
+	c.clock = nil
+	return c
 }
 
 func sortedRanks(rs ...int) []int {

@@ -27,6 +27,25 @@
 // ranks with Threads > 1), scaled by the compiler factor and the pinning
 // penalty, and inflated by the boot-cpuset factor when a run occupies every
 // CPU of a box.
+//
+// # Execution engines
+//
+// Two engines implement the identical simulation semantics and are
+// guaranteed — by the differential suite in internal/core and the
+// FuzzEngineEquivalence fuzz target — to produce byte-identical results:
+//
+//   - EngineCalendar (the default) drives ranks from a pooled event
+//     calendar: an O(log P) min-heap of (time, rank) wake events with lazy
+//     invalidation, direct goroutine-to-goroutine handoff (the yielding
+//     rank resumes the next one itself — one channel operation per switch,
+//     zero when the yielder is still the earliest), and free-listed
+//     message/mailbox storage so the hot send/recv path does not allocate.
+//   - EngineGoroutine is the original scheduler: a central loop that scans
+//     every rank for the smallest clock and round-trips two channel
+//     handoffs per scheduling step. It is kept as the executable
+//     specification the calendar engine is differentially tested against.
+//
+// See DESIGN.md §8 for the equivalence contract.
 package vmpi
 
 import (
@@ -41,6 +60,7 @@ import (
 	"columbia/internal/omp"
 	"columbia/internal/par"
 	"columbia/internal/pinning"
+	"columbia/internal/vmpi/calendar"
 	"columbia/internal/vmpi/commsan"
 )
 
@@ -50,6 +70,21 @@ const AnySource = -1
 // sendOverheadFrac is the fraction of the path latency charged to the
 // sender as initiation overhead. [calibrated]
 const sendOverheadFrac = 0.35
+
+// Engine selects the scheduler that advances a simulation's virtual time.
+// Both engines implement identical semantics and produce byte-identical
+// results; they differ only in wall-clock cost. See the package comment.
+type Engine string
+
+const (
+	// EngineCalendar is the event-calendar engine: heap-ordered wake
+	// events, direct rank-to-rank handoff, pooled message storage. The
+	// default (an empty Config.Engine resolves to it).
+	EngineCalendar Engine = "calendar"
+	// EngineGoroutine is the original central-scheduler engine, kept as
+	// the executable specification for differential testing.
+	EngineGoroutine Engine = "goroutine"
+)
 
 // Config describes one simulated job.
 type Config struct {
@@ -92,6 +127,12 @@ type Config struct {
 	// unsanitized run — but the toggle is fingerprint-visible because
 	// sanitized runs can fail where unsanitized runs succeed.
 	Sanitize bool
+	// Engine selects the execution engine; empty means EngineCalendar.
+	// The two engines are result-equivalent, so the selector enters the
+	// fingerprint only when the non-default engine is chosen: default
+	// fingerprints stay byte-identical to past releases, and an explicit
+	// EngineCalendar shares cache entries with the default.
+	Engine Engine
 }
 
 func (c *Config) placement() *machine.Placement {
@@ -114,6 +155,14 @@ func (c *Config) threads() int {
 		return 1
 	}
 	return c.Threads
+}
+
+// engine resolves the Engine selector: empty means the calendar engine.
+func (c *Config) engine() Engine {
+	if c.Engine == "" {
+		return EngineCalendar
+	}
+	return c.Engine
 }
 
 // RankStats reports the virtual-time breakdown of one rank.
@@ -159,6 +208,12 @@ type message struct {
 	sid int
 }
 
+// msgq is one mailbox: a FIFO of messages for a (source, tag) pair. Empty
+// mailboxes stay in the mail map so their storage is reused — the par
+// collectives draw tags from bounded per-collective blocks, so the key
+// space of a run is bounded and the steady state allocates nothing.
+type msgq = calendar.Queue[*message]
+
 type rankState struct {
 	id      int
 	now     float64
@@ -166,10 +221,16 @@ type rankState struct {
 	comm    float64
 	status  status
 	resume  chan struct{}
-	mail    map[mailKey][]*message
+	mail    map[mailKey]*msgq
 	// Pending receive when blocked.
 	wantSrc, wantTag int
 	recvResult       *message
+	// Calendar-engine bookkeeping: seq stamps this rank's latest calendar
+	// event (older events are stale and discarded on pop); anyWake caches
+	// the earliest candidate arrival of a pending wildcard receive so a
+	// new queue-head message updates the wake event in O(1).
+	seq     uint32
+	anyWake float64
 }
 
 type engine struct {
@@ -194,6 +255,22 @@ type engine struct {
 	// to unwind via stopToken so shutdown leaks no goroutines.
 	runErr   *RunError
 	stopping bool
+	// msgs pools message structs: the hot send/recv path reuses them
+	// instead of allocating one per simulated message. Payload slices are
+	// never pooled — ownership transfers to the receiving program.
+	msgs calendar.FreeList[message]
+	// Calendar-engine state (cal selects it). heap orders wake events by
+	// (time, rank); ctx is the run's context, checked at every dispatch;
+	// active counts unfinished ranks; done signals the caller that the run
+	// ended (completion or first error); acks acknowledges shutdown
+	// unwinding. All fields are guarded by the strict one-runner-at-a-time
+	// handoff discipline — channel operations order every access.
+	cal    bool
+	ctx    context.Context
+	heap   calendar.Heap
+	active int
+	done   chan struct{}
+	acks   chan struct{}
 }
 
 // stopToken unwinds a rank goroutine during shutdown; the recover handler
@@ -230,30 +307,72 @@ func RunCtx(ctx context.Context, cfg Config, fn func(par.Comm)) (Result, error) 
 	if err != nil {
 		return Result{}, err
 	}
+	e.spawn(fn)
+	if e.cal {
+		return e.runCalendar(ctx)
+	}
+	return e.runGoroutine(ctx)
+}
+
+// spawn starts one goroutine per rank, parked until its first resume. The
+// goroutines are the rank programs' coroutine stacks under both engines;
+// they differ only in who hands control where when a rank exits (rankExit).
+func (e *engine) spawn(fn func(par.Comm)) {
 	for i := range e.ranks {
 		r := e.ranks[i]
 		go func(r *rankState) {
 			<-r.resume
-			defer func() {
-				if p := recover(); p != nil {
-					if _, stop := p.(stopToken); !stop && e.runErr == nil {
-						e.runErr = &RunError{
-							Kind:       ErrPanic,
-							Rank:       r.id,
-							PanicValue: p,
-							Stack:      string(debug.Stack()),
-						}
-					}
-				}
-				r.status = stDone
-				e.parked <- r
-			}()
+			defer e.rankExit(r)
 			if e.stopping {
 				panic(stopToken{})
 			}
 			fn(&comm{e: e, r: r})
 		}(r)
 	}
+}
+
+// rankExit is the deferred tail of every rank goroutine: it converts rank
+// panics into the run's error (stopToken unwinding excepted), marks the
+// rank done, and hands control onward — to the central scheduler loop
+// under the goroutine engine, or to the next calendar event (or the
+// caller, via done) under the calendar engine.
+func (e *engine) rankExit(r *rankState) {
+	if p := recover(); p != nil {
+		if _, stop := p.(stopToken); !stop && e.runErr == nil {
+			e.runErr = &RunError{
+				Kind:       ErrPanic,
+				Rank:       r.id,
+				PanicValue: p,
+				Stack:      string(debug.Stack()),
+			}
+		}
+	}
+	r.status = stDone
+	if !e.cal {
+		e.parked <- r
+		return
+	}
+	if e.stopping {
+		e.acks <- struct{}{}
+		return
+	}
+	e.active--
+	if e.runErr != nil || e.active == 0 {
+		e.done <- struct{}{}
+		return
+	}
+	if next := e.calNext(); next != nil {
+		next.status = stRunning
+		next.resume <- struct{}{}
+	} else {
+		e.done <- struct{}{}
+	}
+}
+
+// runGoroutine is the original engine: a central loop that repeatedly scans
+// for the rank with the smallest virtual clock, resumes it, and waits for
+// it to park. Two channel handoffs and one O(P) scan per scheduling step.
+func (e *engine) runGoroutine(ctx context.Context) (Result, error) {
 	active := len(e.ranks)
 	for active > 0 {
 		if cerr := ctx.Err(); cerr != nil {
@@ -296,8 +415,111 @@ func RunCtx(ctx context.Context, cfg Config, fn func(par.Comm)) (Result, error) 
 	return e.result(), nil
 }
 
+// runCalendar is the event-calendar engine's caller side: it seeds the
+// heap with every rank's start event, dispatches the first rank, and then
+// blocks until a rank signals the end of the run. All scheduling decisions
+// after the first happen on the rank goroutines themselves (calYield,
+// rankExit), which hand control directly to the next event's rank.
+func (e *engine) runCalendar(ctx context.Context) (Result, error) {
+	e.ctx = ctx
+	e.active = len(e.ranks)
+	for _, r := range e.ranks {
+		e.calPush(r, 0)
+	}
+	// calNext checks the context first, so — like the goroutine engine —
+	// an already-canceled run fails before its first rank executes.
+	first := e.calNext()
+	if first == nil {
+		e.shutdown()
+		return Result{}, e.runErr
+	}
+	first.status = stRunning
+	first.resume <- struct{}{}
+	<-e.done
+	if e.runErr != nil {
+		e.shutdown()
+		return Result{}, e.runErr
+	}
+	if e.san != nil {
+		if v := e.san.Finalize(); v != nil {
+			e.sanFail(v)
+			return Result{}, e.runErr
+		}
+	}
+	return e.result(), nil
+}
+
+// calPush schedules rank r to be pickable at virtual time at, superseding
+// any event previously pushed for it (stale events fail the seq check).
+func (e *engine) calPush(r *rankState, at float64) {
+	r.seq++
+	e.heap.Push(calendar.Event{At: at, Rank: int32(r.id), Seq: r.seq})
+}
+
+// calNext pops the next valid event and returns its rank, completing a
+// pending wildcard receive exactly like pickReady does. It returns nil —
+// with e.runErr set — when the run is over: context canceled, a recorded
+// failure, a sanitizer violation raised by the wildcard match, or a drained
+// calendar (deadlock: every live rank is blocked with no wake event).
+func (e *engine) calNext() *rankState {
+	if cerr := e.ctx.Err(); cerr != nil {
+		kind := ErrCanceled
+		if cerr == context.DeadlineExceeded {
+			kind = ErrTimeout
+		}
+		e.runErr = &RunError{Kind: kind, Rank: -1, Msg: cerr.Error(), Err: cerr}
+		return nil
+	}
+	if e.runErr != nil {
+		return nil
+	}
+	for {
+		ev, ok := e.heap.Pop()
+		if !ok {
+			e.runErr = e.deadlockErr()
+			return nil
+		}
+		r := e.ranks[ev.Rank]
+		if ev.Seq != r.seq {
+			continue // superseded by a fresher event for this rank
+		}
+		if r.status == stBlockedRecv {
+			e.completeRecv(r)
+			if e.runErr != nil {
+				return nil
+			}
+		}
+		return r
+	}
+}
+
+// calYield is the calendar engine's park: the yielding rank dispatches the
+// next event's rank itself and blocks until its own next event pops. When
+// the yielder is still the earliest event, it just keeps running — zero
+// channel operations. When the run is over (calNext returned nil), the
+// yielder signals the caller and parks so shutdown can unwind it.
+func (e *engine) calYield(r *rankState) {
+	next := e.calNext()
+	if next == r {
+		r.status = stRunning
+		return
+	}
+	if next != nil {
+		next.status = stRunning
+		next.resume <- struct{}{}
+	} else {
+		e.done <- struct{}{}
+	}
+	<-r.resume
+	if e.stopping {
+		panic(stopToken{})
+	}
+}
+
 // shutdown resumes every live rank with stopping set so it unwinds through
-// stopToken; after it returns no rank goroutine is left behind.
+// stopToken; after it returns no rank goroutine is left behind. Under the
+// goroutine engine the unwinding rank parks on e.parked as usual; under the
+// calendar engine it acknowledges on e.acks (rankExit).
 func (e *engine) shutdown() {
 	e.stopping = true
 	for _, r := range e.ranks {
@@ -305,7 +527,11 @@ func (e *engine) shutdown() {
 			continue
 		}
 		r.resume <- struct{}{}
-		<-e.parked
+		if e.cal {
+			<-e.acks
+		} else {
+			<-e.parked
+		}
 	}
 }
 
@@ -315,6 +541,12 @@ func newEngine(cfg Config) (e *engine, err error) {
 	}
 	if cfg.Procs < 1 {
 		return nil, configErr("Config.Procs must be positive, got %d", cfg.Procs)
+	}
+	switch cfg.engine() {
+	case EngineCalendar, EngineGoroutine:
+	default:
+		return nil, configErr("unknown Config.Engine %q (want %q or %q)",
+			cfg.Engine, EngineCalendar, EngineGoroutine)
 	}
 	// The placement constructors in package machine report impossible
 	// geometries (too few CPUs, invalid node counts, duplicated slots) by
@@ -333,11 +565,17 @@ func newEngine(cfg Config) (e *engine, err error) {
 		net:        net,
 		place:      cfg.placement(),
 		threads:    cfg.threads(),
-		parked:     make(chan *rankState),
+		cal:        cfg.engine() == EngineCalendar,
 		linkBusy:   make([]float64, len(cfg.Cluster.Nodes)),
 		fabricBusy: make([]float64, len(cfg.Cluster.Nodes)),
 		computeFac: cfg.ComputeFactor,
 		faults:     cfg.Faults,
+	}
+	if e.cal {
+		e.done = make(chan struct{})
+		e.acks = make(chan struct{})
+	} else {
+		e.parked = make(chan *rankState)
 	}
 	if cfg.Sanitize {
 		e.san = commsan.New(cfg.Procs)
@@ -374,7 +612,7 @@ func newEngine(cfg Config) (e *engine, err error) {
 			id:     i,
 			status: stReady,
 			resume: make(chan struct{}),
-			mail:   make(map[mailKey][]*message),
+			mail:   make(map[mailKey]*msgq),
 		}
 	}
 	// Representative latency for the barrier tree: the span of the job.
@@ -435,8 +673,8 @@ func (e *engine) earliestAny(r *rankState) (float64, bool) {
 	arr := math.Inf(1)
 	found := false
 	for s := 0; s < len(e.ranks); s++ {
-		if q := r.mail[mailKey{s, r.wantTag}]; len(q) > 0 && q[0].arrival < arr {
-			arr = q[0].arrival
+		if q := r.mail[mailKey{s, r.wantTag}]; q != nil && q.Len() > 0 && q.Peek().arrival < arr {
+			arr = q.Peek().arrival
 			found = true
 		}
 	}
@@ -448,8 +686,8 @@ func (e *engine) earliestAny(r *rankState) (float64, bool) {
 func (e *engine) anyCandidates(r *rankState) []int {
 	var ids []int
 	for s := 0; s < len(e.ranks); s++ {
-		if q := r.mail[mailKey{s, r.wantTag}]; len(q) > 0 {
-			ids = append(ids, q[0].sid)
+		if q := r.mail[mailKey{s, r.wantTag}]; q != nil && q.Len() > 0 {
+			ids = append(ids, q.Peek().sid)
 		}
 	}
 	return ids
@@ -581,8 +819,14 @@ func (e *engine) waitStep(r *rankState) CycleStep {
 	return st
 }
 
-// yield parks the calling rank goroutine and hands control to the engine.
+// yield parks the calling rank goroutine and hands control to the engine:
+// the central scheduler loop (goroutine engine) or the next event's rank
+// directly (calendar engine).
 func (e *engine) yield(r *rankState) {
+	if e.cal {
+		e.calYield(r)
+		return
+	}
 	e.parked <- r
 	<-r.resume
 	if e.stopping {
@@ -598,6 +842,9 @@ func (e *engine) yield(r *rankState) {
 // messages, inflating everyone's queue position.
 func (e *engine) yieldReady(r *rankState) {
 	r.status = stReady
+	if e.cal {
+		e.calPush(r, r.now)
+	}
 	e.yield(r)
 }
 
@@ -676,8 +923,11 @@ func (e *engine) send(r *rankState, dst, tag int, bytes float64, data []float64)
 	r.now += oh
 	r.comm += oh
 
-	m := &message{src: r.id, tag: tag, bytes: bytes, arrival: arr}
+	m := e.msgs.Get()
+	m.src, m.tag, m.bytes, m.arrival, m.sid = r.id, tag, bytes, arr, 0
 	if data != nil {
+		// The payload is never pooled: ownership transfers to the
+		// receiving rank's program when the matching Recv returns it.
 		m.data = append([]float64(nil), data...)
 	}
 	if e.san != nil {
@@ -685,12 +935,36 @@ func (e *engine) send(r *rankState, dst, tag int, bytes float64, data []float64)
 	}
 	d := e.ranks[dst]
 	k := mailKey{r.id, tag}
-	d.mail[k] = append(d.mail[k], m)
+	q := d.mail[k]
+	if q == nil {
+		q = new(msgq)
+		d.mail[k] = q
+	}
+	newHead := q.Len() == 0
+	q.Push(m)
 	// Only directed receivers wake eagerly; wildcard receives stay parked
 	// until pickReady proves their earliest candidate is globally minimal
 	// (see pickReady), which keeps the match independent of send order.
-	if d.status == stBlockedRecv && d.wantTag == tag && d.wantSrc == r.id {
-		e.completeRecv(d)
+	if d.status == stBlockedRecv && d.wantTag == tag {
+		switch {
+		case d.wantSrc == r.id:
+			e.completeRecv(d)
+			if e.cal {
+				e.calPush(d, d.now)
+			}
+		case e.cal && d.wantSrc == AnySource && newHead && m.arrival < d.anyWake:
+			// A new queue head lowered the wildcard's earliest candidate:
+			// refresh its wake event. The cached minimum only ever
+			// decreases while the rank is blocked (mail is consumed only
+			// by the rank itself), so superseded events are always at
+			// later-or-equal times and die on the seq check.
+			d.anyWake = m.arrival
+			at := d.anyWake
+			if d.now > at {
+				at = d.now
+			}
+			e.calPush(d, at)
+		}
 	}
 }
 
@@ -699,17 +973,11 @@ func (e *engine) send(r *rankState, dst, tag int, bytes float64, data []float64)
 // determinism.
 func (e *engine) match(r *rankState, src, tag int) *message {
 	if src != AnySource {
-		k := mailKey{src, tag}
-		q := r.mail[k]
-		if len(q) == 0 {
+		q := r.mail[mailKey{src, tag}]
+		if q == nil || q.Len() == 0 {
 			return nil
 		}
-		m := q[0]
-		if len(q) == 1 {
-			delete(r.mail, k)
-		} else {
-			r.mail[k] = q[1:]
-		}
+		m := q.Pop() // drained queues keep their storage for the next send
 		if e.san != nil {
 			e.san.Match(m.sid, r.id)
 		}
@@ -719,8 +987,8 @@ func (e *engine) match(r *rankState, src, tag int) *message {
 	bestArr := math.Inf(1)
 	for s := 0; s < len(e.ranks); s++ {
 		q := r.mail[mailKey{s, tag}]
-		if len(q) > 0 && q[0].arrival < bestArr {
-			bestArr = q[0].arrival
+		if q != nil && q.Len() > 0 && q.Peek().arrival < bestArr {
+			bestArr = q.Peek().arrival
 			bestSrc = s
 		}
 	}
@@ -728,6 +996,14 @@ func (e *engine) match(r *rankState, src, tag int) *message {
 		return nil
 	}
 	return e.match(r, bestSrc, tag)
+}
+
+// release returns a fully consumed message to the pool. Callers must have
+// extracted the payload first: the data slice belongs to the program now
+// and is detached, never recycled.
+func (e *engine) release(m *message) {
+	m.data = nil
+	e.msgs.Put(m)
 }
 
 // completeRecv finishes a blocked receive whose message has just arrived.
@@ -759,6 +1035,20 @@ func (e *engine) recv(r *rankState, src, tag int) *message {
 		// arrive earlier, and only pickReady can prove none will.
 		r.wantSrc, r.wantTag = src, tag
 		r.status = stBlockedRecv
+		if e.cal {
+			// Seed the wake event at the earliest candidate arrival (if
+			// any): the calendar analogue of competing in pickReady at
+			// max(now, earliestAny). Later sends lower it via anyWake.
+			r.anyWake = math.Inf(1)
+			if arr, ok := e.earliestAny(r); ok {
+				r.anyWake = arr
+				at := arr
+				if r.now > at {
+					at = r.now
+				}
+				e.calPush(r, at)
+			}
+		}
 		e.yield(r)
 		m := r.recvResult
 		r.recvResult = nil
@@ -813,6 +1103,9 @@ func (e *engine) barrier(r *rankState) {
 			d.now = t
 			if d != r {
 				d.status = stReady
+				if e.cal {
+					e.calPush(d, t)
+				}
 			}
 		}
 	}

@@ -53,4 +53,12 @@ go run ./cmd/columbia -commsan run stride fig8 fig7 table5 > /dev/null
 echo "== go test -race -short =="
 go test -timeout 20m -race -short ./...
 
+# Benchmark regression report: the fast engine benchmarks vs the latest
+# committed BENCH_<date>.json. Non-blocking here — benchmark noise on
+# shared hosts must not fail tier-1 verification; `make bench` is the
+# blocking gate (and runs the sweep benchmarks too).
+echo "== benchgate (non-blocking report) =="
+go run ./cmd/benchgate -bench 'Engine' ||
+	echo "benchgate: regression reported above (non-blocking in verify)"
+
 echo "verify: all checks passed"
