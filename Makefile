@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-all bench-baseline verify golden lint
+.PHONY: build test race bench bench-all bench-baseline bench-scaling verify golden lint
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,11 @@ bench:
 # (writes BENCH_<today>.json; commit it alongside the change).
 bench-baseline:
 	$(GO) run ./cmd/benchgate -write
+
+# Just the sweep worker-scaling curve (-j 1/2/4/8): prints speedups and
+# gates on parallel-beats-serial. See DESIGN.md §9.
+bench-scaling:
+	$(GO) run ./cmd/benchgate -bench 'Sweep(Serial|J2|J4|Parallel)$$'
 
 # Every benchmark in the repo, ungated.
 bench-all:

@@ -54,7 +54,7 @@ func benchSweepAll(b *testing.B, workers int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sweep.SetWorkers(workers) // fresh pool, cold cache
-		futs := make([]*sweep.Future[[]*report.Table], 0, len(exps))
+		futs := make([]sweep.Future[[]*report.Table], 0, len(exps))
 		for _, e := range exps {
 			e := e
 			futs = append(futs, sweep.Go(sweep.Default(), e.Run))
@@ -71,8 +71,11 @@ func benchSweepAll(b *testing.B, workers int) {
 
 // BenchmarkSweepSerial and BenchmarkSweepParallel demonstrate the -j
 // speedup: identical byte output (asserted in the core determinism test),
-// different wall clock on a multi-core host.
+// different wall clock on a multi-core host. SweepJ2 and SweepJ4 fill in
+// the scaling curve benchgate records and gates on (see cmd/benchgate).
 func BenchmarkSweepSerial(b *testing.B)   { benchSweepAll(b, 1) }
+func BenchmarkSweepJ2(b *testing.B)       { benchSweepAll(b, 2) }
+func BenchmarkSweepJ4(b *testing.B)       { benchSweepAll(b, 4) }
 func BenchmarkSweepParallel(b *testing.B) { benchSweepAll(b, 8) }
 
 // BenchmarkSweepParallelGoroutine is the same sweep pinned to the legacy

@@ -17,6 +17,9 @@
 //	                 running go test ("-" reads stdin)
 //	-threshold f     fractional ns/op regression that fails the gate
 //	                 (default 0.15)
+//	-athreshold f    fractional allocs/op regression that fails the gate
+//	                 (default 0.10 — allocation counts are deterministic,
+//	                 so the margin only covers map-growth jitter)
 //	-write           write BENCH_<date>.json with this run's results
 //
 // Suspected regressions are re-run once (suspects only) and the faster of
@@ -28,9 +31,18 @@
 // results and exits 0 (there is nothing to regress against); `make bench`
 // keeps a baseline committed so the gate always has teeth in CI.
 //
-// benchgate compares ns/op only. Benchmarks present in the baseline but
-// not in this run are skipped (they were filtered out by -bench);
-// benchmarks new in this run are reported but cannot regress.
+// Two metrics are gated per benchmark: ns/op and — when both the baseline
+// and the current run recorded it — allocs/op. Benchmarks present in the
+// baseline but not in this run are skipped (they were filtered out by
+// -bench); benchmarks new in this run are reported but cannot regress.
+//
+// The Sweep* worker benchmarks (SweepSerial, SweepJ2, SweepJ4,
+// SweepParallel) additionally form the sweep scaling curve: benchgate
+// prints it, records it under "sweep_scaling" in the baseline, and gates
+// on parallel-beats-serial — the widest parallel sweep must be strictly
+// faster than the serial one, so the contention regression that once made
+// -j 8 slower than -j 1 can never silently return. This gate needs no
+// baseline; it is an absolute property of the current run.
 package main
 
 import (
@@ -44,6 +56,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"runtime"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -55,6 +68,29 @@ type Baseline struct {
 	Date       string             `json:"date"`
 	GoVersion  string             `json:"go"`
 	Benchmarks map[string]Measure `json:"benchmarks"`
+	// Scaling is the sweep speedup curve derived from the Sweep* worker
+	// benchmarks, recorded so the scaling shape is tracked in-repo.
+	Scaling []ScalingPoint `json:"sweep_scaling,omitempty"`
+}
+
+// ScalingPoint is one point of the sweep's worker-scaling curve.
+type ScalingPoint struct {
+	Workers int     `json:"workers"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Speedup is serial ns/op over this point's ns/op (1.0 at workers=1).
+	Speedup float64 `json:"speedup"`
+}
+
+// sweepScaling maps the root sweep benchmarks onto their -j worker counts,
+// in curve order.
+var sweepScaling = []struct {
+	name    string
+	workers int
+}{
+	{"BenchmarkSweepSerial", 1},
+	{"BenchmarkSweepJ2", 2},
+	{"BenchmarkSweepJ4", 4},
+	{"BenchmarkSweepParallel", 8},
 }
 
 // Measure is one benchmark's recorded result.
@@ -122,27 +158,104 @@ func latestBaseline(dir string) (string, error) {
 	return matches[len(matches)-1], nil
 }
 
-// regression is one benchmark that slowed past the threshold.
+// regression is one benchmark metric that worsened past its threshold.
 type regression struct {
-	name     string
-	base, ns float64
+	name      string
+	metric    string // "ns/op" or "allocs/op"
+	base, cur float64
 }
 
 // compare diffs current against base and returns the over-threshold
-// regressions, sorted by name for stable output.
-func compare(base, current map[string]Measure, threshold float64) []regression {
+// regressions, sorted by (name, metric) for stable output. ns/op is gated
+// by threshold; allocs/op — which is essentially noise-free, unlike wall
+// time on a shared host — by allocThreshold, and only when both sides
+// recorded an allocation count (the baseline may predate -benchmem).
+func compare(base, current map[string]Measure, threshold, allocThreshold float64) []regression {
 	var regs []regression
 	for name, cur := range current {
 		b, ok := base[name]
-		if !ok || b.NsPerOp <= 0 {
+		if !ok {
 			continue
 		}
-		if cur.NsPerOp > b.NsPerOp*(1+threshold) {
-			regs = append(regs, regression{name, b.NsPerOp, cur.NsPerOp})
+		if b.NsPerOp > 0 && cur.NsPerOp > b.NsPerOp*(1+threshold) {
+			regs = append(regs, regression{name, "ns/op", b.NsPerOp, cur.NsPerOp})
+		}
+		if b.AllocsPerOp > 0 && cur.AllocsPerOp > b.AllocsPerOp*(1+allocThreshold) {
+			regs = append(regs, regression{name, "allocs/op", b.AllocsPerOp, cur.AllocsPerOp})
 		}
 	}
-	sort.Slice(regs, func(i, j int) bool { return regs[i].name < regs[j].name })
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].name != regs[j].name {
+			return regs[i].name < regs[j].name
+		}
+		return regs[i].metric < regs[j].metric
+	})
 	return regs
+}
+
+// scalingCurve extracts the sweep worker-scaling curve from a result set:
+// one point per Sweep* benchmark present, speedups relative to the serial
+// point. Returns nil unless the serial benchmark and at least one other
+// point were measured.
+func scalingCurve(ms map[string]Measure) []ScalingPoint {
+	serial, ok := ms[sweepScaling[0].name]
+	if !ok || serial.NsPerOp <= 0 {
+		return nil
+	}
+	var curve []ScalingPoint
+	for _, s := range sweepScaling {
+		m, ok := ms[s.name]
+		if !ok || m.NsPerOp <= 0 {
+			continue
+		}
+		curve = append(curve, ScalingPoint{
+			Workers: s.workers,
+			NsPerOp: m.NsPerOp,
+			Speedup: serial.NsPerOp / m.NsPerOp,
+		})
+	}
+	if len(curve) < 2 {
+		return nil
+	}
+	return curve
+}
+
+// scalingGate enforces parallel-beats-serial: when both endpoints of the
+// curve were measured, the widest parallel sweep must be strictly faster
+// than the serial one. Returns "" when the gate passes or does not apply,
+// else a description of the violation.
+func scalingGate(ms map[string]Measure) string {
+	serial, okS := ms[sweepScaling[0].name]
+	last := sweepScaling[len(sweepScaling)-1]
+	par, okP := ms[last.name]
+	if !okS || !okP || serial.NsPerOp <= 0 || par.NsPerOp <= 0 {
+		return ""
+	}
+	if par.NsPerOp >= serial.NsPerOp {
+		return fmt.Sprintf("%s (%s) is not faster than %s (%s): the -j %d sweep lost its speedup",
+			last.name, secs(par.NsPerOp), sweepScaling[0].name, secs(serial.NsPerOp), last.workers)
+	}
+	return ""
+}
+
+// printScaling renders the curve for humans.
+func printScaling(curve []ScalingPoint) {
+	if len(curve) == 0 {
+		return
+	}
+	fmt.Printf("benchgate: sweep scaling curve:\n")
+	for _, p := range curve {
+		fmt.Printf("  -j %-2d %8s  speedup %.2fx\n", p.Workers, secs(p.NsPerOp), p.Speedup)
+	}
+}
+
+// fmtMetric renders a metric value human-readably: durations for ns/op,
+// plain counts for allocs/op.
+func fmtMetric(metric string, v float64) string {
+	if metric == "ns/op" {
+		return secs(v)
+	}
+	return fmt.Sprintf("%.0f", v)
 }
 
 // secs renders nanoseconds human-readably.
@@ -166,6 +279,7 @@ func run() error {
 	dir := flag.String("dir", ".", "directory holding BENCH_*.json baselines")
 	input := flag.String("input", "", "parse a saved transcript instead of running go test (- for stdin)")
 	threshold := flag.Float64("threshold", 0.15, "fractional ns/op regression that fails the gate")
+	athreshold := flag.Float64("athreshold", 0.10, "fractional allocs/op regression that fails the gate")
 	write := flag.Bool("write", false, "write BENCH_<date>.json with this run's results")
 	flag.Parse()
 
@@ -210,6 +324,31 @@ func run() error {
 		return fmt.Errorf("no benchmark results found (wrong -bench regexp?)")
 	}
 
+	// rerunSuspects re-measures the named benchmarks once and merges the
+	// faster measurement into current: a suspect failure on a shared host
+	// is usually load, not code, so only failures that reproduce count.
+	rerunSuspects := func(names []string) error {
+		sort.Strings(names)
+		names = slices.Compact(names)
+		fmt.Printf("benchgate: %d suspect(s), re-running to confirm: %s\n",
+			len(names), strings.Join(names, " "))
+		out, err := runBench("^(" + strings.Join(names, "|") + ")$")
+		if err != nil {
+			return err
+		}
+		rerun, err := parseBench(strings.NewReader(string(out)))
+		if err != nil {
+			return err
+		}
+		for name, m := range rerun {
+			if cur, ok := current[name]; !ok || m.NsPerOp < cur.NsPerOp {
+				current[name] = m
+			}
+		}
+		return nil
+	}
+
+	gateFailed := false
 	basePath, err := latestBaseline(*dir)
 	if err != nil {
 		return err
@@ -223,43 +362,47 @@ func run() error {
 		if err := json.Unmarshal(data, &base); err != nil {
 			return fmt.Errorf("%s: %v", basePath, err)
 		}
-		regs := compare(base.Benchmarks, current, *threshold)
-		// A suspect slowdown on a shared host is usually load, not code:
-		// re-run only the suspects once and keep the faster measurement.
-		// Only confirmed regressions — slow in both passes — fail the gate.
+		regs := compare(base.Benchmarks, current, *threshold, *athreshold)
 		if len(regs) > 0 && *input == "" {
 			names := make([]string, len(regs))
 			for i, r := range regs {
 				names[i] = r.name
 			}
-			fmt.Printf("benchgate: %d suspect(s), re-running to confirm: %s\n",
-				len(names), strings.Join(names, " "))
-			out, err := runBench("^(" + strings.Join(names, "|") + ")$")
-			if err != nil {
+			if err := rerunSuspects(names); err != nil {
 				return err
 			}
-			rerun, err := parseBench(strings.NewReader(string(out)))
-			if err != nil {
-				return err
-			}
-			for name, m := range rerun {
-				if cur, ok := current[name]; !ok || m.NsPerOp < cur.NsPerOp {
-					current[name] = m
-				}
-			}
-			regs = compare(base.Benchmarks, current, *threshold)
+			regs = compare(base.Benchmarks, current, *threshold, *athreshold)
 		}
-		fmt.Printf("benchgate: %d benchmarks vs %s (threshold %.0f%%)\n",
-			len(current), filepath.Base(basePath), *threshold*100)
+		fmt.Printf("benchgate: %d benchmarks vs %s (ns %.0f%%, allocs %.0f%%)\n",
+			len(current), filepath.Base(basePath), *threshold*100, *athreshold*100)
 		for _, r := range regs {
-			fmt.Printf("  REGRESSION %s: %s -> %s (%+.1f%%)\n",
-				r.name, secs(r.base), secs(r.ns), (r.ns/r.base-1)*100)
+			fmt.Printf("  REGRESSION %s %s: %s -> %s (%+.1f%%)\n",
+				r.name, r.metric, fmtMetric(r.metric, r.base), fmtMetric(r.metric, r.cur),
+				(r.cur/r.base-1)*100)
 		}
-		if len(regs) > 0 && !*write {
-			return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%", len(regs), *threshold*100)
+		if len(regs) > 0 {
+			gateFailed = true
 		}
 	} else {
 		fmt.Printf("benchgate: %d benchmarks, no baseline in %s (nothing to compare)\n", len(current), *dir)
+	}
+
+	// The scaling gate needs no baseline: parallel-beats-serial is an
+	// absolute property of this run. Like regressions, a first failure is
+	// only a suspect — both endpoints are re-measured before it sticks.
+	if msg := scalingGate(current); msg != "" && *input == "" {
+		if err := rerunSuspects([]string{sweepScaling[0].name, sweepScaling[len(sweepScaling)-1].name}); err != nil {
+			return err
+		}
+	}
+	printScaling(scalingCurve(current))
+	if msg := scalingGate(current); msg != "" {
+		fmt.Printf("  SCALING %s\n", msg)
+		gateFailed = true
+	}
+	if gateFailed && !*write {
+		return fmt.Errorf("benchmark gate failed (ns > %.0f%%, allocs > %.0f%%, or lost parallel speedup)",
+			*threshold*100, *athreshold*100)
 	}
 
 	if *write {
@@ -267,6 +410,7 @@ func run() error {
 			Date:       time.Now().Format("2006-01-02"),
 			GoVersion:  runtime.Version(),
 			Benchmarks: current,
+			Scaling:    scalingCurve(current),
 		}
 		data, err := json.MarshalIndent(b, "", "\t")
 		if err != nil {

@@ -76,19 +76,108 @@ func TestCompare(t *testing.T) {
 		"D": {NsPerOp: 50},
 		"E": {NsPerOp: 1e9}, // new benchmark: no baseline, cannot regress
 	}
-	regs := compare(base, current, 0.15)
+	regs := compare(base, current, 0.15, 0.10)
 	if len(regs) != 1 || regs[0].name != "B" {
 		t.Fatalf("regressions = %+v, want exactly B", regs)
 	}
-	if regs[0].base != 100 || regs[0].ns != 116 {
-		t.Errorf("B recorded as %v -> %v, want 100 -> 116", regs[0].base, regs[0].ns)
+	if regs[0].base != 100 || regs[0].cur != 116 || regs[0].metric != "ns/op" {
+		t.Errorf("B recorded as %v -> %v (%s), want 100 -> 116 (ns/op)", regs[0].base, regs[0].cur, regs[0].metric)
+	}
+}
+
+func TestCompareGatesAllocs(t *testing.T) {
+	base := map[string]Measure{
+		"A": {NsPerOp: 100, AllocsPerOp: 1000},
+		"B": {NsPerOp: 100, AllocsPerOp: 1000},
+		"C": {NsPerOp: 100}, // baseline predates -benchmem: allocs not comparable
+	}
+	current := map[string]Measure{
+		"A": {NsPerOp: 130, AllocsPerOp: 1200}, // both metrics blown
+		"B": {NsPerOp: 90, AllocsPerOp: 1050},  // faster, allocs within the 10% margin
+		"C": {NsPerOp: 100, AllocsPerOp: 9999},
+	}
+	regs := compare(base, current, 0.15, 0.10)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v, want A's two metrics", regs)
+	}
+	for _, r := range regs {
+		if r.name != "A" {
+			t.Errorf("unexpected regression %+v", r)
+		}
+	}
+	if regs[0].metric != "allocs/op" || regs[1].metric != "ns/op" {
+		t.Errorf("metrics ordered %s, %s; want allocs/op then ns/op", regs[0].metric, regs[1].metric)
+	}
+}
+
+func TestCompareAllocsOnlyRegression(t *testing.T) {
+	base := map[string]Measure{"A": {NsPerOp: 100, AllocsPerOp: 1000}}
+	current := map[string]Measure{"A": {NsPerOp: 90, AllocsPerOp: 2000}}
+	regs := compare(base, current, 0.15, 0.10)
+	if len(regs) != 1 || regs[0].metric != "allocs/op" || regs[0].cur != 2000 {
+		t.Fatalf("got %+v, want one allocs/op regression despite the ns/op improvement", regs)
+	}
+}
+
+func TestScalingCurve(t *testing.T) {
+	ms := map[string]Measure{
+		"BenchmarkSweepSerial":   {NsPerOp: 8e9},
+		"BenchmarkSweepJ2":       {NsPerOp: 5e9},
+		"BenchmarkSweepJ4":       {NsPerOp: 4e9},
+		"BenchmarkSweepParallel": {NsPerOp: 2e9},
+	}
+	curve := scalingCurve(ms)
+	if len(curve) != 4 {
+		t.Fatalf("curve has %d points, want 4: %+v", len(curve), curve)
+	}
+	wantWorkers := []int{1, 2, 4, 8}
+	for i, p := range curve {
+		if p.Workers != wantWorkers[i] {
+			t.Errorf("point %d at workers=%d, want %d (curve must be in worker order)", i, p.Workers, wantWorkers[i])
+		}
+	}
+	if curve[0].Speedup != 1 {
+		t.Errorf("serial speedup = %v, want 1", curve[0].Speedup)
+	}
+	if curve[3].Speedup != 4 {
+		t.Errorf("-j 8 speedup = %v, want 4", curve[3].Speedup)
+	}
+}
+
+func TestScalingCurveNeedsSerialAndOneMore(t *testing.T) {
+	if c := scalingCurve(map[string]Measure{"BenchmarkSweepParallel": {NsPerOp: 1}}); c != nil {
+		t.Errorf("curve without a serial anchor: %+v", c)
+	}
+	if c := scalingCurve(map[string]Measure{"BenchmarkSweepSerial": {NsPerOp: 1}}); c != nil {
+		t.Errorf("single-point curve: %+v", c)
+	}
+}
+
+func TestScalingGate(t *testing.T) {
+	pass := map[string]Measure{
+		"BenchmarkSweepSerial":   {NsPerOp: 6e9},
+		"BenchmarkSweepParallel": {NsPerOp: 5e9},
+	}
+	if msg := scalingGate(pass); msg != "" {
+		t.Errorf("gate fired on a faster parallel sweep: %s", msg)
+	}
+	tie := map[string]Measure{
+		"BenchmarkSweepSerial":   {NsPerOp: 6e9},
+		"BenchmarkSweepParallel": {NsPerOp: 6e9},
+	}
+	if msg := scalingGate(tie); msg == "" {
+		t.Error("gate passed a parallel sweep that only ties serial (must be strictly faster)")
+	}
+	partial := map[string]Measure{"BenchmarkSweepSerial": {NsPerOp: 6e9}}
+	if msg := scalingGate(partial); msg != "" {
+		t.Errorf("gate fired without both endpoints measured: %s", msg)
 	}
 }
 
 func TestCompareSorted(t *testing.T) {
 	base := map[string]Measure{"Z": {NsPerOp: 1}, "A": {NsPerOp: 1}, "M": {NsPerOp: 1}}
 	current := map[string]Measure{"Z": {NsPerOp: 10}, "A": {NsPerOp: 10}, "M": {NsPerOp: 10}}
-	regs := compare(base, current, 0.15)
+	regs := compare(base, current, 0.15, 0.10)
 	if len(regs) != 3 || regs[0].name != "A" || regs[1].name != "M" || regs[2].name != "Z" {
 		t.Fatalf("regressions not name-sorted: %+v", regs)
 	}

@@ -9,7 +9,7 @@
 //	columbia all              run everything in paper order
 //	columbia -csv run <id>    emit CSV instead of aligned tables
 //	columbia -plot run <id>   append ASCII plots to figure tables
-//	columbia -j 8 all         run sweep points on up to 8 workers
+//	columbia -j 8 all         run sweep points on 8 affinity lanes
 //
 // Robustness flags (see DESIGN.md, "Fault injection"):
 //
@@ -57,7 +57,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	var (
 		csvOut     = fs.Bool("csv", false, "emit CSV")
 		plotOut    = fs.Bool("plot", false, "append ASCII plots")
-		jobs       = fs.Int("j", 0, "max concurrent sweep points (0 = GOMAXPROCS)")
+		jobs       = fs.Int("j", 0, "sweep affinity lanes (0 = GOMAXPROCS); concurrent points are additionally clamped to GOMAXPROCS")
 		timeout    = fs.Duration("timeout", 0, "wall-clock budget per sweep point (0 = none)")
 		maxRetries = fs.Int("max-retries", 0, "retries for retryable point failures (timeouts, transient faults)")
 		faultSpec  = fs.String("faults", "", "comma-separated fault plan, e.g. nodedown=0,slownode=1:1.5 (see DESIGN.md)")
@@ -115,7 +115,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	// renderAsync runs an experiment on a coordinator goroutine and returns
 	// its full rendered output. Concurrency lives in the sweep points the
 	// experiment submits; rendering to a string keeps stdout in paper order.
-	renderAsync := func(e core.Experiment) *sweep.Future[rendered] {
+	renderAsync := func(e core.Experiment) sweep.Future[rendered] {
 		return sweep.Go(sweep.Default(), func() rendered {
 			var b strings.Builder
 			fmt.Fprintf(&b, "== %s: %s ==\n", e.ID, e.Title)
@@ -129,7 +129,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		})
 	}
 	failures := 0
-	flush := func(futs []*sweep.Future[rendered]) {
+	flush := func(futs []sweep.Future[rendered]) {
 		for _, f := range futs {
 			r := f.Wait()
 			fmt.Fprint(stdout, r.text)
@@ -154,7 +154,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	case "all":
-		var futs []*sweep.Future[rendered]
+		var futs []sweep.Future[rendered]
 		for _, e := range core.Experiments() {
 			futs = append(futs, renderAsync(e))
 		}
@@ -166,7 +166,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		// Lookups stay lazy so a bad ID after valid ones still prints the
 		// earlier experiments first, exactly as a sequential loop would.
-		var futs []*sweep.Future[rendered]
+		var futs []sweep.Future[rendered]
 		for _, id := range args[1:] {
 			e, err := core.Lookup(id)
 			if err != nil {

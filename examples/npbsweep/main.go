@@ -20,7 +20,7 @@ import (
 
 // stepTime submits one hybrid configuration as a cached sweep point; every
 // point of both tables below fans out across the pool before any is waited.
-func stepTime(bench string, class npb.Class, procs, threads int, pin pinning.Method) *sweep.Future[float64] {
+func stepTime(bench string, class npb.Class, procs, threads int, pin pinning.Method) sweep.Future[float64] {
 	cl := machine.NewSingleNode(machine.AltixBX2b)
 	cfg := vmpi.Config{Cluster: cl, Procs: procs, Threads: threads, Pin: pin}
 	key := fmt.Sprintf("npbsweep/%s/%s/%s", bench, class, cfg.Fingerprint())
@@ -56,7 +56,7 @@ func main() {
 	// BT-MZ class C: same 256 CPUs, different process/thread splits.
 	zones := npbmz.Classes[npb.ClassC].Zones()
 	btCfgs := []struct{ p, th int }{{256, 1}, {128, 2}, {64, 4}, {32, 8}}
-	btPts := map[int]*sweep.Future[float64]{}
+	btPts := map[int]sweep.Future[float64]{}
 	for i, cfg := range btCfgs {
 		if cfg.p > zones {
 			continue
@@ -65,7 +65,7 @@ func main() {
 	}
 	// Pinning ablation (Fig. 7) — submitted before either table is assembled.
 	spCfgs := []struct{ p, th int }{{128, 1}, {32, 4}, {8, 16}}
-	type pinPair struct{ pinned, unpinned *sweep.Future[float64] }
+	type pinPair struct{ pinned, unpinned sweep.Future[float64] }
 	spPts := make([]pinPair, len(spCfgs))
 	for i, cfg := range spCfgs {
 		spPts[i] = pinPair{

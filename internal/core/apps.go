@@ -108,7 +108,7 @@ func runTable5() []*report.Table {
 	t := report.New("Table 5: MD weak scaling (64,000 atoms/processor, NUMAlink4)",
 		"CPUs", "atoms (millions)", "s/step", "efficiency")
 	procCounts := []int{1, 8, 64, 256, 504, 1020, 2040}
-	points := make([]*sweep.Future[float64], len(procCounts))
+	points := make([]sweep.Future[float64], len(procCounts))
 	for i, p := range procCounts {
 		p := p
 		nodes := (p + 509) / 510

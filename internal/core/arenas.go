@@ -1,0 +1,48 @@
+package core
+
+import (
+	"context"
+	"strings"
+
+	"columbia/internal/sweep"
+	"columbia/internal/vmpi"
+)
+
+// The sweep scheduler and the engine's scratch recycling meet here: every
+// pool gets one vmpi.Arena per worker slot, installed into the context each
+// leaf attempt runs under, so the engines a leaf starts (vmpi.RunCtx) draw
+// their rank records, mailboxes and slabs from the slot's private arena.
+// Combined with the pool's family-affine slot scheduling, each worker's
+// arena stays shaped by the workload family it keeps re-running — small,
+// hot mail maps instead of one union-of-everything scratch — which is what
+// makes `columbia all -j N` scale (and on a single CPU still edge out -j 1;
+// see DESIGN.md).
+func init() {
+	sweep.RegisterWorkerContext(func(workers int) sweep.WorkerContext {
+		arenas := make([]*vmpi.Arena, workers)
+		for i := range arenas {
+			arenas[i] = vmpi.NewArena()
+		}
+		return func(slot int, ctx context.Context) context.Context {
+			return vmpi.WithArena(ctx, arenas[slot])
+		}
+	})
+	// Affinity classes group leaves by rank count, not workload family: a
+	// simulation's engine working set — which (source, tag) mailboxes its
+	// collectives create, how many rank records it touches — is determined
+	// by how many ranks it runs, and is largely shared between different
+	// workloads at the same scale. Keying affinity on the fingerprint's
+	// |p=N| field sends every 2048-rank leaf to one slot and every 64-rank
+	// leaf to another, so each arena accumulates one scale's mailbox
+	// universe instead of all of them.
+	sweep.RegisterAffinity(func(key string) string {
+		if i := strings.Index(key, "|p="); i >= 0 {
+			j := i + 1
+			for j < len(key) && key[j] != '|' {
+				j++
+			}
+			return key[i:j]
+		}
+		return ""
+	})
+}

@@ -87,7 +87,7 @@ func withFaults(cfg vmpi.Config) vmpi.Config {
 // waitCell collects one sweep point into a table cell: the rendered value
 // on success, or a degraded "!kind" annotation (counted in t.Failures) on
 // failure, so one sick point cannot abort a whole table.
-func waitCell[T any](t *report.Table, f *sweep.Future[T], render func(T) any) any {
+func waitCell[T any](t *report.Table, f sweep.Future[T], render func(T) any) any {
 	v, err := f.WaitErr()
 	if err != nil {
 		return t.FailCell(err)

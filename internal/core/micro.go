@@ -74,7 +74,7 @@ func runTable1() []*report.Table {
 // beffAsync submits the b_eff subset on a cluster configuration as a sweep
 // point and returns the result future. The active fault plan is stamped
 // into the config (and therefore the cache key) before submission.
-func beffAsync(cl *machine.Cluster, procs, nodes int, random bool) *sweep.Future[hpcc.BeffResult] {
+func beffAsync(cl *machine.Cluster, procs, nodes int, random bool) sweep.Future[hpcc.BeffResult] {
 	cfg := withFaults(vmpi.Config{Cluster: cl, Procs: procs, Nodes: nodes, RandomPattern: random})
 	key := "beff/reps=3/" + cfg.Fingerprint()
 	return sweep.CachedCtx(sweep.Default(), key, func(ctx context.Context) (hpcc.BeffResult, error) {
@@ -106,9 +106,9 @@ func runFig5() []*report.Table {
 	}
 	// One sweep point per node type and CPU count, submitted up front and
 	// reused across the six metrics.
-	results := map[machine.NodeType]map[int]*sweep.Future[hpcc.BeffResult]{}
+	results := map[machine.NodeType]map[int]sweep.Future[hpcc.BeffResult]{}
 	for _, nt := range nodeTypes {
-		results[nt] = map[int]*sweep.Future[hpcc.BeffResult]{}
+		results[nt] = map[int]sweep.Future[hpcc.BeffResult]{}
 		for _, p := range cpus {
 			cl := machine.NewSingleNode(nt)
 			results[nt][p] = beffAsync(cl, p, 1, true)
@@ -144,7 +144,7 @@ func runStride() []*report.Table {
 		hpcc.StreamModel(strided(1)).Triad/1e9,
 		hpcc.StreamModel(strided(2)).Triad/1e9,
 		hpcc.StreamModel(strided(4)).Triad/1e9)
-	lat := func(stride int) *sweep.Future[float64] {
+	lat := func(stride int) sweep.Future[float64] {
 		cfg := withFaults(vmpi.Config{Cluster: cl, Procs: 8, Stride: stride})
 		return sweep.CachedCtx(sweep.Default(), "pingpong-lat/reps=3/"+cfg.Fingerprint(),
 			func(ctx context.Context) (float64, error) {
@@ -168,8 +168,8 @@ func runStride() []*report.Table {
 func runFig10() []*report.Table {
 	cpus := []int{64, 128, 256, 512, 1024, 2048}
 	var tables []*report.Table
-	nl := map[int]*sweep.Future[hpcc.BeffResult]{}
-	ib := map[int]*sweep.Future[hpcc.BeffResult]{}
+	nl := map[int]sweep.Future[hpcc.BeffResult]{}
+	ib := map[int]sweep.Future[hpcc.BeffResult]{}
 	for _, p := range cpus {
 		nodes := (p + 511) / 512
 		if nodes < 2 {

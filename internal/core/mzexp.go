@@ -38,7 +38,7 @@ func init() {
 // mzTimeAsync submits a hybrid multi-zone run as a sweep point and returns
 // the per-step virtual-time future.
 func mzTimeAsync(bench string, class npb.Class, cl *machine.Cluster, procs, threads, nodes int,
-	pin pinning.Method, mpt machine.MPTVersion) *sweep.Future[float64] {
+	pin pinning.Method, mpt machine.MPTVersion) sweep.Future[float64] {
 	// OMP options derive deterministically from bench/class (pinned by the
 	// key prefix), and the MPT version is keyed explicitly because the net
 	// model is built inside the point.
@@ -88,7 +88,7 @@ func runFig7() []*report.Table {
 	cl := machine.NewSingleNode(machine.AltixBX2b)
 	type point struct {
 		label            string
-		pinned, unpinned *sweep.Future[float64]
+		pinned, unpinned sweep.Future[float64]
 	}
 	cpuCounts := []int{64, 128, 256}
 	points := make([][]point, len(cpuCounts))
@@ -133,9 +133,9 @@ func runFig7() []*report.Table {
 
 func runFig9() []*report.Table {
 	cl := machine.NewSingleNode(machine.AltixBX2b)
-	point := func(procs, th int) *sweep.Future[float64] {
+	point := func(procs, th int) sweep.Future[float64] {
 		if procs*th > 512 {
-			return nil
+			return sweep.Future[float64]{}
 		}
 		return mzTimeAsync("BT-MZ", npb.ClassC, cl, procs, th, 1, pinning.Dplace, machine.MPT111b)
 	}
@@ -143,20 +143,20 @@ func runFig9() []*report.Table {
 	leftThreads := []int{1, 2, 4}
 	rightThreads := []int{1, 2, 4, 8, 16, 32}
 	rightProcs := []int{16, 64, 256}
-	leftPts := make([][]*sweep.Future[float64], len(leftProcs))
+	leftPts := make([][]sweep.Future[float64], len(leftProcs))
 	for i, procs := range leftProcs {
 		for _, th := range leftThreads {
 			leftPts[i] = append(leftPts[i], point(procs, th))
 		}
 	}
-	rightPts := make([][]*sweep.Future[float64], len(rightThreads))
+	rightPts := make([][]sweep.Future[float64], len(rightThreads))
 	for i, th := range rightThreads {
 		for _, procs := range rightProcs {
 			rightPts[i] = append(rightPts[i], point(procs, th))
 		}
 	}
-	cellFor := func(t *report.Table, f *sweep.Future[float64]) interface{} {
-		if f == nil {
+	cellFor := func(t *report.Table, f sweep.Future[float64]) interface{} {
+		if !f.Valid() {
 			return "-"
 		}
 		return waitCell(t, f, func(perStep float64) any {
@@ -192,7 +192,7 @@ func runFig11() []*report.Table {
 	bottomCPUs := []int{256, 512, 1024, 2048}
 	// Top row points: per-CPU Gflop/s, NUMAlink4 quad vs a single box.
 	type topPoint struct {
-		single, quad *sweep.Future[float64]
+		single, quad sweep.Future[float64]
 	}
 	top := map[string][]topPoint{}
 	for _, bench := range benches {
@@ -215,7 +215,7 @@ func runFig11() []*report.Table {
 	// Bottom row points: total Gflop/s, NUMAlink4 vs InfiniBand (both MPT
 	// versions for SP-MZ's anomaly).
 	type bottomPoint struct {
-		nl, ibr, ibb *sweep.Future[float64]
+		nl, ibr, ibb sweep.Future[float64]
 	}
 	bottom := map[string][]bottomPoint{}
 	for _, bench := range benches {
@@ -249,7 +249,7 @@ func runFig11() []*report.Table {
 				return report.Fmt(mzGflops(bench, npb.ClassE, perStep) / float64(cpus))
 			}
 			single := "-"
-			if pt.single != nil {
+			if pt.single.Valid() {
 				single = waitCell(t, pt.single, perCPU).(string)
 			}
 			t.Add(fmt.Sprintf("%dx%d", cfg.p, cfg.th),

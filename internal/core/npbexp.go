@@ -29,7 +29,7 @@ func init() {
 
 // npbRateMPIAsync submits an MPI run of bench/class as a sweep point and
 // returns the per-CPU Gflop/s future.
-func npbRateMPIAsync(bench string, class npb.Class, nt machine.NodeType, procs int) *sweep.Future[float64] {
+func npbRateMPIAsync(bench string, class npb.Class, nt machine.NodeType, procs int) sweep.Future[float64] {
 	cfg := withFaults(vmpi.Config{Cluster: machine.NewSingleNode(nt), Procs: procs})
 	key := fmt.Sprintf("npb/mpi/%s/%s/%s", bench, class, cfg.Fingerprint())
 	return sweep.CachedCtx(sweep.Default(), key, func(ctx context.Context) (float64, error) {
@@ -50,7 +50,7 @@ func npbRateMPI(bench string, class npb.Class, nt machine.NodeType, procs int) f
 
 // npbRateOpenMPAsync submits a pure OpenMP run with the given compute
 // factor (compiler model) and returns the per-CPU Gflop/s future.
-func npbRateOpenMPAsync(bench string, class npb.Class, nt machine.NodeType, threads int, factor float64) *sweep.Future[float64] {
+func npbRateOpenMPAsync(bench string, class npb.Class, nt machine.NodeType, threads int, factor float64) sweep.Future[float64] {
 	// The OMP options derive deterministically from bench/class, which the
 	// key prefix already pins, so the fingerprint omits them safely.
 	cfg := withFaults(vmpi.Config{
@@ -83,18 +83,18 @@ func runFig6() []*report.Table {
 	ompThreads := []int{4, 16, 64, 128}
 	// Submit every sweep point before assembling any table, so the whole
 	// figure fans out across the pool at once.
-	mpi := map[string][][3]*sweep.Future[float64]{}
-	omp := map[string][][3]*sweep.Future[float64]{}
+	mpi := map[string][][3]sweep.Future[float64]{}
+	omp := map[string][][3]sweep.Future[float64]{}
 	for _, bench := range npb.Benchmarks {
 		for _, p := range mpiCPUs {
-			mpi[bench] = append(mpi[bench], [3]*sweep.Future[float64]{
+			mpi[bench] = append(mpi[bench], [3]sweep.Future[float64]{
 				npbRateMPIAsync(bench, npb.ClassC, machine.Altix3700, p),
 				npbRateMPIAsync(bench, npb.ClassC, machine.AltixBX2a, p),
 				npbRateMPIAsync(bench, npb.ClassC, machine.AltixBX2b, p),
 			})
 		}
 		for _, th := range ompThreads {
-			omp[bench] = append(omp[bench], [3]*sweep.Future[float64]{
+			omp[bench] = append(omp[bench], [3]sweep.Future[float64]{
 				npbRateOpenMPAsync(bench, npb.ClassB, machine.Altix3700, th, 1),
 				npbRateOpenMPAsync(bench, npb.ClassB, machine.AltixBX2a, th, 1),
 				npbRateOpenMPAsync(bench, npb.ClassB, machine.AltixBX2b, th, 1),
@@ -136,10 +136,10 @@ func runFig6() []*report.Table {
 
 func runFig8() []*report.Table {
 	threads := []int{4, 16, 32, 64, 128, 256}
-	points := map[string][][]*sweep.Future[float64]{}
+	points := map[string][][]sweep.Future[float64]{}
 	for _, bench := range npb.Benchmarks {
 		for _, th := range threads {
-			var row []*sweep.Future[float64]
+			var row []sweep.Future[float64]
 			for _, v := range compiler.Versions {
 				f := compiler.Factor(v, bench, th)
 				row = append(row, npbRateOpenMPAsync(bench, npb.ClassB, machine.AltixBX2b, th, f))

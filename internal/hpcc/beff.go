@@ -1,6 +1,8 @@
 package hpcc
 
 import (
+	"sync"
+
 	"columbia/internal/par"
 	"columbia/internal/rng"
 )
@@ -31,16 +33,65 @@ type BeffResult struct {
 // Beff runs all three patterns on the given communicator. Drive it with
 // par.Run for a host-machine measurement or vmpi.Run for a Columbia model
 // measurement; per-rank results are identical on all ranks.
+//
+// The ring orderings are deterministic functions of the rank count, yet
+// every rank used to rebuild both permutations (and the inverse position
+// table) privately — O(P²) integers per run, a visible slice of the sweep's
+// allocation profile at 504+ ranks. Beff therefore draws them from a
+// process-wide cache of shared read-only orderings.
 func Beff(c par.Comm, reps int) BeffResult {
 	if reps < 1 {
 		reps = 1
 	}
 	var r BeffResult
 	r.PingPong = PingPong(c, reps)
-	r.Natural = Ring(c, naturalPerm(c.Size()), reps)
-	r.Random = Ring(c, randomPerm(c.Size()), reps)
+	r.Natural = ringOrdered(c, naturalOrder(c.Size()), reps)
+	r.Random = ringOrdered(c, randomOrder(c.Size()), reps)
 	return r
 }
+
+// ringOrder is a ring ordering with its inverse: perm lists ranks in ring
+// order, pos maps a rank to its ring index. Cached instances are shared
+// across ranks and runs, and must be treated as read-only.
+type ringOrder struct {
+	perm, pos []int
+}
+
+// invert fills in pos from perm.
+func newRingOrder(perm []int) *ringOrder {
+	pos := make([]int, len(perm))
+	for i, r := range perm {
+		pos[r] = i
+	}
+	return &ringOrder{perm: perm, pos: pos}
+}
+
+// orderCache memoizes the deterministic orderings by rank count. A plain
+// mutex-guarded map: the lookup runs once per Ring call, nowhere near the
+// engines' hot path, and concurrent sweep workers only ever store equal
+// values.
+var orderCache struct {
+	mu      sync.Mutex
+	natural map[int]*ringOrder
+	random  map[int]*ringOrder
+}
+
+func cachedOrder(cache *map[int]*ringOrder, p int, build func(int) []int) *ringOrder {
+	orderCache.mu.Lock()
+	defer orderCache.mu.Unlock()
+	if *cache == nil {
+		*cache = make(map[int]*ringOrder)
+	}
+	if o, ok := (*cache)[p]; ok {
+		return o
+	}
+	o := newRingOrder(build(p))
+	(*cache)[p] = o
+	return o
+}
+
+func naturalOrder(p int) *ringOrder { return cachedOrder(&orderCache.natural, p, naturalPerm) }
+func randomOrder(p int) *ringOrder  { return cachedOrder(&orderCache.random, p, randomPerm) }
 
 // pingPairs picks the deterministic sample of process pairs measured by the
 // ping-pong test: for every power-of-two rank distance d, a few pairs (a,
@@ -143,16 +194,18 @@ func randomPerm(p int) []int {
 // for 8-byte (latency) and 2 MiB (bandwidth) messages. The reported numbers
 // are the slowest process's, mirroring b_eff's worst-case ring metric.
 func Ring(c par.Comm, perm []int, reps int) RingResult {
+	return ringOrdered(c, newRingOrder(perm), reps)
+}
+
+// ringOrdered is Ring over a prebuilt (possibly cached) ordering.
+func ringOrdered(c par.Comm, ord *ringOrder, reps int) RingResult {
 	const tagLat, tagBW = 111, 112
 	p := c.Size()
 	if p < 2 {
 		return RingResult{}
 	}
-	pos := make([]int, p) // pos[rank] = index in ring order
-	for i, r := range perm {
-		pos[r] = i
-	}
-	me := pos[c.Rank()]
+	perm := ord.perm
+	me := ord.pos[c.Rank()]
 	right := perm[(me+1)%p]
 	left := perm[(me-1+p)%p]
 

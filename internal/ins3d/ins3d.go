@@ -281,10 +281,32 @@ const (
 // Model predicts INS3D iteration times on a node type.
 type Model struct {
 	Sys *overset.System
+	// loadCache memoizes the heaviest-group point count per group count —
+	// the grouping is deterministic, and SecPerIter is called for many
+	// thread counts at the same group count. Lazily initialized; like
+	// overflow's groupCache it makes the model single-goroutine.
+	loadCache map[int]float64
 }
 
 // NewModel builds the Table 2 model over the synthetic turbopump grid.
 func NewModel() *Model { return &Model{Sys: overset.Turbopump()} }
+
+// maxLoad returns the heaviest group's point count for a groups-way
+// connectivity-aware packing, memoized per Model.
+func (m *Model) maxLoad(groups int) float64 {
+	if groups <= 1 {
+		return float64(m.Sys.TotalPoints())
+	}
+	if l, ok := m.loadCache[groups]; ok {
+		return l
+	}
+	l := overset.GroupBlocks(m.Sys, groups).MaxLoad()
+	if m.loadCache == nil {
+		m.loadCache = make(map[int]float64)
+	}
+	m.loadCache[groups] = l
+	return l
+}
 
 // SecPerIter returns the modelled seconds per physical time step for an
 // MLP-groups × OpenMP-threads run on the given node type.
@@ -293,12 +315,8 @@ func (m *Model) SecPerIter(node machine.NodeType, groups, threads int) float64 {
 		panic("ins3d: groups and threads must be positive")
 	}
 	cl := machine.NewSingleNode(node)
-	total := float64(m.Sys.TotalPoints())
 	// Heaviest group after connectivity-aware bin-packing.
-	maxLoad := total
-	if groups > 1 {
-		maxLoad = overset.GroupBlocks(m.Sys, groups).MaxLoad()
-	}
+	maxLoad := m.maxLoad(groups)
 	// CPU placement: MLP runs are pinned spread-out while they fit, so a
 	// stream has a private bus until more than half the node is busy;
 	// beyond that, the excess fraction of streams pairs up on buses.

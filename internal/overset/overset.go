@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"columbia/internal/rng"
 )
@@ -57,10 +58,16 @@ func (b *Block) Overlaps(o *Block) bool {
 	return true
 }
 
-// System is a complete overset grid system.
+// System is a complete overset grid system. Blocks must not be mutated
+// after the first Connectivity call — the adjacency is computed once and
+// memoized, because the O(blocks²) overlap inspection dominated the sweep's
+// allocation profile when recomputed per grouping.
 type System struct {
 	Name   string
 	Blocks []Block
+
+	connOnce sync.Once
+	conn     [][]int
 }
 
 // TotalPoints returns the aggregate grid size.
@@ -74,10 +81,39 @@ func (s *System) TotalPoints() int {
 
 // Connectivity returns the adjacency lists implied by region overlap: the
 // "connectivity test that inspects for an overlap between a pair of grids"
-// of OVERFLOW-D's grouping strategy.
+// of OVERFLOW-D's grouping strategy. The result is computed once per
+// System (safe under concurrent callers) and shared; callers must treat it
+// as read-only.
 func (s *System) Connectivity() [][]int {
+	s.connOnce.Do(func() { s.conn = s.connectivity() })
+	return s.conn
+}
+
+// connectivity does the O(n²) overlap inspection. Two passes: count
+// degrees, then fill rows carved out of one flat backing array, so the
+// whole adjacency is three allocations instead of one append chain per
+// block.
+func (s *System) connectivity() [][]int {
 	n := len(s.Blocks)
+	deg := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if s.Blocks[i].Overlaps(&s.Blocks[j]) {
+				deg[i]++
+				deg[j]++
+			}
+		}
+	}
+	total := 0
+	for _, d := range deg {
+		total += d
+	}
+	flat := make([]int, 0, total)
 	adj := make([][]int, n)
+	for i, d := range deg {
+		adj[i] = flat[len(flat) : len(flat) : len(flat)+d]
+		flat = flat[:len(flat)+d]
+	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if s.Blocks[i].Overlaps(&s.Blocks[j]) {
@@ -134,17 +170,27 @@ func Synthetic(name string, nblocks, total int, spread float64, seed float64) *S
 	return s
 }
 
-// Turbopump returns a synthetic stand-in for the INS3D low-pressure fuel
-// pump grid: 267 blocks, ~66 million points (§3.4).
-func Turbopump() *System {
-	return Synthetic("turbopump", 267, 66_000_000, 12, rng.DefaultSeed)
-}
+// The named paper grids are deterministic functions of their seeds, so the
+// generators hand every caller one shared instance instead of regenerating
+// (and re-inspecting) thousands of blocks per model construction. Shared
+// systems — like any System after its first Connectivity call — must be
+// treated as read-only; tests that want a private mutable system use
+// Synthetic directly.
+var (
+	turbopump      = sync.OnceValue(func() *System { return Synthetic("turbopump", 267, 66_000_000, 12, rng.DefaultSeed) })
+	rotorWake      = sync.OnceValue(func() *System { return Synthetic("rotor-wake", 1679, 75_000_000, 150, rng.DefaultSeed+7) })
+	rotorWakeLarge = sync.OnceValue(func() *System { return Synthetic("rotor-wake-large", 4000, 300_000_000, 150, rng.DefaultSeed+13) })
+)
 
-// RotorWake returns a synthetic stand-in for the OVERFLOW-D hovering-rotor
-// grid: 1679 blocks, ~75 million points (§3.5).
-func RotorWake() *System {
-	return Synthetic("rotor-wake", 1679, 75_000_000, 150, rng.DefaultSeed+7)
-}
+// Turbopump returns the synthetic stand-in for the INS3D low-pressure fuel
+// pump grid: 267 blocks, ~66 million points (§3.4). The instance is shared
+// and read-only.
+func Turbopump() *System { return turbopump() }
+
+// RotorWake returns the synthetic stand-in for the OVERFLOW-D hovering-rotor
+// grid: 1679 blocks, ~75 million points (§3.5). The instance is shared and
+// read-only.
+func RotorWake() *System { return rotorWake() }
 
 // Donor locates the block containing point p (other than `self`) and
 // returns its index together with trilinear interpolation weights for the
@@ -379,7 +425,5 @@ func (g *Grouping) Validate() error {
 // final version ("an overset grid system suitable in size and the number of
 // blocks to fully exploit the computational capability of Columbia is under
 // construction"): 4,000 blocks and ~300 million points, enough blocks per
-// group to balance at 508+ processes.
-func RotorWakeLarge() *System {
-	return Synthetic("rotor-wake-large", 4000, 300_000_000, 150, rng.DefaultSeed+13)
-}
+// group to balance at 508+ processes. The instance is shared and read-only.
+func RotorWakeLarge() *System { return rotorWakeLarge() }

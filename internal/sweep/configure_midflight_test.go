@@ -1,0 +1,97 @@
+package sweep
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestConfigureMidFlightOldPoolCompletes is the regression test for the
+// Configure/Default race: the default pool is now an atomic pointer, so a
+// coordinator that captured Default() before a Configure keeps its pool —
+// entries, workers, context — and its futures complete with correct
+// values, while new submissions land on the replacement pool with a cold
+// cache.
+func TestConfigureMidFlightOldPoolCompletes(t *testing.T) {
+	t.Cleanup(func() { SetWorkers(0) })
+	SetWorkers(2)
+	old := Default()
+
+	gate := make(chan struct{})
+	var leafRuns atomic.Int32
+	leaf := func() float64 {
+		leafRuns.Add(1)
+		<-gate
+		return 6.25
+	}
+	// A coordinator mid-sweep: it captured the default pool, submitted a
+	// point, and is blocked waiting on it.
+	coord := Go(old, func() float64 {
+		return Cached(old, "midflight/point", leaf).Wait() * 2
+	})
+
+	// Wait until the leaf is actually running so the swap is genuinely
+	// mid-flight, then replace the default pool under the coordinator.
+	for leafRuns.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	Configure(context.Background(), Options{Workers: 4})
+	if Default() == old {
+		t.Fatal("Configure did not replace the default pool")
+	}
+	if got := Default().Workers(); got != 4 {
+		t.Fatalf("new pool has %d workers, want 4", got)
+	}
+
+	// The in-flight point and its coordinator finish on the old pool.
+	close(gate)
+	if got := coord.Wait(); got != 12.5 {
+		t.Fatalf("old-pool coordinator returned %v, want 12.5", got)
+	}
+
+	// The old pool still serves its memoized entry without recomputing...
+	if got := Cached(old, "midflight/point", leaf).Wait(); got != 6.25 {
+		t.Fatalf("old pool re-lookup = %v, want 6.25", got)
+	}
+	if n := leafRuns.Load(); n != 1 {
+		t.Fatalf("leaf ran %d times on the old pool, want 1", n)
+	}
+	// ...and the replacement pool starts cold: the same key recomputes.
+	fresh := Cached(Default(), "midflight/point", func() float64 { return 9.5 })
+	if got := fresh.Wait(); got != 9.5 {
+		t.Fatalf("new pool served %v, want a fresh 9.5", got)
+	}
+}
+
+// TestConfigureStormDuringSubmissions races Configure against a storm of
+// Default()+Cached submissions — the exact interleaving the sweep CLI hits
+// when -j is applied while experiments are fanning out. Every future must
+// resolve to its submitted value no matter which pool it landed on.
+func TestConfigureStormDuringSubmissions(t *testing.T) {
+	t.Cleanup(func() { SetWorkers(0) })
+	SetWorkers(2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			Configure(context.Background(), Options{Workers: 1 + i%4})
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		want := float64(i)
+		f := Cached(Default(), "storm/point", func() float64 { return want })
+		got, err := f.WaitErr()
+		if err != nil {
+			t.Fatalf("submission %d failed: %v", i, err)
+		}
+		// A pool swap may or may not have landed between submissions, so
+		// the value is whichever iteration first populated the serving
+		// pool's cache — but it must be one of ours, never torn or zero
+		// from a half-initialized pool.
+		if got < 0 || got > want {
+			t.Fatalf("submission %d returned %v, want a value in [0, %v]", i, got, want)
+		}
+	}
+	<-done
+}

@@ -29,7 +29,7 @@ func TestCacheEngineIsolation(t *testing.T) {
 
 	p := NewPool(2)
 	var computes atomic.Int32
-	leaf := func(cfg vmpi.Config) *Future[string] {
+	leaf := func(cfg vmpi.Config) Future[string] {
 		return Cached(p, cfg.Fingerprint(), func() string {
 			computes.Add(1)
 			return cfg.Fingerprint()

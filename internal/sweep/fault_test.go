@@ -156,7 +156,7 @@ func TestFaultPoolCancellationDrainsQueue(t *testing.T) {
 		return 0, c.Err() // observes cancellation like vmpi.RunCtx would
 	})
 	var ran atomic.Int32
-	var queued []*Future[int]
+	var queued []Future[int]
 	for i := 0; i < 8; i++ {
 		queued = append(queued, CachedCtx(p, fmt.Sprintf("queued-%d", i),
 			func(context.Context) (int, error) { ran.Add(1); return 0, nil }))

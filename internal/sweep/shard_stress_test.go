@@ -1,0 +1,188 @@
+package sweep
+
+// Concurrent stress tests for the sharded memo cache. They earn their keep
+// under -race (tier-1 runs the package both ways): many goroutines hammer
+// overlapping keys across every shard while the assertions pin the
+// semantics the striping must preserve — exactly-once execution per key,
+// eviction of failed entries, and ResetCache landing mid-flight without
+// corrupting running points.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestShardIndexSpreadsKeys(t *testing.T) {
+	hit := make(map[uint32]bool)
+	for i := 0; i < 1000; i++ {
+		idx := shardIndex(fmt.Sprintf("fp/run=%d/procs=%d", i, i*7))
+		if idx >= shardCount {
+			t.Fatalf("shardIndex out of range: %d", idx)
+		}
+		hit[idx] = true
+	}
+	// FNV-1a over distinct keys must touch essentially every stripe; a
+	// collapsed hash would quietly restore the single-mutex bottleneck.
+	if len(hit) < shardCount/2 {
+		t.Errorf("1000 keys landed on only %d of %d shards", len(hit), shardCount)
+	}
+}
+
+func TestCachedStressExactlyOncePerKey(t *testing.T) {
+	const (
+		goroutines = 32
+		keys       = 200
+		rounds     = 20
+	)
+	p := NewPool(4)
+	var runs [keys]atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Offset start points so goroutines collide on every key
+				// from different directions.
+				k := (g*37 + r*11) % keys
+				k2 := k
+				f := Cached(p, fmt.Sprintf("stress/key=%d", k), func() int {
+					runs[k2].Add(1)
+					return k2 * 3
+				})
+				if got := f.Wait(); got != k*3 {
+					t.Errorf("key %d returned %d, want %d", k, got, k*3)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for k := range runs {
+		if n := runs[k].Load(); n > 1 {
+			t.Errorf("key %d executed %d times, want at most once", k, n)
+		}
+	}
+}
+
+func TestCachedCtxStressFailedEntriesEvicted(t *testing.T) {
+	const keys = 64 // one per shard on average: eviction exercised everywhere
+	p := NewPool(4)
+	errBoom := errors.New("deterministic failure")
+	var failed [keys]atomic.Int32
+
+	// Wave 1: every key fails, submitted by many goroutines at once. The
+	// failing leaves block on gate until every submission has landed, so
+	// all 16 submissions of a key race against one *in-flight* entry —
+	// exactly-once holds per entry. (Once a failure completes it is
+	// evicted, and a *later* resubmission legitimately recomputes; that
+	// recompute-after-eviction path is wave 2.)
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	futs := make([][]Future[int], 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				k2 := k
+				futs[g] = append(futs[g], CachedCtx(p, fmt.Sprintf("evict/key=%d", k), func(context.Context) (int, error) {
+					<-gate
+					failed[k2].Add(1)
+					return 0, errBoom
+				}))
+			}
+		}(g)
+	}
+	wg.Wait() // all submissions in, none completed (leaves blocked on gate)
+	close(gate)
+	for g := range futs {
+		for k, f := range futs[g] {
+			if err := f.Err(); !errors.Is(err, errBoom) {
+				t.Fatalf("goroutine %d key %d: err = %v, want errBoom", g, k, err)
+			}
+		}
+	}
+	for k := range failed {
+		if n := failed[k].Load(); n != 1 {
+			t.Errorf("failing key %d attempted %d times, want 1", k, n)
+		}
+	}
+
+	// Wave 2: the failures must have been evicted, so resubmission runs a
+	// fresh computation and succeeds — again exactly once per key.
+	var succeeded [keys]atomic.Int32
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				k2 := k
+				f := CachedCtx(p, fmt.Sprintf("evict/key=%d", k), func(context.Context) (int, error) {
+					succeeded[k2].Add(1)
+					return k2 + 1, nil
+				})
+				if v, err := f.WaitErr(); err != nil || v != k+1 {
+					t.Errorf("key %d after eviction: %d, %v; want %d, nil", k, v, err, k+1)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for k := range succeeded {
+		if n := succeeded[k].Load(); n != 1 {
+			t.Errorf("resubmitted key %d executed %d times, want 1", k, n)
+		}
+	}
+}
+
+func TestResetCacheMidFlightStress(t *testing.T) {
+	const (
+		submitters = 8
+		keys       = 50
+		rounds     = 40
+	)
+	p := NewPool(4)
+	stop := make(chan struct{})
+	var resets sync.WaitGroup
+	resets.Add(1)
+	go func() {
+		// Hammer ResetCache the whole time points are starting, running
+		// and completing.
+		defer resets.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				p.ResetCache()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := (g + r) % keys
+				f := Cached(p, fmt.Sprintf("reset/key=%d", k), func() int { return k * 7 })
+				// The entry may be dropped from the cache at any moment,
+				// but the future we hold must still complete correctly.
+				if got := f.Wait(); got != k*7 {
+					t.Errorf("key %d returned %d, want %d", k, got, k*7)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	resets.Wait()
+}

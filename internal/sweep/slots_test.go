@@ -1,0 +1,230 @@
+package sweep
+
+// Tests for the affinity-lane slot scheduler: the width clamp that keeps
+// true concurrency at the core count, the spill that keeps the width bound
+// a real guarantee, the class-batching handoff, and the worker-context /
+// affinity registries.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// restoreRegistries resets the package-level providers after a test that
+// installs its own.
+func restoreRegistries(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		RegisterWorkerContext(nil)
+		RegisterAffinity(nil)
+	})
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 5000; i++ { // ~5s of millisecond polls
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestWidthClampsConcurrency pins the lanes/width split: a -j 8 pool on a
+// 2-core budget runs at most 2 leaves at once, while still exposing all 8
+// lanes to worker-scoped state.
+func TestWidthClampsConcurrency(t *testing.T) {
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+	p := NewPool(8)
+	if p.Workers() != 8 {
+		t.Fatalf("Workers() = %d, want 8 lanes", p.Workers())
+	}
+	if p.slots.width != 2 {
+		t.Fatalf("width = %d, want clamp to GOMAXPROCS=2", p.slots.width)
+	}
+
+	gate := make(chan struct{})
+	var running, peak atomic.Int32
+	futs := make([]Future[int], 0, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		futs = append(futs, Cached(p, fmt.Sprintf("width/key=%d", i), func() int {
+			n := running.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			<-gate
+			running.Add(-1)
+			return i
+		}))
+	}
+	// Exactly width leaves must start; the rest queue behind the clamp.
+	waitFor(t, "2 leaves running", func() bool { return running.Load() == 2 })
+	time.Sleep(10 * time.Millisecond)
+	if n := running.Load(); n != 2 {
+		t.Fatalf("%d leaves running, want exactly 2", n)
+	}
+	close(gate)
+	for i, f := range futs {
+		if got := f.Wait(); got != i {
+			t.Fatalf("leaf %d returned %d", i, got)
+		}
+	}
+	if pk := peak.Load(); pk > 2 {
+		t.Errorf("peak concurrency %d exceeded width 2", pk)
+	}
+}
+
+// TestSlotAcquirePrefersAndSpills covers unsaturated acquisition: the
+// preferred lane when free, the first free lane otherwise.
+func TestSlotAcquirePrefersAndSpills(t *testing.T) {
+	var st slotTable
+	st.init(4, 2)
+	ctx := context.Background()
+	s, err := st.acquire(ctx, 2)
+	if err != nil || s != 2 {
+		t.Fatalf("acquire(pref=2) = %d, %v; want preferred lane 2", s, err)
+	}
+	s, err = st.acquire(ctx, 2)
+	if err != nil || s == 2 {
+		t.Fatalf("acquire(pref=2) with 2 busy = %d, %v; want a spill lane", s, err)
+	}
+}
+
+// TestReleaseHandsLaneToSameClassWaiter pins the batching handoff: when
+// the pool is saturated, a freed lane goes to the earliest waiter that
+// prefers it — ahead of the FIFO head — so same-class leaves run back to
+// back on warm state.
+func TestReleaseHandsLaneToSameClassWaiter(t *testing.T) {
+	var st slotTable
+	st.init(4, 1) // one width token: every later acquire queues
+	ctx := context.Background()
+	held, err := st.acquire(ctx, 2)
+	if err != nil || held != 2 {
+		t.Fatalf("setup acquire = %d, %v", held, err)
+	}
+
+	grant := func(pref int) <-chan int {
+		ch := make(chan int, 1)
+		go func() {
+			s, err := st.acquire(ctx, pref)
+			if err != nil {
+				t.Errorf("waiter(pref=%d): %v", pref, err)
+			}
+			ch <- s
+		}()
+		return ch
+	}
+	waiters := func() int {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return len(st.waiters)
+	}
+	headGrant := grant(3) // FIFO head, different class
+	waitFor(t, "head waiter queued", func() bool { return waiters() == 1 })
+	sameGrant := grant(2) // same class as the held lane
+	waitFor(t, "both waiters queued", func() bool { return waiters() == 2 })
+
+	st.release(2)
+	if s := <-sameGrant; s != 2 {
+		t.Fatalf("same-class waiter granted lane %d, want 2", s)
+	}
+	select {
+	case s := <-headGrant:
+		t.Fatalf("head waiter granted lane %d before the batch continued", s)
+	default:
+	}
+	// Next release hands the head waiter its own (idle) preferred lane.
+	st.release(2)
+	if s := <-headGrant; s != 3 {
+		t.Fatalf("head waiter granted lane %d, want its preferred 3", s)
+	}
+	st.release(3)
+}
+
+// TestWorkerContextScopedToSlot pins the RegisterWorkerContext contract:
+// every attempt sees the decoration for the slot it holds, slots stay in
+// range, and with one lane every leaf shares that lane's state.
+func TestWorkerContextScopedToSlot(t *testing.T) {
+	restoreRegistries(t)
+	type ctxKey struct{}
+	var calls atomic.Int32
+	RegisterWorkerContext(func(workers int) WorkerContext {
+		if workers != 1 {
+			t.Errorf("provider called with %d workers, want 1", workers)
+		}
+		return func(slot int, ctx context.Context) context.Context {
+			calls.Add(1)
+			return context.WithValue(ctx, ctxKey{}, slot)
+		}
+	})
+	p := NewPool(1)
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("wctx/key=%d", i)
+		if err := CachedCtx(p, key, func(ctx context.Context) (int, error) {
+			slot, ok := ctx.Value(ctxKey{}).(int)
+			if !ok {
+				t.Error("leaf context missing worker decoration")
+			}
+			mu.Lock()
+			seen[slot] = true
+			mu.Unlock()
+			return 0, nil
+		}).Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != 1 || !seen[0] {
+		t.Errorf("slots seen = %v, want exactly {0}", seen)
+	}
+	if calls.Load() != 5 {
+		t.Errorf("decorator ran %d times, want once per attempt (5)", calls.Load())
+	}
+}
+
+// TestAffinityClassRouting pins RegisterAffinity: keys of one class name
+// one slot, and an empty class falls back to the family prefix.
+func TestAffinityClassRouting(t *testing.T) {
+	restoreRegistries(t)
+	RegisterAffinity(func(key string) string {
+		if key == "classless/x" {
+			return ""
+		}
+		return "theclass"
+	})
+	p := NewPool(8)
+	want := p.slotFor("a/whatever")
+	for _, key := range []string{"b/other", "c/third"} {
+		if got := p.slotFor(key); got != want {
+			t.Errorf("slotFor(%q) = %d, want %d (same class)", key, got, want)
+		}
+	}
+	if got, fam := p.slotFor("classless/x"), int(fnv32("classless")%8); got != fam {
+		t.Errorf("empty class: slotFor = %d, want family fallback %d", got, fam)
+	}
+}
+
+// TestFamilyPrefix pins the default class extractor.
+func TestFamilyPrefix(t *testing.T) {
+	for key, want := range map[string]string{
+		"mz/bt/A/mpt=4/cl=...": "mz",
+		"nopath":               "nopath",
+		"/leading":             "",
+	} {
+		if got := family(key); got != want {
+			t.Errorf("family(%q) = %q, want %q", key, got, want)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,8 +16,12 @@ import (
 // failures that report themselves retryable (vmpi timeouts, transient
 // faults).
 type Options struct {
-	// Workers bounds concurrent leaf points; values below 1 select
-	// GOMAXPROCS.
+	// Workers is the pool's -j degree: the number of affinity lanes (each
+	// with its own worker-scoped state), and the bound on concurrent leaf
+	// points. True concurrency is additionally clamped to GOMAXPROCS —
+	// extra lanes beyond the core count still partition the sweep by
+	// scheduling class (see slotTable) but never oversubscribe the host.
+	// Values below 1 select GOMAXPROCS.
 	Workers int
 	// Timeout is the wall-clock budget for one attempt of one leaf point;
 	// zero means no per-point deadline. Expired attempts surface as a
@@ -36,20 +41,232 @@ const (
 	maxBackoff     = 2 * time.Second
 )
 
+// shardCount is the number of lock stripes the memo cache is split into.
+// Every Cached/CachedCtx call from every worker used to serialize on one
+// pool-wide mutex; with the cache sharded by fingerprint hash, two workers
+// only contend when their keys land in the same stripe (1/64 of the time),
+// so submission stops being a scaling bottleneck. Must be a power of two.
+const shardCount = 64
+
+// cacheShard is one lock stripe of the memo cache. The trailing pad keeps
+// neighbouring shards' mutexes on separate cache lines so uncontended locks
+// on different shards do not false-share.
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]*entry
+	_  [64 - 16]byte
+}
+
+// fnv32 is FNV-1a over s.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// shardIndex hashes a cache key (FNV-1a) onto its lock stripe.
+func shardIndex(key string) uint32 {
+	return fnv32(key) & (shardCount - 1)
+}
+
+// family extracts the workload-family prefix of a fingerprint key — the
+// segment before the first '/' ("mz", "npb", "beff", ...). Keys are built
+// as <workload prefix>/<configuration fingerprint>, so the family names the
+// simulation's shape: which collectives it drives, which (source, tag)
+// mailboxes its engines create, which models it loads. Slot affinity keys
+// on it (see slotFor).
+func family(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '/' {
+			return key[:i]
+		}
+	}
+	return key
+}
+
 // Pool bounds how many leaf simulation points run concurrently, memoizes
 // completed points by fingerprint key, and owns the context / timeout /
 // retry policy every leaf runs under. Canceling the pool's context stops
 // queued points immediately and running points at their next scheduling
 // step (leaf functions receive a derived context for exactly that).
+//
+// The memo cache is lock-striped into shardCount shards keyed by a hash of
+// the fingerprint, so concurrent submissions from many workers do not
+// serialize on a single mutex. Exactly-once execution, failed-entry
+// eviction and ResetCache semantics are all per-key and unaffected by the
+// striping.
 type Pool struct {
-	sem  chan struct{}
-	ctx  context.Context
-	opts Options
+	slots slotTable
+	ctx   context.Context
+	opts  Options
+	// wctx, when installed via RegisterWorkerContext, decorates the context
+	// of every leaf attempt with state scoped to the worker slot the leaf
+	// acquired — the hook worker-private engine arenas hang off.
+	wctx WorkerContext
 	// after paces retry backoff; tests swap in a fake to drive the retry
 	// schedule deterministically instead of sleeping.
-	after func(time.Duration) <-chan time.Time
-	mu    sync.Mutex
-	cache map[string]*entry
+	after  func(time.Duration) <-chan time.Time
+	shards [shardCount]cacheShard
+}
+
+// WorkerContext decorates the context a leaf attempt runs under with state
+// scoped to its worker slot (0 <= slot < Workers). It is called once per
+// attempt, always with the slot the leaf holds for the attempt's duration,
+// so anything it attaches is exclusive to one running leaf at a time.
+type WorkerContext func(slot int, ctx context.Context) context.Context
+
+// workerContextProvider builds each new pool's WorkerContext; installed at
+// most once, by the package that owns the slot-scoped state (core wires
+// vmpi arenas in). Atomic because pools are created from any goroutine.
+var workerContextProvider atomic.Pointer[func(workers int) WorkerContext]
+
+// RegisterWorkerContext installs the provider consulted by every
+// subsequently created pool: it is called with the pool's worker count and
+// returns the WorkerContext for that pool (nil for none). Existing pools
+// are unaffected.
+func RegisterWorkerContext(provider func(workers int) WorkerContext) {
+	workerContextProvider.Store(&provider)
+}
+
+// affinityClass, when registered, maps a cache key to the scheduling class
+// slot affinity groups by; empty string falls back to the family prefix.
+var affinityClass atomic.Pointer[func(key string) string]
+
+// RegisterAffinity installs the function that names a key's scheduling
+// class for slot affinity. The default — the key's workload-family prefix
+// — groups leaves that share models; a sharper classifier (core registers
+// one keying on the configuration's rank count, which is what actually
+// determines a simulation's mailbox universe) groups leaves that share
+// engine working sets, so each worker slot's arenas stay small and
+// cache-resident.
+func RegisterAffinity(class func(key string) string) {
+	affinityClass.Store(&class)
+}
+
+// slotTable hands out the pool's worker slots. A slot is an affinity lane,
+// not a thread: the pool has Workers lanes, each backing its own
+// worker-scoped state (see WorkerContext), while the number of lanes
+// *concurrently held* is separately bounded by width = min(Workers,
+// GOMAXPROCS). The split matters on both ends of the machine spectrum. On
+// a many-core host width equals Workers and lanes are plain worker slots.
+// On a host with fewer cores than -j, running -j leaves at once would buy
+// nothing but cache thrash — eight half-resident engine working sets
+// interleaving on one core — so width clamps true concurrency to the
+// hardware while the extra lanes still partition the sweep: each lane's
+// arenas hold one scheduling class's working set (one rank-count's mailbox
+// universe) instead of the union of everything, and the release handoff
+// below runs same-class leaves back to back on their warm lane. That
+// partitioning and batching is how -j 8 beats -j 1 even on a single CPU.
+//
+// Acquisition is affinity-aware: a leaf asks for the lane its scheduling
+// class hashes to, and spills to another free lane rather than queueing
+// when its preference is busy — the width bound stays a real concurrency
+// guarantee and a hot class cannot idle the pool.
+type slotTable struct {
+	mu sync.Mutex
+	// width bounds concurrently held lanes; held counts them.
+	width int
+	held  int
+	free  []bool
+	nfree int
+	// waiters is FIFO; release scans it for the first waiter preferring
+	// the freed lane — the class-batching handoff — and falls back to the
+	// head, so affinity wins when possible but no waiter is starved by an
+	// empty-preference steady state.
+	waiters []*slotWaiter
+}
+
+type slotWaiter struct {
+	pref int
+	ch   chan int // buffered(1): release never blocks on handoff
+}
+
+func (t *slotTable) init(lanes, width int) {
+	t.free = make([]bool, lanes)
+	for i := range t.free {
+		t.free[i] = true
+	}
+	t.nfree = lanes
+	t.width = width
+}
+
+// acquire blocks until a lane is granted (preferring pref) or ctx is done.
+func (t *slotTable) acquire(ctx context.Context, pref int) (int, error) {
+	t.mu.Lock()
+	// held < width implies a free lane exists (lanes >= width).
+	if t.held < t.width {
+		s := pref
+		if !t.free[s] {
+			for i := range t.free {
+				if t.free[i] {
+					s = i
+					break
+				}
+			}
+		}
+		t.free[s] = false
+		t.nfree--
+		t.held++
+		t.mu.Unlock()
+		return s, nil
+	}
+	w := &slotWaiter{pref: pref, ch: make(chan int, 1)}
+	t.waiters = append(t.waiters, w)
+	t.mu.Unlock()
+	select {
+	case s := <-w.ch:
+		return s, nil
+	case <-ctx.Done():
+		t.mu.Lock()
+		for i, q := range t.waiters {
+			if q == w {
+				t.waiters = append(t.waiters[:i], t.waiters[i+1:]...)
+				t.mu.Unlock()
+				return 0, ctx.Err()
+			}
+		}
+		t.mu.Unlock()
+		// A release raced the cancellation and already granted us a lane;
+		// take it and put it back so the grant is not lost.
+		s := <-w.ch
+		t.release(s)
+		return 0, ctx.Err()
+	}
+}
+
+// release frees a lane. With waiters queued, the width token passes
+// directly: the earliest waiter preferring this lane gets it (running
+// same-class leaves consecutively on warm state), else the head waiter is
+// granted its own preferred lane when that lane is idle, or this one.
+func (t *slotTable) release(s int) {
+	t.mu.Lock()
+	if len(t.waiters) > 0 {
+		idx := 0
+		for i, w := range t.waiters {
+			if w.pref == s {
+				idx = i
+				break
+			}
+		}
+		w := t.waiters[idx]
+		t.waiters = append(t.waiters[:idx], t.waiters[idx+1:]...)
+		g := s
+		if w.pref != s && t.free[w.pref] {
+			g = w.pref
+			t.free[g] = false
+			t.free[s] = true
+		}
+		t.mu.Unlock()
+		w.ch <- g
+		return
+	}
+	t.free[s] = true
+	t.nfree++
+	t.held--
+	t.mu.Unlock()
 }
 
 // entry is one submitted point: a completion signal plus its value, or the
@@ -84,37 +301,69 @@ func NewPoolOpts(ctx context.Context, o Options) *Pool {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Pool{
-		sem:   make(chan struct{}, o.Workers),
+	p := &Pool{
 		ctx:   ctx,
 		opts:  o,
 		after: time.After,
-		cache: make(map[string]*entry),
 	}
+	width := o.Workers
+	if g := runtime.GOMAXPROCS(0); width > g {
+		width = g
+	}
+	p.slots.init(o.Workers, width)
+	if f := workerContextProvider.Load(); f != nil && *f != nil {
+		p.wctx = (*f)(o.Workers)
+	}
+	for i := range p.shards {
+		p.shards[i].m = make(map[string]*entry)
+	}
+	return p
 }
 
 // Workers returns the pool's concurrency bound.
-func (p *Pool) Workers() int { return cap(p.sem) }
+func (p *Pool) Workers() int { return len(p.slots.free) }
+
+// slotFor hashes a cache key's scheduling class onto a preferred worker
+// slot, so every leaf of one class names the same slot (see slotTable and
+// RegisterAffinity).
+func (p *Pool) slotFor(key string) int {
+	class := ""
+	if f := affinityClass.Load(); f != nil && *f != nil {
+		class = (*f)(key)
+	}
+	if class == "" {
+		class = family(key)
+	}
+	return int(fnv32(class) % uint32(p.Workers()))
+}
+
+// shard returns the lock stripe holding key.
+func (p *Pool) shard(key string) *cacheShard { return &p.shards[shardIndex(key)] }
 
 // ResetCache drops every memoized result, forcing subsequent Cached calls
 // to recompute. Tests and benchmarks use it to observe fresh computation.
+// Safe concurrently with in-flight points: a running point whose entry was
+// dropped completes normally for its current waiters, and its failure
+// eviction becomes a no-op (evict only removes the identical entry).
 func (p *Pool) ResetCache() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.cache = make(map[string]*entry)
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		s.m = make(map[string]*entry)
+		s.mu.Unlock()
+	}
 }
 
-var (
-	defaultMu   sync.Mutex
-	defaultPool = NewPool(0)
-)
+// defaultPool is the process-wide pool, swapped atomically so the hot
+// submission path (every Cached call goes through Default) never takes a
+// global lock, and Configure during an in-flight sweep cannot block or be
+// blocked by submissions.
+var defaultPool atomic.Pointer[Pool]
+
+func init() { defaultPool.Store(NewPool(0)) }
 
 // Default returns the process-wide pool the core experiments submit to.
-func Default() *Pool {
-	defaultMu.Lock()
-	defer defaultMu.Unlock()
-	return defaultPool
-}
+func Default() *Pool { return defaultPool.Load() }
 
 // SetWorkers replaces the default pool with a fresh one of n workers
 // (n < 1 selects GOMAXPROCS). The previous pool's cache is dropped; points
@@ -123,12 +372,11 @@ func SetWorkers(n int) { Configure(context.Background(), Options{Workers: n}) }
 
 // Configure replaces the default pool with one running the given policy
 // under ctx. Like SetWorkers, the previous pool's cache is dropped and
-// in-flight points complete undisturbed on the old pool.
+// in-flight points complete undisturbed on the old pool: coordinators that
+// captured the old pool (or futures minted from it) keep their entries,
+// workers and context until they finish.
 func Configure(ctx context.Context, o Options) {
-	p := NewPoolOpts(ctx, o)
-	defaultMu.Lock()
-	defer defaultMu.Unlock()
-	defaultPool = p
+	defaultPool.Store(NewPoolOpts(ctx, o))
 }
 
 // ResetCache clears the default pool's memoized results.
@@ -186,17 +434,25 @@ func retryable(err error) bool {
 	return false
 }
 
-// Future is the pending result of a submitted point.
+// Future is the pending result of a submitted point. It is a small value
+// (one word) so handing a memoized result to its caller allocates nothing;
+// copy it freely. The zero Future is invalid — futures come from Go,
+// Cached or CachedCtx.
 type Future[T any] struct {
 	e *entry
 }
+
+// Valid reports whether the future came from a real submission. The zero
+// Future is not valid; experiments use zero futures for table cells whose
+// configuration is impossible (over the CPU or fabric-card limit).
+func (f Future[T]) Valid() bool { return f.e != nil }
 
 // Wait blocks until the point completes and returns its value. If the
 // point failed, Wait panics with its error (panicking points arrive as a
 // *PanicError carrying the original value and stack), so failures surface
 // on the collecting goroutine exactly as they would serially. Callers that
 // can degrade gracefully use WaitErr instead.
-func (f *Future[T]) Wait() T {
+func (f Future[T]) Wait() T {
 	v, err := f.WaitErr()
 	if err != nil {
 		panic(err)
@@ -208,7 +464,7 @@ func (f *Future[T]) Wait() T {
 // structured error: the leaf function's own error, a *PanicError for a
 // recovered panic, or the pool context's error for points drained by
 // cancellation.
-func (f *Future[T]) WaitErr() (T, error) {
+func (f Future[T]) WaitErr() (T, error) {
 	<-f.e.done
 	if f.e.err != nil {
 		var zero T
@@ -218,7 +474,7 @@ func (f *Future[T]) WaitErr() (T, error) {
 }
 
 // Err blocks until the point completes and returns only its error.
-func (f *Future[T]) Err() error {
+func (f Future[T]) Err() error {
 	<-f.e.done
 	return f.e.err
 }
@@ -231,17 +487,23 @@ func (p *Pool) evict(e *entry) {
 	if e.key == "" {
 		return
 	}
-	p.mu.Lock()
-	if p.cache[e.key] == e {
-		delete(p.cache, e.key)
+	s := p.shard(e.key)
+	s.mu.Lock()
+	if s.m[e.key] == e {
+		delete(s.m, e.key)
 	}
-	p.mu.Unlock()
+	s.mu.Unlock()
 }
 
-// attempt runs fn once under a fresh per-attempt context, converting a
-// panic into a *PanicError with the stack captured here, at the source.
-func (p *Pool) attempt(key string, fn func(context.Context) (any, error)) (val any, err error) {
+// attempt runs fn once under a fresh per-attempt context — decorated with
+// the acquired slot's worker state, then the per-attempt timeout —
+// converting a panic into a *PanicError with the stack captured here, at
+// the source.
+func (p *Pool) attempt(slot int, key string, fn func(context.Context) (any, error)) (val any, err error) {
 	ctx := p.ctx
+	if p.wctx != nil {
+		ctx = p.wctx(slot, ctx)
+	}
 	if p.opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, p.opts.Timeout)
@@ -255,21 +517,22 @@ func (p *Pool) attempt(key string, fn func(context.Context) (any, error)) (val a
 	return fn(ctx)
 }
 
-// runLeaf executes a leaf entry on a worker slot: acquire (or bail on pool
-// cancellation), then attempt with bounded doubling-backoff retries for
-// retryable failures. A final failure is recorded for current waiters and
-// the entry is evicted so resubmission recomputes.
+// runLeaf executes a leaf entry on a worker slot: acquire with family
+// affinity (or bail on pool cancellation), then attempt with bounded
+// doubling-backoff retries for retryable failures — the slot, and with it
+// any worker-scoped state, is held across retries. A final failure is
+// recorded for current waiters and the entry is evicted so resubmission
+// recomputes.
 func (p *Pool) runLeaf(e *entry, fn func(context.Context) (any, error)) {
 	go func() {
 		defer close(e.done)
-		select {
-		case p.sem <- struct{}{}:
-		case <-p.ctx.Done():
-			e.err = p.ctx.Err()
+		slot, err := p.slots.acquire(p.ctx, p.slotFor(e.key))
+		if err != nil {
+			e.err = err
 			p.evict(e)
 			return
 		}
-		defer func() { <-p.sem }()
+		defer p.slots.release(slot)
 		// Re-check after acquiring: a cancellation that raced the slot
 		// release must still drain the queue deterministically.
 		if err := p.ctx.Err(); err != nil {
@@ -279,7 +542,7 @@ func (p *Pool) runLeaf(e *entry, fn func(context.Context) (any, error)) {
 		}
 		delay := p.opts.Backoff
 		for attempt := 0; ; attempt++ {
-			val, err := p.attempt(e.key, fn)
+			val, err := p.attempt(slot, e.key, fn)
 			if err == nil {
 				e.val, e.err = val, nil
 				return
@@ -307,7 +570,7 @@ func (p *Pool) runLeaf(e *entry, fn func(context.Context) (any, error)) {
 // It exists for coordination tasks — a whole experiment submitting its
 // points and assembling tables — which spend their time waiting on Cached
 // futures and would deadlock a small pool if they held a slot meanwhile.
-func Go[T any](p *Pool, fn func() T) *Future[T] {
+func Go[T any](p *Pool, fn func() T) Future[T] {
 	e := &entry{done: make(chan struct{})}
 	go func() {
 		defer close(e.done)
@@ -318,7 +581,19 @@ func Go[T any](p *Pool, fn func() T) *Future[T] {
 		}()
 		e.val = fn()
 	}()
-	return &Future[T]{e: e}
+	return Future[T]{e: e}
+}
+
+// lookup returns the future already memoized under key, if any.
+func lookup[T any](p *Pool, key string) (Future[T], bool) {
+	s := p.shard(key)
+	s.mu.Lock()
+	e, ok := s.m[key]
+	s.mu.Unlock()
+	if !ok {
+		return Future[T]{}, false
+	}
+	return Future[T]{e: e}, true
 }
 
 // Cached submits the leaf point fn under the given fingerprint key, or, if
@@ -327,7 +602,13 @@ func Go[T any](p *Pool, fn func() T) *Future[T] {
 // moment. The key must canonically identify both the workload and the
 // configuration — build it from vmpi.Config.Fingerprint plus a workload
 // prefix. fn must not wait on other futures.
-func Cached[T any](p *Pool, key string, fn func() T) *Future[T] {
+//
+// The cache-hit path allocates nothing: the future is returned by value
+// and the context adapter around fn is only built on a miss.
+func Cached[T any](p *Pool, key string, fn func() T) Future[T] {
+	if f, ok := lookup[T](p, key); ok {
+		return f
+	}
 	return CachedCtx(p, key, func(context.Context) (T, error) { return fn(), nil })
 }
 
@@ -337,24 +618,25 @@ func Cached[T any](p *Pool, key string, fn func() T) *Future[T] {
 // retried per the pool's policy when the error is retryable, recorded for
 // all current waiters, and evicted from the cache so a later resubmission
 // recomputes rather than replaying the failure.
-func CachedCtx[T any](p *Pool, key string, fn func(context.Context) (T, error)) *Future[T] {
-	p.mu.Lock()
-	if e, ok := p.cache[key]; ok {
-		p.mu.Unlock()
-		return &Future[T]{e: e}
+func CachedCtx[T any](p *Pool, key string, fn func(context.Context) (T, error)) Future[T] {
+	s := p.shard(key)
+	s.mu.Lock()
+	if e, ok := s.m[key]; ok {
+		s.mu.Unlock()
+		return Future[T]{e: e}
 	}
 	e := &entry{done: make(chan struct{}), key: key}
-	p.cache[key] = e
-	p.mu.Unlock()
+	s.m[key] = e
+	s.mu.Unlock()
 	p.runLeaf(e, func(ctx context.Context) (any, error) { return fn(ctx) })
-	return &Future[T]{e: e}
+	return Future[T]{e: e}
 }
 
 // Collect waits on futures in submission order and returns their values —
 // the step that restores sequential output order after a parallel fan-out.
 // Like Wait, it panics on the first failed point; degraded-mode callers
 // iterate with WaitErr themselves.
-func Collect[T any](fs []*Future[T]) []T {
+func Collect[T any](fs []Future[T]) []T {
 	out := make([]T, len(fs))
 	for i, f := range fs {
 		out[i] = f.Wait()

@@ -11,7 +11,7 @@ import (
 func TestCachedComputesOncePerKey(t *testing.T) {
 	p := NewPool(4)
 	var calls atomic.Int32
-	var fs []*Future[int]
+	var fs []Future[int]
 	for i := 0; i < 20; i++ {
 		fs = append(fs, Cached(p, "same-key", func() int {
 			calls.Add(1)
@@ -51,7 +51,7 @@ func TestWorkerBoundRespected(t *testing.T) {
 	const workers = 3
 	p := NewPool(workers)
 	var active, peak atomic.Int32
-	var fs []*Future[int]
+	var fs []Future[int]
 	for i := 0; i < 24; i++ {
 		i := i
 		fs = append(fs, Cached(p, fmt.Sprintf("point-%d", i), func() int {
@@ -79,7 +79,7 @@ func TestWorkerBoundRespected(t *testing.T) {
 
 func TestCollectPreservesSubmissionOrder(t *testing.T) {
 	p := NewPool(8)
-	var fs []*Future[int]
+	var fs []Future[int]
 	for i := 0; i < 50; i++ {
 		i := i
 		// Later points finish sooner; Collect must still return 0..49.
@@ -101,7 +101,7 @@ func TestCoordinatorsDoNotHoldSlots(t *testing.T) {
 	p := NewPool(1)
 	done := make(chan struct{})
 	go func() {
-		var outer []*Future[int]
+		var outer []Future[int]
 		for i := 0; i < 4; i++ {
 			i := i
 			outer = append(outer, Go(p, func() int {

@@ -1,0 +1,88 @@
+package vmpi
+
+// Tests for worker-private arenas: runs under WithArena recycle their
+// scratch through the arena (not the process-wide pool), errored runs drop
+// it, and the context plumbing tolerates nil.
+
+import (
+	"context"
+	"testing"
+
+	"columbia/internal/machine"
+	"columbia/internal/par"
+)
+
+func TestArenaRecyclesScratchAcrossRuns(t *testing.T) {
+	a := NewArena()
+	ctx := WithArena(context.Background(), a)
+	cl := machine.NewSingleNode(machine.AltixBX2b)
+	run := func() {
+		t.Helper()
+		if _, err := RunCtx(ctx, Config{Cluster: cl, Procs: 8}, func(c par.Comm) {
+			par.AllreduceBytes(c, 1024)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	first := a.scr
+	if first == nil {
+		t.Fatal("clean arena run did not refill its arena")
+	}
+	run()
+	if a.scr != first {
+		t.Error("second run did not reuse the arena's scratch")
+	}
+	// The mailboxes built by the first run must have survived for the
+	// second: same ranks, same (source, tag) universe, zero new boxes.
+	boxes := 0
+	for _, r := range first.ranks[:8] {
+		boxes += len(r.boxes)
+	}
+	run()
+	after := 0
+	for _, r := range first.ranks[:8] {
+		after += len(r.boxes)
+	}
+	if after != boxes {
+		t.Errorf("warm rerun grew mailboxes %d -> %d, want none", boxes, after)
+	}
+}
+
+func TestArenaErroredRunDropsScratch(t *testing.T) {
+	a := NewArena()
+	ctx := WithArena(context.Background(), a)
+	cl := machine.NewSingleNode(machine.AltixBX2b)
+	if _, err := RunCtx(ctx, Config{Cluster: cl, Procs: 2}, func(c par.Comm) {
+		c.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if a.scr == nil {
+		t.Fatal("clean run did not refill the arena")
+	}
+	_, err := RunCtx(ctx, Config{Cluster: cl, Procs: 2}, func(c par.Comm) {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+		c.Barrier()
+	})
+	if err == nil {
+		t.Fatal("want a rank-panic error")
+	}
+	// The panicking run took the scratch and must not have returned it: a
+	// non-quiescent scratch is dropped, and the next clean run starts cold.
+	if a.scr != nil {
+		t.Error("errored run returned its scratch to the arena")
+	}
+}
+
+func TestWithArenaNil(t *testing.T) {
+	ctx := context.Background()
+	if WithArena(ctx, nil) != ctx {
+		t.Error("WithArena(nil) should be the identity")
+	}
+	if arenaFrom(ctx) != nil {
+		t.Error("arenaFrom on a bare context should be nil")
+	}
+}

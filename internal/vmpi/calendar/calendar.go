@@ -123,6 +123,18 @@ func (q *Queue[T]) Len() int { return len(q.buf) - q.head }
 // Push appends v to the tail.
 func (q *Queue[T]) Push(v T) { q.buf = append(q.buf, v) }
 
+// Reserve seeds a queue that has never held an element with backing
+// storage, which must be empty (length zero; capacity is the reservation).
+// Mailbox arenas use it to hand a freshly carved queue a small slice window
+// so its first pushes don't each allocate; a queue that outgrows the window
+// falls back to append's normal reallocation. Reserve on a queue that
+// already has storage is a no-op.
+func (q *Queue[T]) Reserve(buf []T) {
+	if q.buf == nil && len(buf) == 0 {
+		q.buf = buf
+	}
+}
+
 // Peek returns the head element without removing it; the queue must be
 // non-empty.
 func (q *Queue[T]) Peek() T { return q.buf[q.head] }
@@ -141,17 +153,28 @@ func (q *Queue[T]) Pop() T {
 	return v
 }
 
-// FreeList pools heap-allocated structs: Get pops a recycled *T or
-// allocates a fresh one, Put pushes one back. The caller is responsible
-// for resetting the struct's fields (Put does not zero it, because callers
+// FreeList pools heap-allocated structs: Get pops a recycled *T or carves
+// a fresh one, Put pushes one back. The caller is responsible for
+// resetting the struct's fields (Put does not zero it, because callers
 // like the engine's message pool want to keep embedded slices' capacity).
 // FreeList is not safe for concurrent use; the engines are cooperatively
 // scheduled so exactly one goroutine touches a pool at a time.
+//
+// Cold Gets are served from a chunked slab rather than individual new(T)
+// calls: a list warming up (every private per-worker scratch pays this
+// once) costs one allocation per freeListChunk entries instead of one per
+// entry. A chunk stays reachable while any of its entries is — fine here,
+// because entries recycle through the list for the life of the scratch.
 type FreeList[T any] struct {
 	free []*T
+	slab []T
 }
 
-// Get returns a pooled *T, or a new zero-valued one when the pool is empty.
+// freeListChunk is how many T a cold FreeList allocates at once.
+const freeListChunk = 64
+
+// Get returns a pooled *T, or a slab-carved zero-valued one when the pool
+// is empty.
 func (f *FreeList[T]) Get() *T {
 	if n := len(f.free); n > 0 {
 		v := f.free[n-1]
@@ -159,7 +182,12 @@ func (f *FreeList[T]) Get() *T {
 		f.free = f.free[:n-1]
 		return v
 	}
-	return new(T)
+	if len(f.slab) == 0 {
+		f.slab = make([]T, freeListChunk)
+	}
+	v := &f.slab[0]
+	f.slab = f.slab[1:]
+	return v
 }
 
 // Put recycles v for a later Get.

@@ -120,7 +120,7 @@ func TestRecvAnyTranscriptIdenticalAcrossWorkers(t *testing.T) {
 	const points = 12
 	transcripts := func(workers int) string {
 		p := sweep.NewPool(workers)
-		var fs []*sweep.Future[string]
+		var fs []sweep.Future[string]
 		for i := 0; i < points; i++ {
 			fs = append(fs, sweep.Cached(p, fmt.Sprintf("recvany-%d", i),
 				racingTranscript))

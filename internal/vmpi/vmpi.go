@@ -231,6 +231,10 @@ type rankState struct {
 	// new queue-head message updates the wake event in O(1).
 	seq     uint32
 	anyWake float64
+	// boxes lists every mailbox ever created for this rank, in creation
+	// order — the deterministic iteration recycle uses to drain leftover
+	// messages without ranging the mail map.
+	boxes []*msgq
 }
 
 type engine struct {
@@ -251,14 +255,22 @@ type engine struct {
 	faults     *fault.Plan
 	// san is the communication sanitizer; nil unless Config.Sanitize.
 	san *commsan.Tracker
+	// arena, when non-nil, is where this run's scratch came from and where
+	// recycle returns it (worker-private runs under WithArena).
+	arena *Arena
 	// runErr records the first rank failure; stopping tells resumed ranks
 	// to unwind via stopToken so shutdown leaks no goroutines.
 	runErr   *RunError
 	stopping bool
 	// msgs pools message structs: the hot send/recv path reuses them
 	// instead of allocating one per simulated message. Payload slices are
-	// never pooled — ownership transfers to the receiving program.
-	msgs calendar.FreeList[message]
+	// never pooled — ownership transfers to the receiving program. It lives
+	// in scr so the pool survives the run and warms the next one.
+	msgs *calendar.FreeList[message]
+	// scr is the recycled allocation-heavy state (ranks, mailboxes, message
+	// pool, calendar storage, occupancy clocks) this run drew from the
+	// shared scratch pool; RunCtx recycles it after a clean completion.
+	scr *engineScratch
 	// Calendar-engine state (cal selects it). heap orders wake events by
 	// (time, rank); ctx is the run's context, checked at every dispatch;
 	// active counts unfinished ranks; done signals the caller that the run
@@ -267,7 +279,7 @@ type engine struct {
 	// handoff discipline — channel operations order every access.
 	cal    bool
 	ctx    context.Context
-	heap   calendar.Heap
+	heap   *calendar.Heap
 	active int
 	done   chan struct{}
 	acks   chan struct{}
@@ -303,15 +315,24 @@ func TryRun(cfg Config, fn func(par.Comm)) (Result, error) {
 // ever touching their Comm cannot be preempted; none of the workloads in
 // this repository do that.
 func RunCtx(ctx context.Context, cfg Config, fn func(par.Comm)) (Result, error) {
-	e, err := newEngine(cfg)
+	e, err := newEngine(cfg, arenaFrom(ctx))
 	if err != nil {
 		return Result{}, err
 	}
 	e.spawn(fn)
+	var res Result
 	if e.cal {
-		return e.runCalendar(ctx)
+		res, err = e.runCalendar(ctx)
+	} else {
+		res, err = e.runGoroutine(ctx)
 	}
-	return e.runGoroutine(ctx)
+	if err == nil {
+		// Every rank goroutine has exited; hand the run's storage back to
+		// the scratch pool so the next run starts warm. Failed or canceled
+		// runs drop theirs — cheap, and provably safe.
+		e.recycle()
+	}
+	return res, err
 }
 
 // spawn starts one goroutine per rank, parked until its first resume. The
@@ -535,7 +556,7 @@ func (e *engine) shutdown() {
 	}
 }
 
-func newEngine(cfg Config) (e *engine, err error) {
+func newEngine(cfg Config, arena *Arena) (e *engine, err error) {
 	if cfg.Cluster == nil {
 		return nil, configErr("Config.Cluster is required")
 	}
@@ -566,8 +587,6 @@ func newEngine(cfg Config) (e *engine, err error) {
 		place:      cfg.placement(),
 		threads:    cfg.threads(),
 		cal:        cfg.engine() == EngineCalendar,
-		linkBusy:   make([]float64, len(cfg.Cluster.Nodes)),
-		fabricBusy: make([]float64, len(cfg.Cluster.Nodes)),
 		computeFac: cfg.ComputeFactor,
 		faults:     cfg.Faults,
 	}
@@ -606,15 +625,17 @@ func newEngine(cfg Config) (e *engine, err error) {
 			e.subPlace[i] = machine.NewPlacement(cfg.Cluster, locs[i*e.threads:(i+1)*e.threads])
 		}
 	}
-	e.ranks = make([]*rankState, cfg.Procs)
-	for i := range e.ranks {
-		e.ranks[i] = &rankState{
-			id:     i,
-			status: stReady,
-			resume: make(chan struct{}),
-			mail:   make(map[mailKey]*msgq),
-		}
-	}
+	// All error returns are behind us: draw the run's allocation-heavy
+	// state (rank records, mailboxes, message pool, calendar, occupancy
+	// clocks) from the worker's arena or the scratch pool instead of
+	// rebuilding it.
+	e.arena = arena
+	e.scr = acquireScratch(arena, cfg.Procs, len(cfg.Cluster.Nodes))
+	e.ranks = e.scr.ranks[:cfg.Procs]
+	e.msgs = &e.scr.msgs
+	e.heap = &e.scr.heap
+	e.linkBusy = e.scr.linkBusy
+	e.fabricBusy = e.scr.fabricBusy
 	// Representative latency for the barrier tree: the span of the job.
 	a := e.slot(0, 0)
 	b := e.slot(cfg.Procs-1, 0)
@@ -927,8 +948,9 @@ func (e *engine) send(r *rankState, dst, tag int, bytes float64, data []float64)
 	m.src, m.tag, m.bytes, m.arrival, m.sid = r.id, tag, bytes, arr, 0
 	if data != nil {
 		// The payload is never pooled: ownership transfers to the
-		// receiving rank's program when the matching Recv returns it.
-		m.data = append([]float64(nil), data...)
+		// receiving rank's program when the matching Recv returns it. The
+		// copy itself is carved from the run's payload slab.
+		m.data = e.scr.copyPayload(data)
 	}
 	if e.san != nil {
 		m.sid = e.san.Send(r.id, dst, tag, bytes, start)
@@ -937,8 +959,9 @@ func (e *engine) send(r *rankState, dst, tag int, bytes float64, data []float64)
 	k := mailKey{r.id, tag}
 	q := d.mail[k]
 	if q == nil {
-		q = new(msgq)
+		q = e.scr.newMsgq()
 		d.mail[k] = q
+		d.boxes = append(d.boxes, q)
 	}
 	newHead := q.Len() == 0
 	q.Push(m)

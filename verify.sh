@@ -61,4 +61,12 @@ echo "== benchgate (non-blocking report) =="
 go run ./cmd/benchgate -bench 'Engine' ||
 	echo "benchgate: regression reported above (non-blocking in verify)"
 
+# Sweep scaling report: one pass of the -j 1/2/4/8 curve so the speedup
+# shape is visible in every verify run. Single iterations only — the
+# blocking best-of-N scaling gate is `make bench` / `make bench-scaling`
+# (see DESIGN.md §9).
+echo "== sweep scaling curve (non-blocking report) =="
+go run ./cmd/benchgate -bench 'Sweep(Serial|J2|J4|Parallel)$' -benchtime 1x -count 1 ||
+	echo "benchgate: scaling issue reported above (non-blocking in verify)"
+
 echo "verify: all checks passed"
