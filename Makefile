@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-all bench-baseline bench-scaling verify golden lint
+.PHONY: build test race bench bench-all bench-baseline bench-scaling verify golden lint chaos
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,17 @@ bench-scaling:
 # Every benchmark in the repo, ungated.
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# Crash-tolerance smoke: a small sweep on 2 supervised worker processes
+# under a kill-after-every-point chaos schedule, byte-compared against the
+# serial run. See DESIGN.md §10.
+chaos:
+	$(GO) build -o bin/columbia ./cmd/columbia
+	bin/columbia -faults wkill=1 run stride table1 > bin/chaos_serial.out
+	bin/columbia -workers 2 -faults wkill=1 run stride table1 > bin/chaos_workers.out
+	cmp bin/chaos_serial.out bin/chaos_workers.out
+	rm -f bin/chaos_serial.out bin/chaos_workers.out
+	@echo "chaos: byte-identical under worker crashes"
 
 # Full tier-1 gate: gofmt, vet, build, tests, race detector.
 verify:

@@ -10,72 +10,186 @@
 //	columbia -csv run <id>    emit CSV instead of aligned tables
 //	columbia -plot run <id>   append ASCII plots to figure tables
 //	columbia -j 8 all         run sweep points on 8 affinity lanes
+//	columbia -workers 4 all   run sweep points on 4 supervised worker processes
 //
-// Robustness flags (see DESIGN.md, "Fault injection"):
+// Robustness flags (see DESIGN.md, "Fault injection" and "Worker protocol
+// and failure model"):
 //
 //	columbia -faults nodedown=0 run stride     simulate with node 0 lost
 //	columbia -timeout 30s all                  bound each sweep point's wall clock
 //	columbia -max-retries 2 -faults ... all    retry retryable failures
 //	columbia -commsan run fig8                 run under the communication sanitizer
 //	columbia -engine goroutine run fig5        select the vmpi execution engine
+//	columbia -workers 2 -faults wkill=3 all    chaos: each worker dies after 3 points
 //
 // A failed point degrades to an annotated "!kind" cell instead of aborting
 // the run; if any point failed, the command prints a summary to stderr and
-// exits 1. Output is byte-identical for every -j value: experiments render
-// concurrently, but the CLI prints them in submission order.
+// exits 1. Output is byte-identical for every -j and -workers value:
+// experiments render concurrently, but the CLI prints them in submission
+// order, and worker crashes are retried transparently (a point that kills
+// several workers in a row is quarantined as a "!workercrash" cell).
+// SIGINT/SIGTERM cancel the run: in-flight points degrade to "!canceled"
+// cells, workers are drained, and the command exits 1 with a partial-output
+// notice.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"os/signal"
+	"sort"
 	"strings"
+	"syscall"
+	"time"
 
 	"columbia/internal/core"
+	"columbia/internal/dist"
 	"columbia/internal/fault"
 	"columbia/internal/report"
 	"columbia/internal/sweep"
 	"columbia/internal/vmpi"
 )
 
-func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+func main() {
+	if os.Getenv("COLUMBIA_WORKER") == "1" {
+		os.Exit(workerMain())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
+}
 
-// rendered is one experiment's output plus its degraded-cell count.
+// workerHeartbeat is the liveness interval workers announce in the
+// handshake; the supervisor kills a worker silent for 4x this long.
+const workerHeartbeat = time.Second
+
+// workerMain is the worker-process entry: serve sweep points over
+// stdin/stdout until shutdown. A chaos-scheduled death exits silently —
+// from the outside it must look exactly like a real crash.
+func workerMain() int {
+	err := dist.ServeWorker(os.Stdin, os.Stdout, workerSetup)
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, dist.ErrChaosKill):
+		return 3
+	default:
+		fmt.Fprintln(os.Stderr, "columbia worker:", err)
+		return 1
+	}
+}
+
+// workerSetup applies the handshake's run configuration to this process's
+// globals — the same setters the supervisor-side CLI flags use — so the
+// worker stamps identical fingerprints into identical cache keys.
+func workerSetup(h dist.Hello) (dist.Executor, error) {
+	if h.Faults != "" {
+		plan, err := fault.Parse(h.Faults)
+		if err != nil {
+			return nil, err
+		}
+		core.SetFaultPlan(plan)
+	}
+	core.SetSanitize(h.Commsan)
+	if h.Engine != "" {
+		core.SetEngine(vmpi.Engine(h.Engine))
+	}
+	return core.ExecutePoint, nil
+}
+
+// workerProc adapts an os/exec worker to dist.Proc: Write feeds its stdin,
+// Read drains its stdout, Kill terminates and reaps it.
+type workerProc struct {
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	stdout io.ReadCloser
+}
+
+func (p *workerProc) Read(b []byte) (int, error)  { return p.stdout.Read(b) }
+func (p *workerProc) Write(b []byte) (int, error) { return p.stdin.Write(b) }
+
+func (p *workerProc) Kill() error {
+	p.stdin.Close()
+	_ = p.cmd.Process.Kill()
+	err := p.cmd.Wait()
+	p.stdout.Close()
+	return err
+}
+
+// spawnWorker re-executes this binary in worker mode. The COLUMBIA_WORKER
+// variable, not a flag, selects the mode so the test binary can intercept
+// it in TestMain before the test framework parses anything.
+func spawnWorker(exe string, stderr io.Writer) (dist.Proc, error) {
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), "COLUMBIA_WORKER=1")
+	cmd.Stderr = stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		stdin.Close()
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		stdin.Close()
+		stdout.Close()
+		return nil, err
+	}
+	return &workerProc{cmd: cmd, stdin: stdin, stdout: stdout}, nil
+}
+
+// rendered is one experiment's output plus its degraded-cell accounting.
 type rendered struct {
 	text     string
 	failures int
+	kinds    map[string]int
 }
 
 // run is the testable entry point: it parses argv, configures the sweep
-// pool and fault plan, executes the requested experiments and returns the
-// process exit code (0 healthy, 1 on any failed point or bad ID, 2 usage).
-func run(argv []string, stdout, stderr io.Writer) int {
+// pool, fault plan and (optionally) the worker fleet, executes the
+// requested experiments and returns the process exit code (0 healthy, 1 on
+// any failed point, bad ID or interruption, 2 usage). Canceling ctx —
+// main wires SIGINT/SIGTERM to it — drains the run: started points fail as
+// "!canceled" cells, workers shut down, partial output is flushed.
+func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("columbia", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
 		csvOut     = fs.Bool("csv", false, "emit CSV")
 		plotOut    = fs.Bool("plot", false, "append ASCII plots")
 		jobs       = fs.Int("j", 0, "sweep affinity lanes (0 = GOMAXPROCS); concurrent points are additionally clamped to GOMAXPROCS")
+		workers    = fs.Int("workers", 0, "supervised worker processes for sweep points (0 = in-process); crashes are retried, crash-looping points degrade to !workercrash cells")
+		workerMode = fs.Bool("worker", false, "serve sweep points over stdin/stdout (internal; supervisors normally spawn workers via COLUMBIA_WORKER=1)")
 		timeout    = fs.Duration("timeout", 0, "wall-clock budget per sweep point (0 = none)")
-		maxRetries = fs.Int("max-retries", 0, "retries for retryable point failures (timeouts, transient faults)")
-		faultSpec  = fs.String("faults", "", "comma-separated fault plan, e.g. nodedown=0,slownode=1:1.5 (see DESIGN.md)")
+		maxRetries = fs.Int("max-retries", 0, "retries for retryable point failures (timeouts, transient faults, worker crashes)")
+		faultSpec  = fs.String("faults", "", "comma-separated fault plan, e.g. nodedown=0,slownode=1:1.5,wkill=2 (see DESIGN.md)")
 		commsan    = fs.Bool("commsan", false, "run every simulation under the communication sanitizer (races, unmatched traffic, collective mismatches fail as !sanitizer cells)")
 		engineSel  = fs.String("engine", "", "vmpi execution engine: calendar (default) or goroutine (the legacy central-loop scheduler; byte-identical output, see DESIGN.md §8)")
 	)
 	usage := func() int {
-		fmt.Fprintln(stderr, "usage: columbia [-csv] [-plot] [-j N] [-timeout D] [-max-retries N] [-faults SPEC] [-commsan] [-engine NAME] {list | all | run <id>...}")
+		fmt.Fprintln(stderr, "usage: columbia [-csv] [-plot] [-j N] [-workers N] [-timeout D] [-max-retries N] [-faults SPEC] [-commsan] [-engine NAME] {list | all | run <id>...}")
 		return 2
 	}
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
-	sweep.Configure(context.Background(), sweep.Options{
+	if *workerMode {
+		return workerMain()
+	}
+	sweep.Configure(ctx, sweep.Options{
 		Workers:    *jobs,
 		Timeout:    *timeout,
 		MaxRetries: *maxRetries,
 	})
+	faultsFP := ""
 	if *faultSpec != "" {
 		plan, err := fault.Parse(*faultSpec)
 		if err != nil {
@@ -84,6 +198,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		core.SetFaultPlan(plan)
 		defer core.SetFaultPlan(nil)
+		faultsFP = plan.Fingerprint()
 	}
 	if *commsan {
 		core.SetSanitize(true)
@@ -99,6 +214,34 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				*engineSel, vmpi.EngineCalendar, vmpi.EngineGoroutine)
 			return 2
 		}
+	}
+	var fleet *dist.Supervisor
+	if *workers > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(stderr, "columbia:", err)
+			return 2
+		}
+		fleet, err = dist.New(dist.Config{
+			Workers: *workers,
+			Spawn:   func() (dist.Proc, error) { return spawnWorker(exe, stderr) },
+			Hello: dist.Hello{
+				Faults:    faultsFP,
+				Commsan:   *commsan,
+				Engine:    *engineSel,
+				Timeout:   *timeout,
+				Heartbeat: workerHeartbeat,
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "columbia:", err)
+			return 2
+		}
+		core.SetDispatcher(fleet)
+		defer func() {
+			core.SetDispatcher(nil)
+			fleet.Close()
+		}()
 	}
 	emit := func(b *strings.Builder, t *report.Table) {
 		if *csvOut {
@@ -120,25 +263,64 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			var b strings.Builder
 			fmt.Fprintf(&b, "== %s: %s ==\n", e.ID, e.Title)
 			fmt.Fprintf(&b, "paper: %s\n\n", e.Paper)
-			var failures int
+			r := rendered{}
 			for _, t := range e.Run() {
 				emit(&b, t)
-				failures += t.Failures
+				r.failures += t.Failures
+				for k, n := range t.FailKinds {
+					if r.kinds == nil {
+						r.kinds = make(map[string]int)
+					}
+					r.kinds[k] += n
+				}
 			}
-			return rendered{text: b.String(), failures: failures}
+			r.text = b.String()
+			return r
 		})
 	}
 	failures := 0
+	failKinds := map[string]int{}
 	flush := func(futs []sweep.Future[rendered]) {
 		for _, f := range futs {
 			r := f.Wait()
 			fmt.Fprint(stdout, r.text)
 			failures += r.failures
+			for k, n := range r.kinds {
+				failKinds[k] += n
+			}
 		}
 	}
+	// finish prints the end-of-run failure summary: degraded-cell counts by
+	// kind, point retries, and worker-fleet crash handling. Healthy quiet
+	// runs print nothing and exit 0.
 	finish := func() int {
+		interrupted := ctx.Err() != nil
 		if failures > 0 {
 			fmt.Fprintf(stderr, "columbia: %d point(s) failed; see FAILED notes above\n", failures)
+			kinds := make([]string, 0, len(failKinds))
+			for k := range failKinds {
+				kinds = append(kinds, k)
+			}
+			sort.Strings(kinds)
+			parts := make([]string, len(kinds))
+			for i, k := range kinds {
+				parts[i] = fmt.Sprintf("%s=%d", k, failKinds[k])
+			}
+			fmt.Fprintf(stderr, "columbia:   failures by kind: %s\n", strings.Join(parts, " "))
+		}
+		if r := sweep.Default().Stats().Retries; r > 0 {
+			fmt.Fprintf(stderr, "columbia:   point retries: %d\n", r)
+		}
+		if fleet != nil {
+			if st := fleet.Stats(); st.Crashes > 0 || st.Restarts > 0 || st.Quarantined > 0 {
+				fmt.Fprintf(stderr, "columbia:   worker fleet: %d crash(es), %d restart(s), %d point(s) quarantined\n",
+					st.Crashes, st.Restarts, st.Quarantined)
+			}
+		}
+		if interrupted {
+			fmt.Fprintln(stderr, "columbia: interrupted; output above contains partial results")
+		}
+		if failures > 0 || interrupted {
 			return 1
 		}
 		return 0

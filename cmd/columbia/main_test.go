@@ -1,12 +1,24 @@
 package main
 
 import (
+	"context"
+	"os"
 	"strings"
 	"testing"
 
 	"columbia/internal/core"
 	"columbia/internal/sweep"
 )
+
+// TestMain lets the test binary double as the worker executable: the
+// supervisor spawns os.Executable() with COLUMBIA_WORKER=1, which in tests
+// is this binary, so the interception must happen before any test runs.
+func TestMain(m *testing.M) {
+	if os.Getenv("COLUMBIA_WORKER") == "1" {
+		os.Exit(workerMain())
+	}
+	os.Exit(m.Run())
+}
 
 // Runs mutate the process-global sweep pool and fault plan; restore the
 // defaults so test order never matters.
@@ -15,7 +27,7 @@ func resetGlobals() { sweep.SetWorkers(0) }
 func TestFaultedRunExitsNonzeroWithAnnotatedCells(t *testing.T) {
 	defer resetGlobals()
 	var out, errOut strings.Builder
-	code := run([]string{"-faults", "nodedown=0", "run", "stride"}, &out, &errOut)
+	code := run(context.Background(), []string{"-faults", "nodedown=0", "run", "stride"}, &out, &errOut)
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, errOut.String())
 	}
@@ -35,7 +47,7 @@ func TestFaultedRunExitsNonzeroWithAnnotatedCells(t *testing.T) {
 func TestHealthyRunExitsZero(t *testing.T) {
 	defer resetGlobals()
 	var out, errOut strings.Builder
-	code := run([]string{"run", "table1", "stride"}, &out, &errOut)
+	code := run(context.Background(), []string{"run", "table1", "stride"}, &out, &errOut)
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0\nstderr: %s", code, errOut.String())
 	}
@@ -52,7 +64,7 @@ func TestHealthyRunExitsZero(t *testing.T) {
 func TestBadFaultSpecIsUsageError(t *testing.T) {
 	defer resetGlobals()
 	var out, errOut strings.Builder
-	if code := run([]string{"-faults", "bogus=1", "run", "stride"}, &out, &errOut); code != 2 {
+	if code := run(context.Background(), []string{"-faults", "bogus=1", "run", "stride"}, &out, &errOut); code != 2 {
 		t.Fatalf("exit code = %d, want 2", code)
 	}
 	if !strings.Contains(errOut.String(), "bogus") {
@@ -63,7 +75,7 @@ func TestBadFaultSpecIsUsageError(t *testing.T) {
 func TestBadExperimentIDExitsOne(t *testing.T) {
 	defer resetGlobals()
 	var out, errOut strings.Builder
-	if code := run([]string{"run", "nope"}, &out, &errOut); code != 1 {
+	if code := run(context.Background(), []string{"run", "nope"}, &out, &errOut); code != 1 {
 		t.Fatalf("exit code = %d, want 1", code)
 	}
 	if !strings.Contains(errOut.String(), "unknown experiment") {
@@ -74,11 +86,11 @@ func TestBadExperimentIDExitsOne(t *testing.T) {
 func TestCommsanRunMatchesPlain(t *testing.T) {
 	defer resetGlobals()
 	var plain, plainErr strings.Builder
-	if code := run([]string{"run", "stride"}, &plain, &plainErr); code != 0 {
+	if code := run(context.Background(), []string{"run", "stride"}, &plain, &plainErr); code != 0 {
 		t.Fatalf("plain run exit = %d\nstderr: %s", code, plainErr.String())
 	}
 	var san, sanErr strings.Builder
-	if code := run([]string{"-commsan", "run", "stride"}, &san, &sanErr); code != 0 {
+	if code := run(context.Background(), []string{"-commsan", "run", "stride"}, &san, &sanErr); code != 0 {
 		t.Fatalf("-commsan run exit = %d\nstderr: %s", code, sanErr.String())
 	}
 	if plain.String() != san.String() {
@@ -94,11 +106,11 @@ func TestCommsanRunMatchesPlain(t *testing.T) {
 func TestEngineFlagMatchesDefault(t *testing.T) {
 	defer resetGlobals()
 	var cal, calErr strings.Builder
-	if code := run([]string{"run", "table2"}, &cal, &calErr); code != 0 {
+	if code := run(context.Background(), []string{"run", "table2"}, &cal, &calErr); code != 0 {
 		t.Fatalf("default run exit = %d\nstderr: %s", code, calErr.String())
 	}
 	var gor, gorErr strings.Builder
-	if code := run([]string{"-engine", "goroutine", "run", "table2"}, &gor, &gorErr); code != 0 {
+	if code := run(context.Background(), []string{"-engine", "goroutine", "run", "table2"}, &gor, &gorErr); code != 0 {
 		t.Fatalf("-engine goroutine exit = %d\nstderr: %s", code, gorErr.String())
 	}
 	if cal.String() != gor.String() {
@@ -114,7 +126,7 @@ func TestEngineFlagMatchesDefault(t *testing.T) {
 func TestBadEngineIsUsageError(t *testing.T) {
 	defer resetGlobals()
 	var out, errOut strings.Builder
-	if code := run([]string{"-engine", "bogus", "run", "table1"}, &out, &errOut); code != 2 {
+	if code := run(context.Background(), []string{"-engine", "bogus", "run", "table1"}, &out, &errOut); code != 2 {
 		t.Fatalf("exit code = %d, want 2 (usage error)", code)
 	}
 	if !strings.Contains(errOut.String(), "unknown engine") {
@@ -126,7 +138,115 @@ func TestTimeoutFlagParses(t *testing.T) {
 	defer resetGlobals()
 	var out, errOut strings.Builder
 	// A generous per-point budget must not perturb a healthy run.
-	if code := run([]string{"-timeout", "5m", "-max-retries", "1", "run", "table1"}, &out, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-timeout", "5m", "-max-retries", "1", "run", "table1"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit code = %d, want 0\nstderr: %s", code, errOut.String())
+	}
+}
+
+// runCLI is a convenience wrapper returning code, stdout and stderr.
+func runCLI(args ...string) (int, string, string) {
+	var out, errOut strings.Builder
+	code := run(context.Background(), args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+// TestWorkersByteIdentity: the supervised multi-process sweep produces the
+// exact bytes of the serial run for every fleet size.
+func TestWorkersByteIdentity(t *testing.T) {
+	defer resetGlobals()
+	args := []string{"run", "table1", "stride"}
+	code, serial, _ := runCLI(args...)
+	if code != 0 {
+		t.Fatalf("serial exit = %d", code)
+	}
+	for _, w := range []string{"2", "4"} {
+		resetGlobals()
+		code, out, errOut := runCLI(append([]string{"-workers", w}, args...)...)
+		if code != 0 {
+			t.Fatalf("-workers %s exit = %d\nstderr: %s", w, code, errOut)
+		}
+		if out != serial {
+			t.Errorf("-workers %s output differs from serial\n--- serial ---\n%s\n--- workers ---\n%s",
+				w, serial, out)
+		}
+	}
+}
+
+// TestWorkersChaosByteIdentity: any crash schedule that leaves points
+// completable yields byte-identical output — crashes are invisible in
+// stdout, visible only in the stderr fleet summary.
+func TestWorkersChaosByteIdentity(t *testing.T) {
+	defer resetGlobals()
+	for _, chaos := range []string{"wkill=1", "wkill=1,wtrunc=2", "wcorrupt=2"} {
+		resetGlobals()
+		code, serial, _ := runCLI("-faults", chaos, "run", "stride")
+		if code != 0 {
+			t.Fatalf("serial chaos run exit = %d", code)
+		}
+		resetGlobals()
+		code, out, errOut := runCLI("-workers", "2", "-faults", chaos, "run", "stride")
+		if code != 0 {
+			t.Fatalf("chaos %q exit = %d\nstderr: %s", chaos, code, errOut)
+		}
+		if out != serial {
+			t.Errorf("chaos %q output differs from serial\n--- serial ---\n%s\n--- chaos ---\n%s",
+				chaos, serial, out)
+		}
+		if !strings.Contains(errOut, "worker fleet:") || !strings.Contains(errOut, "crash(es)") {
+			t.Errorf("chaos %q: fleet summary missing from stderr: %q", chaos, errOut)
+		}
+	}
+}
+
+// TestWorkersQuarantinePoisonPoint: a schedule that kills the worker on
+// every request poisons every point; the sweep survives, each cell degrades
+// to !workercrash, and the run exits 1 with the full failure summary.
+func TestWorkersQuarantinePoisonPoint(t *testing.T) {
+	defer resetGlobals()
+	code, out, errOut := runCLI("-workers", "1", "-faults", "wkill=0", "run", "stride")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "!workercrash") {
+		t.Errorf("quarantined cells missing from output:\n%s", out)
+	}
+	// Analytic rows (no sweep points) still render alongside.
+	if !strings.Contains(out, "DGEMM per-CPU") {
+		t.Errorf("healthy rows missing:\n%s", out)
+	}
+	for _, want := range []string{"point(s) failed", "failures by kind: workercrash=3", "quarantined"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("stderr summary missing %q: %q", want, errOut)
+		}
+	}
+}
+
+// TestCanceledRunReportsPartialResults: SIGINT/SIGTERM arrive as context
+// cancellation; points degrade to !canceled cells and the run exits 1 with
+// a partial-results notice instead of aborting.
+func TestCanceledRunReportsPartialResults(t *testing.T) {
+	defer resetGlobals()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errOut strings.Builder
+	if code := run(ctx, []string{"run", "stride"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "!canceled") {
+		t.Errorf("canceled cells missing:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "interrupted") || !strings.Contains(errOut.String(), "partial") {
+		t.Errorf("partial-results notice missing: %q", errOut.String())
+	}
+}
+
+// TestWorkerFlagServes: -worker is a first-class way to start a worker; it
+// must speak the protocol on stdin/stdout (exercised via the env path in
+// the other tests, so here we only check flag wiring rejects nothing).
+func TestFailureSummaryTalliesKinds(t *testing.T) {
+	defer resetGlobals()
+	_, _, errOut := runCLI("-faults", "nodedown=0", "run", "stride")
+	if !strings.Contains(errOut, "failures by kind: node-down=3") {
+		t.Errorf("kind tally missing: %q", errOut)
 	}
 }

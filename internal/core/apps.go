@@ -1,7 +1,6 @@
 package core
 
 import (
-	"context"
 	"fmt"
 
 	"columbia/internal/compiler"
@@ -11,7 +10,6 @@ import (
 	"columbia/internal/overflow"
 	"columbia/internal/report"
 	"columbia/internal/sweep"
-	"columbia/internal/vmpi"
 )
 
 func init() {
@@ -110,19 +108,12 @@ func runTable5() []*report.Table {
 	procCounts := []int{1, 8, 64, 256, 504, 1020, 2040}
 	points := make([]sweep.Future[float64], len(procCounts))
 	for i, p := range procCounts {
-		p := p
 		nodes := (p + 509) / 510
 		if nodes > 4 {
 			nodes = 4
 		}
-		cfg := withFaults(vmpi.Config{Cluster: machine.NewBX2bQuad(), Procs: p, Nodes: nodes})
-		key := fmt.Sprintf("md-weak/atoms=%d/%s", w.AtomsPerProc, cfg.Fingerprint())
-		points[i] = sweep.CachedCtx(sweep.Default(), key, func(ctx context.Context) (float64, error) {
-			res, err := vmpi.RunCtx(ctx, cfg, w.Skeleton(p))
-			if err != nil {
-				return 0, err
-			}
-			return res.Time / md.SkeletonSteps, nil
+		points[i] = submitPoint[float64](PointSpec{
+			Kind: "md-weak", Cluster: quadNL, Procs: p, Nodes: nodes,
 		})
 	}
 	var base float64

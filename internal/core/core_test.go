@@ -113,7 +113,7 @@ func TestFig6Shapes(t *testing.T) {
 }
 
 func TestFig7PinningShapes(t *testing.T) {
-	cl := machine.NewSingleNode(machine.AltixBX2b)
+	cl := singleNode(machine.AltixBX2b)
 	slow := func(procs, th int) float64 {
 		pinned := mzTime("SP-MZ", npb.ClassC, cl, procs, th, 1, pinning.Dplace, machine.MPT111b)
 		unpinned := mzTime("SP-MZ", npb.ClassC, cl, procs, th, 1, pinning.None, machine.MPT111b)

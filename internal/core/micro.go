@@ -1,15 +1,12 @@
 package core
 
 import (
-	"context"
 	"fmt"
 
 	"columbia/internal/hpcc"
 	"columbia/internal/machine"
-	"columbia/internal/par"
 	"columbia/internal/report"
 	"columbia/internal/sweep"
-	"columbia/internal/vmpi"
 )
 
 // nodeTypes are the three Columbia node flavours compared throughout §4.1.
@@ -73,19 +70,11 @@ func runTable1() []*report.Table {
 
 // beffAsync submits the b_eff subset on a cluster configuration as a sweep
 // point and returns the result future. The active fault plan is stamped
-// into the config (and therefore the cache key) before submission.
-func beffAsync(cl *machine.Cluster, procs, nodes int, random bool) sweep.Future[hpcc.BeffResult] {
-	cfg := withFaults(vmpi.Config{Cluster: cl, Procs: procs, Nodes: nodes, RandomPattern: random})
-	key := "beff/reps=3/" + cfg.Fingerprint()
-	return sweep.CachedCtx(sweep.Default(), key, func(ctx context.Context) (hpcc.BeffResult, error) {
-		var out hpcc.BeffResult
-		_, err := vmpi.RunCtx(ctx, cfg, func(c par.Comm) {
-			r := hpcc.Beff(c, 3)
-			if c.Rank() == 0 {
-				out = r
-			}
-		})
-		return out, err
+// into the config (and therefore the cache key) at build time, and the
+// point runs wherever submitPoint routes it — in-process or on a worker.
+func beffAsync(cl ClusterRef, procs, nodes int, random bool) sweep.Future[hpcc.BeffResult] {
+	return submitPoint[hpcc.BeffResult](PointSpec{
+		Kind: "beff", Cluster: cl, Procs: procs, Nodes: nodes, Random: random,
 	})
 }
 
@@ -110,8 +99,7 @@ func runFig5() []*report.Table {
 	for _, nt := range nodeTypes {
 		results[nt] = map[int]sweep.Future[hpcc.BeffResult]{}
 		for _, p := range cpus {
-			cl := machine.NewSingleNode(nt)
-			results[nt][p] = beffAsync(cl, p, 1, true)
+			results[nt][p] = beffAsync(singleNode(nt), p, 1, true)
 		}
 	}
 	for _, m := range metrics {
@@ -145,18 +133,9 @@ func runStride() []*report.Table {
 		hpcc.StreamModel(strided(2)).Triad/1e9,
 		hpcc.StreamModel(strided(4)).Triad/1e9)
 	lat := func(stride int) sweep.Future[float64] {
-		cfg := withFaults(vmpi.Config{Cluster: cl, Procs: 8, Stride: stride})
-		return sweep.CachedCtx(sweep.Default(), "pingpong-lat/reps=3/"+cfg.Fingerprint(),
-			func(ctx context.Context) (float64, error) {
-				var out float64
-				_, err := vmpi.RunCtx(ctx, cfg, func(c par.Comm) {
-					r := hpcc.PingPong(c, 3)
-					if c.Rank() == 0 {
-						out = r.Latency * 1e6
-					}
-				})
-				return out, err
-			})
+		return submitPoint[float64](PointSpec{
+			Kind: "pingpong-lat", Cluster: singleNode(machine.Altix3700), Procs: 8, Stride: stride,
+		})
 	}
 	l1, l2, l4 := lat(1), lat(2), lat(4)
 	t.AddF("Ping-Pong latency (µs)",
@@ -175,13 +154,12 @@ func runFig10() []*report.Table {
 		if nodes < 2 {
 			nodes = 2 // the multinode experiment always spans boxes
 		}
-		nl[p] = beffAsync(machine.NewBX2bQuad(), p, nodes, true)
-		ibCl := machine.NewBX2bQuadIB()
+		nl[p] = beffAsync(quadNL, p, nodes, true)
 		// InfiniBand card limits bound pure-MPI node counts; the paper
 		// notes a pure MPI code can fully utilize at most three nodes.
-		maxNodes := ibCl.MaxPureMPINodes(p / nodes)
+		maxNodes := machine.NewBX2bQuadIB().MaxPureMPINodes(p / nodes)
 		if nodes <= maxNodes {
-			ib[p] = beffAsync(ibCl, p, nodes, true)
+			ib[p] = beffAsync(quadIB, p, nodes, true)
 		}
 	}
 	type metric struct {

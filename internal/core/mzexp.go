@@ -1,17 +1,14 @@
 package core
 
 import (
-	"context"
 	"fmt"
 
 	"columbia/internal/machine"
-	"columbia/internal/netmodel"
 	"columbia/internal/npb"
 	"columbia/internal/npbmz"
 	"columbia/internal/pinning"
 	"columbia/internal/report"
 	"columbia/internal/sweep"
-	"columbia/internal/vmpi"
 )
 
 func init() {
@@ -37,43 +34,16 @@ func init() {
 
 // mzTimeAsync submits a hybrid multi-zone run as a sweep point and returns
 // the per-step virtual-time future.
-func mzTimeAsync(bench string, class npb.Class, cl *machine.Cluster, procs, threads, nodes int,
+func mzTimeAsync(bench string, class npb.Class, cl ClusterRef, procs, threads, nodes int,
 	pin pinning.Method, mpt machine.MPTVersion) sweep.Future[float64] {
-	// OMP options derive deterministically from bench/class (pinned by the
-	// key prefix), and the MPT version is keyed explicitly because the net
-	// model is built inside the point.
-	keyCfg := withFaults(vmpi.Config{Cluster: cl, Procs: procs, Threads: threads, Nodes: nodes, Pin: pin})
-	key := fmt.Sprintf("mz/%s/%s/mpt=%s/%s", bench, class, mpt, keyCfg.Fingerprint())
-	return sweep.CachedCtx(sweep.Default(), key, func(ctx context.Context) (float64, error) {
-		fn, info := npbmz.Skeleton(bench, class, procs)
-		net := netmodel.New(cl)
-		net.MPT = mpt
-		res, err := vmpi.RunCtx(ctx, vmpi.Config{
-			Cluster:  cl,
-			Net:      net,
-			Procs:    procs,
-			Threads:  threads,
-			Nodes:    nodes,
-			Pin:      pin,
-			OMP:      info.OMPOpts(),
-			Faults:   keyCfg.Faults,
-			Sanitize: keyCfg.Sanitize,
-			Engine:   keyCfg.Engine,
-		}, fn)
-		if err != nil {
-			return 0, err
-		}
-		t := res.Time / npbmz.SkeletonIters
-		if bench == "SP-MZ" {
-			// The released-MPT InfiniBand anomaly taxes SP-MZ whole runs.
-			t *= net.MPTRunFactor(procs)
-		}
-		return t, nil
+	return submitPoint[float64](PointSpec{
+		Kind: "mz", Cluster: cl, Procs: procs, Threads: threads, Nodes: nodes,
+		Bench: bench, Class: class, Pin: pin, MPT: mpt,
 	})
 }
 
 // mzTime is the synchronous form used by shape tests.
-func mzTime(bench string, class npb.Class, cl *machine.Cluster, procs, threads, nodes int,
+func mzTime(bench string, class npb.Class, cl ClusterRef, procs, threads, nodes int,
 	pin pinning.Method, mpt machine.MPTVersion) float64 {
 	return mzTimeAsync(bench, class, cl, procs, threads, nodes, pin, mpt).Wait()
 }
@@ -85,7 +55,7 @@ func mzGflops(bench string, class npb.Class, perStep float64) float64 {
 }
 
 func runFig7() []*report.Table {
-	cl := machine.NewSingleNode(machine.AltixBX2b)
+	cl := singleNode(machine.AltixBX2b)
 	type point struct {
 		label            string
 		pinned, unpinned sweep.Future[float64]
@@ -132,7 +102,7 @@ func runFig7() []*report.Table {
 }
 
 func runFig9() []*report.Table {
-	cl := machine.NewSingleNode(machine.AltixBX2b)
+	cl := singleNode(machine.AltixBX2b)
 	point := func(procs, th int) sweep.Future[float64] {
 		if procs*th > 512 {
 			return sweep.Future[float64]{}
@@ -200,14 +170,14 @@ func runFig11() []*report.Table {
 			cpus := cfg.p * cfg.th
 			var pt topPoint
 			if cpus <= 512 {
-				pt.single = mzTimeAsync(bench, npb.ClassE, machine.NewSingleNode(machine.AltixBX2b),
+				pt.single = mzTimeAsync(bench, npb.ClassE, singleNode(machine.AltixBX2b),
 					cfg.p, cfg.th, 1, pinning.Dplace, machine.MPT111b)
 			}
 			nodes := (cpus + 511) / 512
 			if nodes < 2 {
 				nodes = 2
 			}
-			pt.quad = mzTimeAsync(bench, npb.ClassE, machine.NewBX2bQuad(),
+			pt.quad = mzTimeAsync(bench, npb.ClassE, quadNL,
 				cfg.p, cfg.th, nodes, pinning.Dplace, machine.MPT111b)
 			top[bench] = append(top[bench], pt)
 		}
@@ -232,9 +202,9 @@ func runFig11() []*report.Table {
 				th, procs = 2, cpus/2
 			}
 			bottom[bench] = append(bottom[bench], bottomPoint{
-				nl:  mzTimeAsync(bench, npb.ClassE, machine.NewBX2bQuad(), procs, th, nodes, pinning.Dplace, machine.MPT111b),
-				ibr: mzTimeAsync(bench, npb.ClassE, machine.NewBX2bQuadIB(), procs, th, nodes, pinning.Dplace, machine.MPT111r),
-				ibb: mzTimeAsync(bench, npb.ClassE, machine.NewBX2bQuadIB(), procs, th, nodes, pinning.Dplace, machine.MPT111b),
+				nl:  mzTimeAsync(bench, npb.ClassE, quadNL, procs, th, nodes, pinning.Dplace, machine.MPT111b),
+				ibr: mzTimeAsync(bench, npb.ClassE, quadIB, procs, th, nodes, pinning.Dplace, machine.MPT111r),
+				ibb: mzTimeAsync(bench, npb.ClassE, quadIB, procs, th, nodes, pinning.Dplace, machine.MPT111b),
 			})
 		}
 	}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"context"
 	"fmt"
 
 	"columbia/internal/compiler"
@@ -9,7 +8,6 @@ import (
 	"columbia/internal/npb"
 	"columbia/internal/report"
 	"columbia/internal/sweep"
-	"columbia/internal/vmpi"
 )
 
 func init() {
@@ -30,16 +28,8 @@ func init() {
 // npbRateMPIAsync submits an MPI run of bench/class as a sweep point and
 // returns the per-CPU Gflop/s future.
 func npbRateMPIAsync(bench string, class npb.Class, nt machine.NodeType, procs int) sweep.Future[float64] {
-	cfg := withFaults(vmpi.Config{Cluster: machine.NewSingleNode(nt), Procs: procs})
-	key := fmt.Sprintf("npb/mpi/%s/%s/%s", bench, class, cfg.Fingerprint())
-	return sweep.CachedCtx(sweep.Default(), key, func(ctx context.Context) (float64, error) {
-		fn, ct := npb.Skeleton(bench, class, procs)
-		res, err := vmpi.RunCtx(ctx, cfg, fn)
-		if err != nil {
-			return 0, err
-		}
-		perIter := res.Time / npb.SkeletonIters
-		return ct.Flops / perIter / float64(procs) / 1e9, nil
+	return submitPoint[float64](PointSpec{
+		Kind: "npb-mpi", Cluster: singleNode(nt), Procs: procs, Bench: bench, Class: class,
 	})
 }
 
@@ -51,25 +41,9 @@ func npbRateMPI(bench string, class npb.Class, nt machine.NodeType, procs int) f
 // npbRateOpenMPAsync submits a pure OpenMP run with the given compute
 // factor (compiler model) and returns the per-CPU Gflop/s future.
 func npbRateOpenMPAsync(bench string, class npb.Class, nt machine.NodeType, threads int, factor float64) sweep.Future[float64] {
-	// The OMP options derive deterministically from bench/class, which the
-	// key prefix already pins, so the fingerprint omits them safely.
-	cfg := withFaults(vmpi.Config{
-		Cluster:       machine.NewSingleNode(nt),
-		Procs:         1,
-		Threads:       threads,
-		ComputeFactor: factor,
-	})
-	key := fmt.Sprintf("npb/omp/%s/%s/%s", bench, class, cfg.Fingerprint())
-	return sweep.CachedCtx(sweep.Default(), key, func(ctx context.Context) (float64, error) {
-		fn, ct := npb.Skeleton(bench, class, 1)
-		cfg := cfg
-		cfg.OMP = npb.OMPOptsFor(ct)
-		res, err := vmpi.RunCtx(ctx, cfg, fn)
-		if err != nil {
-			return 0, err
-		}
-		perIter := res.Time / npb.SkeletonIters
-		return ct.Flops / perIter / float64(threads) / 1e9, nil
+	return submitPoint[float64](PointSpec{
+		Kind: "npb-omp", Cluster: singleNode(nt), Threads: threads,
+		Bench: bench, Class: class, Factor: factor,
 	})
 }
 

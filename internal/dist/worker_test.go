@@ -1,0 +1,237 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoSetup returns a Setup whose executor echoes the spec back, recording
+// how many points it served.
+func echoSetup(served *int) Setup {
+	return func(Hello) (Executor, error) {
+		return func(_ context.Context, kind, key string, spec []byte) ([]byte, error) {
+			if served != nil {
+				*served++
+			}
+			return append([]byte(kind+"/"+key+"="), spec...), nil
+		}, nil
+	}
+}
+
+// driveWorker runs ServeWorker on in-memory pipes and hands the test the
+// supervisor's two pipe ends plus the worker's exit status channel.
+func driveWorker(t *testing.T, hello Hello, setup Setup) (io.Writer, io.Reader, chan error) {
+	t.Helper()
+	inR, inW := io.Pipe()
+	outR, outW := io.Pipe()
+	exit := make(chan error, 1)
+	go func() {
+		err := ServeWorker(inR, outW, setup)
+		outW.Close()
+		inR.Close()
+		exit <- err
+	}()
+	hello.Version = ProtocolVersion
+	if err := writeFrame(inW, frameHello, hello); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	typ, payload, err := readFrame(outR)
+	if err != nil || typ != frameHelloAck {
+		t.Fatalf("handshake: type %d, err %v", typ, err)
+	}
+	var ack HelloAck
+	if err := decodePayload(payload, &ack); err != nil || ack.Version != ProtocolVersion {
+		t.Fatalf("ack = %+v, err %v", ack, err)
+	}
+	return inW, outR, exit
+}
+
+// TestFaultWorkerServesAndShutsDown: the basic serve loop — handshake,
+// request/reply round trips, clean exit on the shutdown frame.
+func TestFaultWorkerServesAndShutsDown(t *testing.T) {
+	served := 0
+	in, out, exit := driveWorker(t, Hello{}, echoSetup(&served))
+	for seq := uint64(1); seq <= 3; seq++ {
+		req := Request{Seq: seq, Kind: "k", Key: fmt.Sprintf("fam/p=%d", seq), Spec: []byte{byte(seq)}}
+		if err := writeFrame(in, frameRequest, req); err != nil {
+			t.Fatal(err)
+		}
+		typ, payload, err := readFrame(out)
+		if err != nil || typ != frameReply {
+			t.Fatalf("reply %d: type %d, err %v", seq, typ, err)
+		}
+		var rep Reply
+		if err := decodePayload(payload, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Seq != seq || rep.Err != nil {
+			t.Fatalf("reply = %+v", rep)
+		}
+		want := fmt.Sprintf("k/fam/p=%d=%s", seq, []byte{byte(seq)})
+		if string(rep.Result) != want {
+			t.Errorf("result = %q, want %q", rep.Result, want)
+		}
+	}
+	if err := writeFrame(in, frameShutdown, Heartbeat{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-exit; err != nil {
+		t.Errorf("shutdown exit = %v, want nil", err)
+	}
+	if served != 3 {
+		t.Errorf("served = %d, want 3", served)
+	}
+}
+
+// TestFaultWorkerRejectsVersionMismatch: a handshake from a different
+// protocol generation fails loudly before any point is computed.
+func TestFaultWorkerRejectsVersionMismatch(t *testing.T) {
+	inR, inW := io.Pipe()
+	outR, outW := io.Pipe()
+	exit := make(chan error, 1)
+	go func() {
+		exit <- ServeWorker(inR, outW, echoSetup(nil))
+	}()
+	if err := writeFrame(inW, frameHello, Hello{Version: ProtocolVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	err := <-exit
+	if err == nil || !strings.Contains(err.Error(), "version mismatch") {
+		t.Errorf("exit = %v, want version mismatch", err)
+	}
+	outR.Close()
+}
+
+// TestFaultWorkerKillChaos: wkill=M serves M points then dies while
+// serving request M+1, before any reply for it is written.
+func TestFaultWorkerKillChaos(t *testing.T) {
+	served := 0
+	in, out, exit := driveWorker(t, Hello{Faults: "wkill=2"}, echoSetup(&served))
+	for seq := uint64(1); seq <= 2; seq++ {
+		if err := writeFrame(in, frameRequest, Request{Seq: seq, Key: "fam/x"}); err != nil {
+			t.Fatal(err)
+		}
+		if typ, _, err := readFrame(out); err != nil || typ != frameReply {
+			t.Fatalf("reply %d: type %d, err %v", seq, typ, err)
+		}
+	}
+	if err := writeFrame(in, frameRequest, Request{Seq: 3, Key: "fam/x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-exit; !errors.Is(err, ErrChaosKill) {
+		t.Errorf("exit = %v, want chaos kill", err)
+	}
+	// The dying worker never replied to request 3, and never executed it.
+	if _, _, err := readFrame(out); err != io.EOF {
+		t.Errorf("post-kill read = %v, want io.EOF", err)
+	}
+	if served != 2 {
+		t.Errorf("served = %d, want 2 (the killed request must not execute)", served)
+	}
+}
+
+// TestFaultWorkerCorruptChaos: wcorrupt=N damages exactly reply N — the
+// supervisor-side reader must see a checksum violation, not a frame.
+func TestFaultWorkerCorruptChaos(t *testing.T) {
+	in, out, exit := driveWorker(t, Hello{Faults: "wcorrupt=2"}, echoSetup(nil))
+	if err := writeFrame(in, frameRequest, Request{Seq: 1, Key: "fam/x"}); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err := readFrame(out); err != nil || typ != frameReply {
+		t.Fatalf("reply 1: type %d, err %v", typ, err)
+	}
+	if err := writeFrame(in, frameRequest, Request{Seq: 2, Key: "fam/x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readFrame(out); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corrupt reply read = %v, want checksum mismatch", err)
+	}
+	if err := <-exit; !errors.Is(err, ErrChaosKill) {
+		t.Errorf("exit = %v, want chaos kill", err)
+	}
+}
+
+// TestFaultWorkerTruncateChaos: wtrunc=N cuts reply N off mid-frame and
+// exits, so the reader sees an unexpected EOF inside the frame body.
+func TestFaultWorkerTruncateChaos(t *testing.T) {
+	in, out, exit := driveWorker(t, Hello{Faults: "wtrunc=1"}, echoSetup(nil))
+	if err := writeFrame(in, frameRequest, Request{Seq: 1, Key: "fam/x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readFrame(out); err == nil || err == io.EOF {
+		t.Errorf("truncated reply read = %v, want mid-frame error", err)
+	}
+	if err := <-exit; !errors.Is(err, ErrChaosKill) {
+		t.Errorf("exit = %v, want chaos kill", err)
+	}
+}
+
+// TestFaultWorkerHeartbeats: while a slow point computes, the worker emits
+// heartbeat frames so the supervisor can tell a long point from a hang.
+func TestFaultWorkerHeartbeats(t *testing.T) {
+	setup := func(Hello) (Executor, error) {
+		return func(context.Context, string, string, []byte) ([]byte, error) {
+			time.Sleep(50 * time.Millisecond)
+			return []byte("done"), nil
+		}, nil
+	}
+	in, out, _ := driveWorker(t, Hello{Heartbeat: 5 * time.Millisecond}, setup)
+	if err := writeFrame(in, frameRequest, Request{Seq: 1, Key: "fam/x"}); err != nil {
+		t.Fatal(err)
+	}
+	beats := 0
+	for {
+		typ, _, err := readFrame(out)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if typ == frameHeartbeat {
+			beats++
+			continue
+		}
+		if typ != frameReply {
+			t.Fatalf("unexpected frame type %d", typ)
+		}
+		break
+	}
+	if beats == 0 {
+		t.Error("no heartbeats during a 50ms point at a 5ms interval")
+	}
+}
+
+// TestFaultWorkerAppliesTimeout: the handshake's per-point budget reaches
+// the executor's context; the point's structured timeout crosses the wire
+// with kind, text and retryability intact.
+func TestFaultWorkerAppliesTimeout(t *testing.T) {
+	setup := func(h Hello) (Executor, error) {
+		return func(ctx context.Context, _, _ string, _ []byte) ([]byte, error) {
+			d, ok := ctx.Deadline()
+			if !ok {
+				return nil, errors.New("no deadline on executor context")
+			}
+			_ = d
+			return nil, &kindedErr{kind: "timeout", msg: "vmpi: run timeout: budget 1ns", retry: true}
+		}, nil
+	}
+	in, out, _ := driveWorker(t, Hello{Timeout: time.Nanosecond}, setup)
+	if err := writeFrame(in, frameRequest, Request{Seq: 1, Key: "fam/x"}); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(out)
+	if err != nil || typ != frameReply {
+		t.Fatalf("reply: type %d, err %v", typ, err)
+	}
+	var rep Reply
+	if err := decodePayload(payload, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Err == nil || rep.Err.Kind != "timeout" || !rep.Err.CanRetry ||
+		rep.Err.Msg != "vmpi: run timeout: budget 1ns" {
+		t.Errorf("wire error = %+v", rep.Err)
+	}
+}

@@ -25,6 +25,27 @@
 //     structured node-down error; MarkTransient marks such losses
 //     retryable (a rebooting box) for the sweep scheduler's backoff loop.
 //
+// # Worker chaos
+//
+// A second directive family sabotages the *sweep infrastructure* rather
+// than the simulated machine: when the sweep runs on an out-of-process
+// worker fleet (columbia -workers N, package dist), the chaos directives
+// make each worker process kill itself, corrupt or truncate its reply
+// frames, or stall its heartbeats on a deterministic per-process schedule,
+// so the supervisor's crash recovery can be exercised — and golden output
+// proven byte-identical — under every failure mode. Chaos directives never
+// perturb simulation results; they are folded into the plan fingerprint
+// like every other directive, so chaos and healthy runs keep disjoint memo
+// caches.
+//
+//   - KillWorker: the worker serves M points, then exits abruptly while
+//     serving the next (an OOM-killed or segfaulted worker).
+//   - CorruptReply / TruncateReply: the worker's Nth reply frame is
+//     corrupted in place (checksum mismatch) or cut off mid-write followed
+//     by process exit (a worker dying mid-reply).
+//   - StallWorker: after M points the worker stops heartbeating and hangs
+//     (a livelocked worker), forcing the supervisor's deadline path.
+//
 // # Determinism
 //
 // A Plan is pure data: queries depend only on the plan and, for flapping
@@ -75,6 +96,14 @@ type Plan struct {
 	fabric    map[int]float64
 	down      map[int]bool
 	transient bool
+	// Worker-chaos schedule (see "Worker chaos" above). Counts are stored
+	// shifted by one so the zero value means "directive absent": workerKill
+	// and workerStall hold M+1 (trigger while serving request M+1),
+	// workerCorrupt and workerTrunc hold the 1-based reply index N.
+	workerKill    int
+	workerCorrupt int
+	workerTrunc   int
+	workerStall   int
 }
 
 // New returns an empty plan describing the healthy machine.
@@ -175,10 +204,89 @@ func (p *Plan) MarkTransient() *Plan {
 	return p
 }
 
+// KillWorker schedules worker suicide: each worker process serves m (>= 0)
+// points, then exits abruptly while serving the next. m = 0 kills every
+// request — the poison-point schedule that drives quarantine.
+func (p *Plan) KillWorker(m int) *Plan {
+	if m < 0 {
+		m = 0
+	}
+	p.workerKill = m + 1
+	return p
+}
+
+// CorruptReply corrupts each worker process's n-th (1-based) reply frame in
+// place, so the supervisor sees a checksum mismatch instead of a result.
+func (p *Plan) CorruptReply(n int) *Plan {
+	if n < 1 {
+		n = 1
+	}
+	p.workerCorrupt = n
+	return p
+}
+
+// TruncateReply cuts each worker process's n-th (1-based) reply frame off
+// mid-write and exits, so the supervisor sees a short read.
+func (p *Plan) TruncateReply(n int) *Plan {
+	if n < 1 {
+		n = 1
+	}
+	p.workerTrunc = n
+	return p
+}
+
+// StallWorker schedules a hang: each worker process serves m (>= 0) points,
+// then stops heartbeating and blocks forever on the next request, forcing
+// the supervisor's heartbeat-deadline kill.
+func (p *Plan) StallWorker(m int) *Plan {
+	if m < 0 {
+		m = 0
+	}
+	p.workerStall = m + 1
+	return p
+}
+
+// WorkerKillRequest returns the 1-based request index a worker process must
+// die while serving, if a kill is scheduled.
+func (p *Plan) WorkerKillRequest() (int, bool) {
+	if p == nil || p.workerKill == 0 {
+		return 0, false
+	}
+	return p.workerKill, true
+}
+
+// WorkerCorruptReply returns the 1-based reply index a worker process must
+// corrupt, if corruption is scheduled.
+func (p *Plan) WorkerCorruptReply() (int, bool) {
+	if p == nil || p.workerCorrupt == 0 {
+		return 0, false
+	}
+	return p.workerCorrupt, true
+}
+
+// WorkerTruncateReply returns the 1-based reply index a worker process must
+// truncate, if truncation is scheduled.
+func (p *Plan) WorkerTruncateReply() (int, bool) {
+	if p == nil || p.workerTrunc == 0 {
+		return 0, false
+	}
+	return p.workerTrunc, true
+}
+
+// WorkerStallRequest returns the 1-based request index a worker process
+// must hang on (heartbeats silenced), if a stall is scheduled.
+func (p *Plan) WorkerStallRequest() (int, bool) {
+	if p == nil || p.workerStall == 0 {
+		return 0, false
+	}
+	return p.workerStall, true
+}
+
 // Empty reports whether the plan perturbs nothing; a nil plan is empty.
 func (p *Plan) Empty() bool {
 	return p == nil || (len(p.slowCPU) == 0 && len(p.slowNode) == 0 &&
-		len(p.bus) == 0 && len(p.link) == 0 && len(p.fabric) == 0 && len(p.down) == 0)
+		len(p.bus) == 0 && len(p.link) == 0 && len(p.fabric) == 0 && len(p.down) == 0 &&
+		p.workerKill == 0 && p.workerCorrupt == 0 && p.workerTrunc == 0 && p.workerStall == 0)
 }
 
 // CPUFactor returns the compute-time multiplier (>= 1) for the CPU at l:
@@ -291,6 +399,21 @@ func (p *Plan) Fingerprint() string {
 	for n := range p.down {
 		parts = append(parts, fmt.Sprintf("nodedown=%d", n))
 	}
+	// Chaos counts render in the directive's own units: wkill/wstall as the
+	// number of points served before the trigger (stored shifted by one),
+	// wcorrupt/wtrunc as the 1-based reply index.
+	if p.workerKill > 0 {
+		parts = append(parts, fmt.Sprintf("wkill=%d", p.workerKill-1))
+	}
+	if p.workerCorrupt > 0 {
+		parts = append(parts, fmt.Sprintf("wcorrupt=%d", p.workerCorrupt))
+	}
+	if p.workerTrunc > 0 {
+		parts = append(parts, fmt.Sprintf("wtrunc=%d", p.workerTrunc))
+	}
+	if p.workerStall > 0 {
+		parts = append(parts, fmt.Sprintf("wstall=%d", p.workerStall-1))
+	}
 	sort.Strings(parts)
 	if p.transient {
 		parts = append(parts, "transient")
@@ -317,6 +440,13 @@ func (p *Plan) String() string {
 //	fabric=NODE:SCALE          scale a box's cross-brick fabric capacity
 //	nodedown=NODE              lose the box entirely
 //	transient                  node losses are retryable
+//
+// Worker-chaos directives (effective only with columbia -workers N):
+//
+//	wkill=M                    each worker dies while serving its point M+1 (M >= 0)
+//	wcorrupt=N                 each worker corrupts its Nth reply frame (N >= 1)
+//	wtrunc=N                   each worker truncates its Nth reply frame and exits (N >= 1)
+//	wstall=M                   each worker hangs, heartbeats silenced, on its point M+1 (M >= 0)
 //
 // Example: "slownode=0:1.13,linkdown=1:0.25,nodedown=2,transient".
 func Parse(spec string) (*Plan, error) {
@@ -401,6 +531,32 @@ func Parse(spec string) (*Plan, error) {
 				return nil, bad("NODE")
 			}
 			p.LoseNode(int(args[0]))
+		case "wkill":
+			if len(args) != 1 {
+				return nil, bad("POINTS")
+			}
+			p.KillWorker(int(args[0]))
+		case "wcorrupt":
+			if len(args) != 1 {
+				return nil, bad("REPLY")
+			}
+			if args[0] < 1 {
+				return nil, fmt.Errorf("fault: directive %q: reply index must be >= 1", part)
+			}
+			p.CorruptReply(int(args[0]))
+		case "wtrunc":
+			if len(args) != 1 {
+				return nil, bad("REPLY")
+			}
+			if args[0] < 1 {
+				return nil, fmt.Errorf("fault: directive %q: reply index must be >= 1", part)
+			}
+			p.TruncateReply(int(args[0]))
+		case "wstall":
+			if len(args) != 1 {
+				return nil, bad("POINTS")
+			}
+			p.StallWorker(int(args[0]))
 		default:
 			return nil, fmt.Errorf("fault: unknown directive %q", name)
 		}

@@ -144,6 +144,49 @@ func TestFaultParseRoundTrip(t *testing.T) {
 	}
 }
 
+func TestFaultWorkerChaosDirectives(t *testing.T) {
+	p, err := Parse("wkill=3,wcorrupt=2,wtrunc=5,wstall=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Empty() {
+		t.Error("chaos-only plan must not be empty (it must split the memo cache)")
+	}
+	if r, ok := p.WorkerKillRequest(); !ok || r != 4 {
+		t.Errorf("WorkerKillRequest = %d,%v, want 4,true (serve 3, die on the 4th)", r, ok)
+	}
+	if n, ok := p.WorkerCorruptReply(); !ok || n != 2 {
+		t.Errorf("WorkerCorruptReply = %d,%v, want 2,true", n, ok)
+	}
+	if n, ok := p.WorkerTruncateReply(); !ok || n != 5 {
+		t.Errorf("WorkerTruncateReply = %d,%v, want 5,true", n, ok)
+	}
+	if r, ok := p.WorkerStallRequest(); !ok || r != 1 {
+		t.Errorf("WorkerStallRequest = %d,%v, want 1,true (hang on the very first point)", r, ok)
+	}
+	// The simulated machine is untouched: chaos is infrastructure sabotage.
+	if f := p.CPUFactor(machine.Loc{}); f != 1 {
+		t.Errorf("chaos plan perturbed CPUFactor = %g", f)
+	}
+	if p.NodeDown(0) {
+		t.Error("chaos plan downed a node")
+	}
+	// Round trip through the canonical fingerprint.
+	fp := p.Fingerprint()
+	q, err := Parse(fp)
+	if err != nil {
+		t.Fatalf("fingerprint %q did not re-parse: %v", fp, err)
+	}
+	if q.Fingerprint() != fp {
+		t.Errorf("chaos round trip drifted:\n p=%s\n q=%s", fp, q.Fingerprint())
+	}
+	// A nil plan schedules nothing.
+	var nilPlan *Plan
+	if _, ok := nilPlan.WorkerKillRequest(); ok {
+		t.Error("nil plan scheduled a worker kill")
+	}
+}
+
 func TestFaultParseErrors(t *testing.T) {
 	cases := []struct {
 		spec, wantSub string
@@ -158,6 +201,11 @@ func TestFaultParseErrors(t *testing.T) {
 		{"nodedown=x", "bad number"},
 		{"nodedown=1.5", "non-negative integer"},
 		{"slowcpu", "not name=args"},
+		{"wkill=1:2", "POINTS"},
+		{"wkill=-1", "non-negative integer"},
+		{"wcorrupt=0", "reply index must be >= 1"},
+		{"wtrunc=0", "reply index must be >= 1"},
+		{"wstall=0.5", "non-negative integer"},
 	}
 	for _, c := range cases {
 		if _, err := Parse(c.spec); err == nil {

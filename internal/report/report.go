@@ -22,6 +22,10 @@ type Table struct {
 	// simulation failed and degraded to an annotation instead of aborting
 	// the table. A nonzero count makes the CLI exit nonzero.
 	Failures int
+	// FailKinds tallies FailCell calls by the kind label used in the cell
+	// ("timeout", "workercrash", ...), so the CLI can print an end-of-run
+	// failure summary without re-parsing cells. Nil until the first failure.
+	FailKinds map[string]int
 }
 
 // New returns an empty table with the given title and column headers.
@@ -88,6 +92,10 @@ func (t *Table) FailCell(err error) string {
 		kind = "timeout"
 	}
 	t.Failures++
+	if t.FailKinds == nil {
+		t.FailKinds = make(map[string]int)
+	}
+	t.FailKinds[kind]++
 	msg := err.Error()
 	if i := strings.IndexByte(msg, '\n'); i >= 0 {
 		msg = msg[:i]

@@ -125,6 +125,29 @@ func TestFaultFailCellContextErrors(t *testing.T) {
 	}
 }
 
+func TestFaultFailCellTalliesKinds(t *testing.T) {
+	tb := New("D", "cfg", "val")
+	if tb.FailKinds != nil {
+		t.Error("FailKinds must stay nil until the first failure")
+	}
+	tb.FailCell(&kindedErr{kind: "workercrash"})
+	tb.FailCell(&kindedErr{kind: "workercrash"})
+	tb.FailCell(&kindedErr{kind: "timeout"})
+	tb.FailCell(errors.New("opaque"))
+	want := map[string]int{"workercrash": 2, "timeout": 1, "error": 1}
+	if len(tb.FailKinds) != len(want) {
+		t.Fatalf("FailKinds = %v, want %v", tb.FailKinds, want)
+	}
+	for k, n := range want {
+		if tb.FailKinds[k] != n {
+			t.Errorf("FailKinds[%q] = %d, want %d", k, tb.FailKinds[k], n)
+		}
+	}
+	if tb.Failures != 4 {
+		t.Errorf("Failures = %d, want 4 (tally must not replace the total)", tb.Failures)
+	}
+}
+
 func TestFaultPlotSkipsFailCells(t *testing.T) {
 	tb := New("P", "x", "y")
 	tb.Add("1", "2.0")

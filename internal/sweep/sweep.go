@@ -108,9 +108,22 @@ type Pool struct {
 	wctx WorkerContext
 	// after paces retry backoff; tests swap in a fake to drive the retry
 	// schedule deterministically instead of sleeping.
-	after  func(time.Duration) <-chan time.Time
-	shards [shardCount]cacheShard
+	after func(time.Duration) <-chan time.Time
+	// retries counts attempts spent beyond each point's first — the
+	// end-of-run failure summary reports it (see Stats).
+	retries atomic.Int64
+	shards  [shardCount]cacheShard
 }
+
+// Stats is a snapshot of the pool's cumulative execution counters.
+type Stats struct {
+	// Retries is how many extra attempts retryable failures have cost so
+	// far, summed over all points (local and remote).
+	Retries int64
+}
+
+// Stats snapshots the pool's counters; safe concurrently with submissions.
+func (p *Pool) Stats() Stats { return Stats{Retries: p.retries.Load()} }
 
 // WorkerContext decorates the context a leaf attempt runs under with state
 // scoped to its worker slot (0 <= slot < Workers). It is called once per
@@ -323,18 +336,26 @@ func NewPoolOpts(ctx context.Context, o Options) *Pool {
 // Workers returns the pool's concurrency bound.
 func (p *Pool) Workers() int { return len(p.slots.free) }
 
+// ClassOf names key's scheduling class: the registered affinity
+// classifier's answer (core installs one keying on the configuration's rank
+// count), falling back to the workload-family prefix when no classifier is
+// installed or it abstains. In-process slot affinity and the out-of-process
+// supervisor (package dist) both route by this class, so worker processes
+// partition the sweep exactly as worker slots do.
+func ClassOf(key string) string {
+	if f := affinityClass.Load(); f != nil && *f != nil {
+		if c := (*f)(key); c != "" {
+			return c
+		}
+	}
+	return family(key)
+}
+
 // slotFor hashes a cache key's scheduling class onto a preferred worker
 // slot, so every leaf of one class names the same slot (see slotTable and
 // RegisterAffinity).
 func (p *Pool) slotFor(key string) int {
-	class := ""
-	if f := affinityClass.Load(); f != nil && *f != nil {
-		class = (*f)(key)
-	}
-	if class == "" {
-		class = family(key)
-	}
-	return int(fnv32(class) % uint32(p.Workers()))
+	return int(fnv32(ClassOf(key)) % uint32(p.Workers()))
 }
 
 // shard returns the lock stripe holding key.
@@ -551,6 +572,7 @@ func (p *Pool) runLeaf(e *entry, fn func(context.Context) (any, error)) {
 			if attempt >= p.opts.MaxRetries || !retryable(err) {
 				break
 			}
+			p.retries.Add(1)
 			select {
 			case <-p.after(delay):
 			case <-p.ctx.Done():
@@ -564,6 +586,58 @@ func (p *Pool) runLeaf(e *entry, fn func(context.Context) (any, error)) {
 		}
 		p.evict(e)
 	}()
+}
+
+// runRemote is runLeaf for out-of-process points: no slot is acquired (the
+// worker fleet owns its own concurrency), no worker-context decoration and
+// no per-attempt timeout are applied (the worker enforces the wall-clock
+// budget; double-budgeting here would turn a worker-side "!timeout" cell
+// into a supervisor-side "!canceled" one). Retry pacing, eviction and panic
+// conversion match the local path.
+func (p *Pool) runRemote(e *entry, fn func(context.Context) (any, error)) {
+	go func() {
+		defer close(e.done)
+		if err := p.ctx.Err(); err != nil {
+			e.err = err
+			p.evict(e)
+			return
+		}
+		delay := p.opts.Backoff
+		for attempt := 0; ; attempt++ {
+			val, err := p.remoteAttempt(e.key, fn)
+			if err == nil {
+				e.val, e.err = val, nil
+				return
+			}
+			e.err = err
+			if attempt >= p.opts.MaxRetries || !retryable(err) {
+				break
+			}
+			p.retries.Add(1)
+			select {
+			case <-p.after(delay):
+			case <-p.ctx.Done():
+				e.err = p.ctx.Err()
+				p.evict(e)
+				return
+			}
+			if delay < maxBackoff {
+				delay *= 2
+			}
+		}
+		p.evict(e)
+	}()
+}
+
+// remoteAttempt runs fn once under the pool's own context, converting a
+// panic into a *PanicError with the stack captured at the source.
+func (p *Pool) remoteAttempt(key string, fn func(context.Context) (any, error)) (val any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Key: key, Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	return fn(p.ctx)
 }
 
 // Go runs fn concurrently on a plain goroutine, outside the worker bound.
@@ -629,6 +703,28 @@ func CachedCtx[T any](p *Pool, key string, fn func(context.Context) (T, error)) 
 	s.m[key] = e
 	s.mu.Unlock()
 	p.runLeaf(e, func(ctx context.Context) (any, error) { return fn(ctx) })
+	return Future[T]{e: e}
+}
+
+// CachedRemote is CachedCtx for points dispatched to an out-of-process
+// worker fleet (see package dist): memoization under the same key space,
+// retryable-failure resubmission with the pool's backoff schedule, and
+// failed-entry eviction are identical, but the submission holds no worker
+// slot, gets no worker-context decoration, and runs under the pool's
+// context without the per-attempt Timeout — the fleet owns concurrency,
+// worker state and the wall-clock budget. Mixing Cached and CachedRemote
+// keys in one pool is safe: whichever submission lands first owns the entry.
+func CachedRemote[T any](p *Pool, key string, fn func(context.Context) (T, error)) Future[T] {
+	s := p.shard(key)
+	s.mu.Lock()
+	if e, ok := s.m[key]; ok {
+		s.mu.Unlock()
+		return Future[T]{e: e}
+	}
+	e := &entry{done: make(chan struct{}), key: key}
+	s.m[key] = e
+	s.mu.Unlock()
+	p.runRemote(e, func(ctx context.Context) (any, error) { return fn(ctx) })
 	return Future[T]{e: e}
 }
 

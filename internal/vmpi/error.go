@@ -43,6 +43,12 @@ const (
 	// violation is a property of the program, so the kind is never
 	// retryable.
 	ErrSanitizer
+	// ErrWorkerCrash means an out-of-process sweep worker (package dist)
+	// died, corrupted its reply, or missed its heartbeat deadline too many
+	// consecutive times while serving the point — the point is quarantined
+	// as poison. The supervisor has already retried with fresh workers, so
+	// the kind is never retryable at the sweep level.
+	ErrWorkerCrash
 )
 
 // String returns the short lower-case label used in degraded report cells.
@@ -64,6 +70,8 @@ func (k ErrorKind) String() string {
 		return "linkdown"
 	case ErrSanitizer:
 		return "sanitizer"
+	case ErrWorkerCrash:
+		return "workercrash"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -198,9 +206,11 @@ func (e *RunError) Unwrap() error { return e.Err }
 // timeouts (wall-clock budget, host contention) and transient faults are;
 // config errors, deadlocks and rank panics are deterministic and are not.
 // Sanitizer violations are properties of the program, not the host, so they
-// are permanent even under a transient fault plan.
+// are permanent even under a transient fault plan. Worker-crash quarantines
+// have already exhausted the supervisor's own restart budget, so resubmitting
+// them through the sweep would only loop.
 func (e *RunError) Retryable() bool {
-	if e.Kind == ErrSanitizer {
+	if e.Kind == ErrSanitizer || e.Kind == ErrWorkerCrash {
 		return false
 	}
 	return e.Kind == ErrTimeout || e.Transient

@@ -336,3 +336,20 @@ func TestFaultTransientNodeDownRetryable(t *testing.T) {
 		t.Error("transient node loss should be retryable")
 	}
 }
+
+// TestFaultWorkerCrashKind: the quarantine error minted by the dist
+// supervisor labels cells "!workercrash" and never re-enters the sweep's
+// retry loop, even when the active plan is transient.
+func TestFaultWorkerCrashKind(t *testing.T) {
+	re := &RunError{Kind: ErrWorkerCrash, Rank: -1, Transient: true,
+		Msg: "point killed 3 consecutive workers"}
+	if re.FailureKind() != "workercrash" {
+		t.Errorf("FailureKind = %q, want workercrash", re.FailureKind())
+	}
+	if re.Retryable() {
+		t.Error("ErrWorkerCrash must never be retryable — the supervisor already spent its restart budget")
+	}
+	if got := re.Error(); got != "vmpi: point killed 3 consecutive workers" {
+		t.Errorf("Error() = %q", got)
+	}
+}

@@ -46,6 +46,18 @@ go test -timeout 10m -run Fault -count=5 \
 echo "== commsan (representative experiments) =="
 go run ./cmd/columbia -commsan run stride fig8 fig7 table5 > /dev/null
 
+# Crash-tolerance smoke: a small sweep on 2 supervised worker processes
+# under a kill-after-every-point chaos schedule must emit bytes identical
+# to the serial run — crashes are restarted and re-dispatched, never
+# visible in stdout. See DESIGN.md §10 and `make chaos`.
+echo "== worker chaos smoke (byte-identity under crashes) =="
+mkdir -p bin
+go build -o bin/columbia ./cmd/columbia
+bin/columbia -faults wkill=1 run stride table1 > bin/chaos_serial.out
+bin/columbia -workers 2 -faults wkill=1 run stride table1 > bin/chaos_workers.out
+cmp bin/chaos_serial.out bin/chaos_workers.out
+rm -f bin/chaos_serial.out bin/chaos_workers.out
+
 # -short skips the 2048-rank experiments: their race-instrumented goroutine
 # churn takes tens of minutes on small hosts while exercising the exact same
 # engine and scheduler code paths as the light experiments, which the
