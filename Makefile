@@ -1,15 +1,25 @@
 GO ?= go
 
-.PHONY: build test race bench bench-all bench-baseline bench-scaling verify golden lint chaos
+.PHONY: build test race bench bench-all bench-baseline bench-scaling verify golden lint analyze chaos
 
 build:
 	$(GO) build ./...
 
-# Determinism lint suite (see internal/analysis/detlint): builds the
-# detlint vettool and runs it over every package via go vet.
+# Static analysis gate (see internal/analysis/{detlint,perflint}): builds
+# the combined vettool — determinism suite plus the performance/concurrency
+# suite (hotalloc, lockorder, wirecover) — and runs it over every package.
 lint:
 	$(GO) build -o bin/detlint ./cmd/detlint
 	$(GO) vet -vettool=bin/detlint ./...
+
+# Same suite in machine-readable form (-json per-package findings), plus
+# the escape-budget gate: the hotalloc analyzer's static counts AND the
+# compiler's -gcflags=-m escape diagnostics diffed against the committed
+# budget. See DESIGN.md §11.
+analyze:
+	$(GO) build -o bin/detlint ./cmd/detlint
+	$(GO) vet -vettool=bin/detlint -json ./...
+	$(GO) run ./cmd/perflint
 
 test:
 	$(GO) test ./...

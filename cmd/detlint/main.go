@@ -1,18 +1,28 @@
-// Detlint is the determinism lint suite for this repository, packaged as
-// a go vet tool. Build it once, then point go vet at it:
+// Detlint is the static analysis gate for this repository, packaged as a
+// go vet tool: the determinism suite (package detlint) plus the
+// performance-and-concurrency suite (package perflint) in one binary.
+// Build it once, then point go vet at it:
 //
 //	go build -o bin/detlint ./cmd/detlint
 //	go vet -vettool=bin/detlint ./...
 //
-// or simply `make lint`. See package detlint for the analyzers and the
-// //detlint:allow suppression protocol.
+// or simply `make lint` (human output) / `make analyze` (-json output
+// plus the compiler escape-budget diff). See packages detlint and
+// perflint for the analyzers and the //detlint:allow suppression
+// protocol they share.
 package main
 
 import (
+	"columbia/internal/analysis"
 	"columbia/internal/analysis/detlint"
+	"columbia/internal/analysis/perflint"
 	"columbia/internal/analysis/unitchecker"
 )
 
 func main() {
-	unitchecker.Main("detlint", detlint.Suite, detlint.Names())
+	suite := make([]*analysis.Analyzer, 0, len(detlint.Suite)+len(perflint.Suite))
+	suite = append(suite, detlint.Suite...)
+	suite = append(suite, perflint.Suite...)
+	known := append(detlint.Names(), perflint.Names()...)
+	unitchecker.Main("detlint", suite, known)
 }

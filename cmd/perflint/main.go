@@ -1,0 +1,375 @@
+// Perflint maintains and enforces the hotalloc escape budget
+// (internal/analysis/perflint/hotalloc_budget.json) from two independent
+// views of the same hot functions:
+//
+//   - the static view: the hotalloc analyzer's own escape-site count,
+//     recomputed here over the hot packages exactly as `make lint` counts
+//     it, and
+//   - the compiler's view: the gc escape diagnostics (-gcflags=-m)
+//     attributed to each //perflint:hot function's line range.
+//
+// With no flags it is a gate: any hot function whose current counts differ
+// from the committed budget — a new escape, a stale entry for a function
+// that lost its annotation, or an improvement the budget has not banked —
+// fails with exit 1. The compiler diff is skipped (with a notice) when the
+// budget was written by a different toolchain, since escape analysis
+// results are only comparable within one compiler version.
+//
+//	go run ./cmd/perflint          # gate: diff current counts vs budget
+//	go run ./cmd/perflint -write   # regenerate the budget (then rebuild
+//	                               # bin/detlint: the analyzer embeds it)
+//
+// -write also snapshots allocs/op from the latest BENCH_<date>.json into
+// the budget's bench_allocs, which cmd/benchgate cross-checks so the
+// static budget and the measured allocation rate cannot silently diverge.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+
+	"columbia/internal/analysis/perflint"
+)
+
+// listedPackage is the subset of `go list -json` perflint consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+}
+
+// hotCount is one hot function's measured escape counts plus the source
+// range the compiler diagnostics are attributed over.
+type hotCount struct {
+	key      string
+	static   int
+	compiler int
+	file     string // absolute path
+	from, to int    // declaration line range, inclusive
+	pkg      string // import path, for reporting
+	shortPos string // file:line of the declaration, repo-relative
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "perflint:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	write := flag.Bool("write", false, "regenerate the budget file instead of gating on it")
+	budgetPath := flag.String("budget", filepath.Join("internal", "analysis", "perflint", "hotalloc_budget.json"),
+		"path of the committed escape budget")
+	benchDir := flag.String("benchdir", ".", "directory holding BENCH_*.json baselines (for bench_allocs)")
+	flag.Parse()
+
+	pkgs, exports, err := listPackages(perflint.HotPackages)
+	if err != nil {
+		return err
+	}
+	counts, err := staticCounts(pkgs, exports)
+	if err != nil {
+		return err
+	}
+	goVersion := runtime.Version()
+	if err := compilerCounts(counts); err != nil {
+		return err
+	}
+
+	if *write {
+		return writeBudget(*budgetPath, *benchDir, goVersion, counts)
+	}
+	return gate(*budgetPath, goVersion, counts)
+}
+
+// listPackages resolves the hot packages and the export data of everything
+// they import, via the go command.
+func listPackages(patterns []string) ([]listedPackage, map[string]string, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,GoFiles,Export"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list: %w", err)
+	}
+	want := make(map[string]bool, len(patterns))
+	for _, p := range patterns {
+		want[p] = true
+	}
+	exports := make(map[string]string)
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if want[p.ImportPath] {
+			pkgs = append(pkgs, p)
+		}
+	}
+	if len(pkgs) != len(patterns) {
+		return nil, nil, fmt.Errorf("go list resolved %d of %d hot packages", len(pkgs), len(patterns))
+	}
+	return pkgs, exports, nil
+}
+
+// staticCounts type-checks each hot package from source and counts the
+// hotalloc analyzer's escape sites per annotated function.
+func staticCounts(pkgs []listedPackage, exports map[string]string) (map[string]*hotCount, error) {
+	counts := make(map[string]*hotCount)
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	for _, p := range pkgs {
+		fset := token.NewFileSet()
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		tconf := &types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+		if _, err := tconf.Check(p.ImportPath, fset, files, info); err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", p.ImportPath, err)
+		}
+		for _, hf := range perflint.HotFuncs(p.ImportPath, fset, files) {
+			start := fset.Position(hf.Decl.Pos())
+			end := fset.Position(hf.Decl.End())
+			counts[hf.Key] = &hotCount{
+				key:      hf.Key,
+				static:   len(perflint.EscapeSites(info, hf.Decl)),
+				file:     start.Filename,
+				from:     start.Line,
+				to:       end.Line,
+				pkg:      p.ImportPath,
+				shortPos: fmt.Sprintf("%s:%d", relPath(start.Filename), start.Line),
+			}
+		}
+	}
+	return counts, nil
+}
+
+// escapeLine matches one gc escape diagnostic, e.g.
+//
+//	internal/sweep/sweep.go:239:7: &slotWaiter{...} escapes to heap
+//	internal/sweep/sweep.go:241:2: moved to heap: w
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):\d+: (?:.* escapes to heap|moved to heap: .*)$`)
+
+// compilerCounts builds each hot package with -gcflags=-m and attributes
+// the heap-escape diagnostics that land inside a hot function's line range.
+// The go build cache replays -m output on cache hits, so repeated gates are
+// cheap.
+func compilerCounts(counts map[string]*hotCount) error {
+	byPkg := make(map[string][]*hotCount)
+	for _, c := range counts {
+		byPkg[c.pkg] = append(byPkg[c.pkg], c)
+	}
+	for _, pkg := range sortedKeys(byPkg) {
+		cmd := exec.Command("go", "build", "-gcflags="+pkg+"=-m", pkg)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			os.Stderr.Write(stderr.Bytes())
+			return fmt.Errorf("go build -gcflags=-m %s: %w", pkg, err)
+		}
+		sc := bufio.NewScanner(&stderr)
+		for sc.Scan() {
+			m := escapeLine.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			file, err := filepath.Abs(m[1])
+			if err != nil {
+				continue
+			}
+			line, _ := strconv.Atoi(m[2])
+			for _, c := range byPkg[pkg] {
+				if c.file == file && c.from <= line && line <= c.to {
+					c.compiler++
+				}
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gate diffs the measured counts against the committed budget.
+func gate(budgetPath, goVersion string, counts map[string]*hotCount) error {
+	data, err := os.ReadFile(budgetPath)
+	if err != nil {
+		return fmt.Errorf("%w (run `go run ./cmd/perflint -write` to create it)", err)
+	}
+	budget, err := perflint.ParseBudget(data)
+	if err != nil {
+		return err
+	}
+	compilerComparable := budget.Go == goVersion
+	if !compilerComparable {
+		fmt.Printf("perflint: budget written by %s, running %s — compiler escape diff skipped (regenerate with -write to re-arm it)\n",
+			budget.Go, goVersion)
+	}
+
+	var failures []string
+	for _, key := range sortedKeys(counts) {
+		c := counts[key]
+		b, ok := budget.Functions[key]
+		if !ok {
+			failures = append(failures, fmt.Sprintf(
+				"%s (%s): hot function not budgeted — run `go run ./cmd/perflint -write` and commit the budget",
+				key, c.shortPos))
+			continue
+		}
+		if c.static > b.Static {
+			failures = append(failures, fmt.Sprintf(
+				"%s (%s): %d static escape site(s), budget %d — a new allocation escapes this hot function; make it stack-local or justify and regenerate",
+				key, c.shortPos, c.static, b.Static))
+		} else if c.static < b.Static {
+			failures = append(failures, fmt.Sprintf(
+				"%s (%s): %d static escape site(s), budget %d — an escape was eliminated; bank the win with `go run ./cmd/perflint -write` so it cannot silently regress",
+				key, c.shortPos, c.static, b.Static))
+		}
+		if compilerComparable && c.compiler != b.Compiler {
+			direction := "new compiler-reported heap escape(s)"
+			if c.compiler < b.Compiler {
+				direction = "fewer compiler-reported heap escapes than budgeted; bank the win"
+			}
+			failures = append(failures, fmt.Sprintf(
+				"%s (%s): compiler reports %d heap escape(s), budget %d — %s (`go run ./cmd/perflint -write`)",
+				key, c.shortPos, c.compiler, b.Compiler, direction))
+		}
+	}
+	for _, key := range sortedKeys(budget.Functions) {
+		if _, ok := counts[key]; !ok {
+			failures = append(failures, fmt.Sprintf(
+				"%s: stale budget entry — the function is gone or no longer //perflint:hot; regenerate with `go run ./cmd/perflint -write`",
+				key))
+		}
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Printf("  ESCAPE %s\n", f)
+		}
+		return fmt.Errorf("escape budget gate failed: %d finding(s)", len(failures))
+	}
+	fmt.Printf("perflint: %d hot functions within budget (%s)\n", len(counts), budgetPath)
+	return nil
+}
+
+// writeBudget regenerates the committed budget from the measured counts
+// and the latest benchmark baseline's allocs/op.
+func writeBudget(budgetPath, benchDir, goVersion string, counts map[string]*hotCount) error {
+	b := perflint.Budget{Go: goVersion, Functions: make(map[string]perflint.FuncBudget, len(counts))}
+	for key, c := range counts {
+		b.Functions[key] = perflint.FuncBudget{Static: c.static, Compiler: c.compiler}
+	}
+	allocs, base, err := benchAllocs(benchDir)
+	if err != nil {
+		return err
+	}
+	b.BenchAllocs = allocs
+	data, err := json.MarshalIndent(&b, "", "\t")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(budgetPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("perflint: wrote %s (%d hot functions", budgetPath, len(counts))
+	if base != "" {
+		fmt.Printf(", allocs/op snapshot from %s", filepath.Base(base))
+	}
+	fmt.Printf(") — rebuild bin/detlint to embed it\n")
+	return nil
+}
+
+// benchAllocs snapshots allocs/op from the lexically latest BENCH_*.json,
+// or returns nil when no baseline exists.
+func benchAllocs(dir string) (map[string]float64, string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(matches) == 0 {
+		return nil, "", err
+	}
+	sort.Strings(matches)
+	base := matches[len(matches)-1]
+	data, err := os.ReadFile(base)
+	if err != nil {
+		return nil, "", err
+	}
+	var baseline struct {
+		Benchmarks map[string]struct {
+			AllocsPerOp float64 `json:"allocs_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", base, err)
+	}
+	allocs := make(map[string]float64, len(baseline.Benchmarks))
+	for name, m := range baseline.Benchmarks {
+		if m.AllocsPerOp > 0 {
+			allocs[name] = m.AllocsPerOp
+		}
+	}
+	return allocs, base, nil
+}
+
+func relPath(abs string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return abs
+	}
+	if rel, err := filepath.Rel(wd, abs); err == nil {
+		return rel
+	}
+	return abs
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

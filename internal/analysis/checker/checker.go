@@ -1,10 +1,14 @@
 // Package checker runs a suite of analyzers over one loaded package and
 // applies detlint's suppression protocol: a `//detlint:allow <analyzer>
-// <reason>` comment silences exactly the named analyzer on exactly the
-// statement (or declaration, spec, or struct field) that the comment is
-// attached to — the one it shares a line with, or the next one after it.
-// An allow that suppresses nothing is itself reported as stale, so
-// suppressions cannot outlive the hazards they were written for.
+// <reason>` comment silences exactly the named analyzer on exactly one
+// source line — the comment's own line when code precedes it there
+// (trailing form), or the next line that contains any code. Anchoring to
+// lines rather than statement extents means an allow above a multi-line
+// statement or declaration governs only its first line, and a trailing
+// allow on a continuation line governs that continuation line — the
+// diagnostic's line, never the whole enclosing construct. An allow that
+// suppresses nothing is itself reported as stale, so suppressions cannot
+// outlive the hazards they were written for.
 package checker
 
 import (
@@ -49,6 +53,10 @@ const allowName = "allow"
 // but not in analyzers is ignored (partial runs, e.g. a single-analyzer
 // test, cannot judge its staleness), while an allow naming anything else
 // is reported as referring to an unknown analyzer.
+//
+// A panicking analyzer is contained: the panic surfaces as a diagnostic
+// under the analyzer's own name at the package clause, so one buggy
+// analyzer degrades the run instead of crashing the whole vet invocation.
 func Run(pkg *Package, analyzers []*analysis.Analyzer, known []string) ([]Diag, error) {
 	if err := analysis.Validate(analyzers); err != nil {
 		return nil, err
@@ -68,7 +76,20 @@ func Run(pkg *Package, analyzers []*analysis.Analyzer, known []string) ([]Diag, 
 				diags = append(diags, Diag{Analyzer: name, Pos: d.Pos, Message: d.Message})
 			},
 		}
-		if err := a.Run(pass); err != nil {
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					pos := token.NoPos
+					if len(pkg.Files) > 0 {
+						pos = pkg.Files[0].Package
+					}
+					diags = append(diags, Diag{Analyzer: name, Pos: pos, Message: fmt.Sprintf(
+						"analyzer panicked: %v (analyzer bug — this is not a finding about the code under analysis)", r)})
+				}
+			}()
+			return a.Run(pass)
+		}()
+		if err != nil {
 			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Pkg.Path(), err)
 		}
 	}
@@ -81,11 +102,13 @@ func Run(pkg *Package, analyzers []*analysis.Analyzer, known []string) ([]Diag, 
 	return out, nil
 }
 
-// allow is one parsed suppression comment.
+// allow is one parsed suppression comment, anchored to the single source
+// line it governs.
 type allow struct {
 	comment  *ast.Comment
 	analyzer string
-	lo, hi   token.Pos // targeted statement's extent; NoPos when nothing follows
+	file     string
+	line     int
 	used     bool
 }
 
@@ -100,7 +123,11 @@ func applyAllows(pkg *Package, diags []Diag, ran, known map[string]bool) []Diag 
 	suppressed := make([]bool, len(diags))
 	for _, al := range allows {
 		for i, d := range diags {
-			if d.Analyzer == al.analyzer && al.lo != token.NoPos && al.lo <= d.Pos && d.Pos <= al.hi {
+			if d.Analyzer != al.analyzer {
+				continue
+			}
+			posn := pkg.Fset.Position(d.Pos)
+			if posn.Filename == al.file && posn.Line == al.line {
 				suppressed[i] = true
 				al.used = true
 			}
@@ -130,7 +157,7 @@ func applyAllows(pkg *Package, diags []Diag, ran, known map[string]bool) []Diag 
 func parseAllows(pkg *Package, f *ast.File, ran, known map[string]bool) ([]*allow, []Diag) {
 	var allows []*allow
 	var bad []Diag
-	nodes := targetNodes(f)
+	lines := codeLines(pkg.Fset, f)
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			if !strings.HasPrefix(c.Text, AllowPrefix) {
@@ -155,59 +182,60 @@ func parseAllows(pkg *Package, f *ast.File, ran, known map[string]bool) ([]*allo
 			if !ran[name] {
 				continue
 			}
-			lo, hi := targetOf(pkg.Fset, c, nodes)
-			if lo == token.NoPos {
+			line := governedLine(pkg.Fset, c, lines)
+			if line == 0 {
 				bad = append(bad, Diag{Analyzer: allowName, Pos: c.Pos(), Message: fmt.Sprintf(
 					"stale %s: no statement follows the comment", AllowPrefix)})
 				continue
 			}
-			allows = append(allows, &allow{comment: c, analyzer: name, lo: lo, hi: hi})
+			allows = append(allows, &allow{
+				comment:  c,
+				analyzer: name,
+				file:     pkg.Fset.Position(c.Pos()).Filename,
+				line:     line,
+			})
 		}
 	}
 	return allows, bad
 }
 
-// targetNodes collects every node an allow comment can attach to:
-// statements, declarations, import/type/value specs, and struct fields.
-func targetNodes(f *ast.File) []ast.Node {
-	var nodes []ast.Node
+// codeLines returns, sorted, every line of f on which some AST node
+// begins. Expressions count, not just statements: the continuation lines
+// of a multi-line statement are code lines, so a trailing allow there
+// anchors to its own line instead of sliding to the next statement.
+// Comment positions deliberately do not count as code.
+func codeLines(fset *token.FileSet, f *ast.File) []int {
+	seen := make(map[int]bool)
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch n.(type) {
-		case ast.Stmt, ast.Decl, ast.Spec, *ast.Field:
-			nodes = append(nodes, n)
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
 		}
+		seen[fset.Position(n.Pos()).Line] = true
 		return true
 	})
-	return nodes
+	lines := make([]int, 0, len(seen))
+	for l := range seen {
+		lines = append(lines, l)
+	}
+	sort.Ints(lines)
+	return lines
 }
 
-// targetOf resolves the statement an allow comment governs: the outermost
-// node starting on the comment's own line (trailing-comment form), or
-// failing that the outermost node on the nearest following line.
-func targetOf(fset *token.FileSet, c *ast.Comment, nodes []ast.Node) (lo, hi token.Pos) {
+// governedLine resolves the line an allow comment governs: its own line
+// when that line contains code (the trailing-comment form — a line
+// comment runs to end of line, so any code there precedes it), otherwise
+// the nearest following code line. Zero means nothing follows.
+func governedLine(fset *token.FileSet, c *ast.Comment, lines []int) int {
 	cLine := fset.Position(c.Pos()).Line
-	bestLine := -1
-	for _, n := range nodes {
-		l := fset.Position(n.Pos()).Line
-		switch {
-		case l == cLine && n.Pos() < c.Pos():
-			if bestLine != cLine || n.Pos() < lo {
-				bestLine, lo, hi = cLine, n.Pos(), n.End()
-			} else if n.Pos() == lo && n.End() > hi {
-				hi = n.End()
-			}
-		case bestLine == cLine || n.Pos() <= c.End():
-			// Inline target already found, or node precedes the comment.
-		case bestLine < 0 || l < bestLine || (l == bestLine && n.Pos() < lo):
-			bestLine, lo, hi = l, n.Pos(), n.End()
-		case l == bestLine && n.Pos() == lo && n.End() > hi:
-			hi = n.End()
-		}
+	i := sort.SearchInts(lines, cLine)
+	if i < len(lines) && lines[i] == cLine {
+		return cLine
 	}
-	if bestLine < 0 {
-		return token.NoPos, token.NoPos
+	if i < len(lines) {
+		return lines[i]
 	}
-	return lo, hi
+	return 0
 }
 
 // Position formats d's position against fset, for diagnostics output.

@@ -5,6 +5,7 @@ import (
 	"go/types"
 
 	"columbia/internal/analysis"
+	"columbia/internal/analysis/flow"
 )
 
 // Collsplit flags a collective call that is lexically reachable only under
@@ -67,8 +68,14 @@ func runCollsplit(pass *analysis.Pass) error {
 // position is lexically inside a rank-dependent branch, and reports any
 // collective call found there.
 func checkCollsplit(pass *analysis.Pass, body *ast.BlockStmt) {
-	tainted := rankTaint(pass, body)
-	dep := func(e ast.Expr) bool { return rankDep(pass, tainted, e) }
+	// Seed the shared taint engine with direct Rank() reads; the fixed
+	// point then finds every local whose value derives from one.
+	seed := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		return ok && isRankCall(pass, call)
+	}
+	tainted := flow.Taint(pass.TypesInfo, body, seed)
+	dep := func(e ast.Expr) bool { return flow.Depends(pass.TypesInfo, tainted, seed, e) }
 	var walk func(n ast.Node, guarded bool)
 	walk = func(n ast.Node, guarded bool) {
 		switch s := n.(type) {
@@ -172,74 +179,4 @@ func isRankCall(pass *analysis.Pass, call *ast.CallExpr) bool {
 	fn := calleeFunc(pass.TypesInfo, call)
 	return fn != nil && fn.Name() == "Rank" && len(call.Args) == 0 &&
 		fn.Type().(*types.Signature).Recv() != nil
-}
-
-// rankDep reports whether the expression reads the rank: directly through a
-// Rank() call, or through an identifier tainted by one.
-func rankDep(pass *analysis.Pass, tainted map[types.Object]bool, e ast.Expr) bool {
-	found := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.CallExpr:
-			if isRankCall(pass, x) {
-				found = true
-			}
-		case *ast.Ident:
-			if tainted[pass.TypesInfo.Uses[x]] {
-				found = true
-			}
-		}
-		return !found
-	})
-	return found
-}
-
-// rankTaint computes the body-local variables whose values derive from the
-// rank, by fixed-point propagation over assignments and var declarations.
-func rankTaint(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
-	tainted := make(map[types.Object]bool)
-	mark := func(lhs ast.Expr) bool {
-		id, ok := lhs.(*ast.Ident)
-		if !ok {
-			return false
-		}
-		obj := pass.TypesInfo.Defs[id]
-		if obj == nil {
-			obj = pass.TypesInfo.Uses[id]
-		}
-		if obj == nil || tainted[obj] {
-			return false
-		}
-		tainted[obj] = true
-		return true
-	}
-	for changed := true; changed; {
-		changed = false
-		ast.Inspect(body, func(n ast.Node) bool {
-			switch s := n.(type) {
-			case *ast.AssignStmt:
-				if len(s.Lhs) == len(s.Rhs) {
-					for i := range s.Lhs {
-						if rankDep(pass, tainted, s.Rhs[i]) && mark(s.Lhs[i]) {
-							changed = true
-						}
-					}
-				} else if len(s.Rhs) == 1 && rankDep(pass, tainted, s.Rhs[0]) {
-					for _, l := range s.Lhs {
-						if mark(l) {
-							changed = true
-						}
-					}
-				}
-			case *ast.ValueSpec:
-				for i, v := range s.Values {
-					if rankDep(pass, tainted, v) && i < len(s.Names) && mark(s.Names[i]) {
-						changed = true
-					}
-				}
-			}
-			return true
-		})
-	}
-	return tainted
 }

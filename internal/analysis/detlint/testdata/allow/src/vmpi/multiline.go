@@ -1,0 +1,29 @@
+//go:build allowfixture
+
+// Build-tagged file: the suppression protocol must anchor identically
+// here — the constraint comment above the package clause must not perturb
+// which line an allow governs.
+package vmpi
+
+// taggedCmp: an ordinary adjacent-line allow in a constrained file.
+func taggedCmp(a, b float64) bool {
+	//detlint:allow floatcmp bit-exact by construction in this fixture
+	return a == b
+}
+
+// splitCmp: a trailing allow on the continuation line of a multi-line
+// statement governs that continuation line — the diagnostic's line — not
+// the next statement.
+func splitCmp(a, b, c float64) bool {
+	return a == b || // want `floatcmp: exact == on floating-point values`
+		b == c //detlint:allow floatcmp continuation-line equality is on quantized grid values
+}
+
+// firstLineOnly: an allow above a multi-line statement governs only the
+// statement's first line, never the whole extent, so the comparison on
+// the continuation line still fires.
+func firstLineOnly(a, b, c float64) bool {
+	//detlint:allow floatcmp quantized comparison on the first line
+	return a == b ||
+		b == c // want `floatcmp: exact == on floating-point values`
+}

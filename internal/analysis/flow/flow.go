@@ -1,0 +1,187 @@
+// Package flow is the shared dataflow substrate of the analysis suites: a
+// seed-driven taint fixed point over local assignments (generalized from
+// collsplit's rank-taint engine), callee resolution that sees through
+// generic instantiation, a declaration index, and transitive in-package
+// call closures. detlint's collsplit and every perflint analyzer build on
+// it, so interprocedural reasoning lives in one place instead of being
+// re-derived per analyzer.
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Seed decides whether an expression originates the property being
+// propagated (reads the rank, is an allocation site, names the target
+// struct...). It is consulted on every sub-expression during dependence
+// checks, so it should be cheap and must not recurse into children itself.
+type Seed func(e ast.Expr) bool
+
+// Taint computes the body-local objects whose values derive from a seed
+// expression, by fixed-point propagation over assignments and var
+// declarations. A multi-value assignment from a single seed-dependent RHS
+// taints every LHS (the conservative choice: which result carries the
+// property is unknowable without per-function summaries).
+func Taint(info *types.Info, body *ast.BlockStmt, seed Seed) map[types.Object]bool {
+	tainted := make(map[types.Object]bool)
+	mark := func(lhs ast.Expr) bool {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil || tainted[obj] {
+			return false
+		}
+		tainted[obj] = true
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) == len(s.Rhs) {
+					for i := range s.Lhs {
+						if Depends(info, tainted, seed, s.Rhs[i]) && mark(s.Lhs[i]) {
+							changed = true
+						}
+					}
+				} else if len(s.Rhs) == 1 && Depends(info, tainted, seed, s.Rhs[0]) {
+					for _, l := range s.Lhs {
+						if mark(l) {
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range s.Values {
+					if Depends(info, tainted, seed, v) && i < len(s.Names) && mark(s.Names[i]) {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// Depends reports whether the expression carries the seeded property:
+// some sub-expression satisfies seed, or mentions a tainted identifier.
+func Depends(info *types.Info, tainted map[types.Object]bool, seed Seed, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if x, ok := n.(ast.Expr); ok && seed != nil && seed(x) {
+			found = true
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && tainted[info.Uses[id]] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Callee resolves a call's callee to its function or method object, or nil
+// for indirect calls, builtins and conversions. Methods of generic types
+// resolve to their origin (uninstantiated) object, so callgraph keys are
+// stable across instantiations.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var fn *types.Func
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = info.Uses[f].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = info.Uses[f.Sel].(*types.Func)
+	case *ast.IndexExpr:
+		// Explicitly instantiated generic function: f[T](...).
+		if id, ok := ast.Unparen(f.X).(*ast.Ident); ok {
+			fn, _ = info.Uses[id].(*types.Func)
+		}
+	case *ast.IndexListExpr:
+		if id, ok := ast.Unparen(f.X).(*ast.Ident); ok {
+			fn, _ = info.Uses[id].(*types.Func)
+		}
+	}
+	if fn == nil {
+		return nil
+	}
+	return fn.Origin()
+}
+
+// DeclIndex maps every function and method object declared in the files to
+// its declaration, the substrate for closure walks and summaries.
+func DeclIndex(info *types.Info, files []*ast.File) map[*types.Func]*ast.FuncDecl {
+	idx := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				idx[fn.Origin()] = fd
+			}
+		}
+	}
+	return idx
+}
+
+// Closure returns the set of declared functions reachable from roots
+// through in-package static calls, including the roots themselves (when
+// declared in decls). Dynamic calls through function values and calls into
+// other packages end the walk; callers needing to reason about them see
+// the call sites while visiting the member bodies.
+func Closure(info *types.Info, decls map[*types.Func]*ast.FuncDecl, roots []*types.Func) map[*types.Func]*ast.FuncDecl {
+	reach := make(map[*types.Func]*ast.FuncDecl)
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if fn == nil {
+			return
+		}
+		fn = fn.Origin()
+		fd, ok := decls[fn]
+		if !ok {
+			return
+		}
+		if _, seen := reach[fn]; seen {
+			return
+		}
+		reach[fn] = fd
+		if fd.Body == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				visit(Callee(info, call))
+			}
+			return true
+		})
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return reach
+}
+
+// SortedFuncs returns the closure's members ordered by source position,
+// for deterministic iteration in diagnostics and summaries.
+func SortedFuncs(m map[*types.Func]*ast.FuncDecl) []*types.Func {
+	fns := make([]*types.Func, 0, len(m))
+	for fn := range m {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return m[fns[i]].Pos() < m[fns[j]].Pos() })
+	return fns
+}

@@ -1,0 +1,365 @@
+package perflint
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sync"
+
+	"columbia/internal/analysis"
+	"columbia/internal/analysis/flow"
+)
+
+// HotAlloc enforces per-function escape budgets on functions annotated
+// //perflint:hot. An allocation site (make, new, &T{}, a slice or map
+// literal, a function literal) whose value can reach a sink — a return, a
+// call argument, a channel send, a store through a pointer, field or index,
+// a composite-literal element, a closure capture, or a package-level
+// variable — is counted as escaping; any count above the committed budget
+// (hotalloc_budget.json) is a diagnostic. The analysis is deliberately
+// conservative: it proves the *absence* of new escapes, and the budget
+// records the accepted ones. cmd/perflint -write regenerates the budget;
+// cmd/perflint (no flags) additionally diffs the compiler's own
+// -gcflags=-m escape diagnostics against the same file.
+var HotAlloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "enforce escape budgets in //perflint:hot functions",
+	Run:  runHotAlloc,
+}
+
+// Budget is the committed escape budget: per hot function, the accepted
+// static escape-site count and the accepted compiler heap-escape count
+// (which depend on the toolchain recorded in Go), plus a snapshot of the
+// benchmark allocs/op the budget was regenerated against, so benchgate can
+// detect the static and dynamic views diverging.
+type Budget struct {
+	Go          string                `json:"go"`
+	Functions   map[string]FuncBudget `json:"functions"`
+	BenchAllocs map[string]float64    `json:"bench_allocs,omitempty"`
+}
+
+// FuncBudget is one hot function's accepted escape counts.
+type FuncBudget struct {
+	Static   int `json:"static"`
+	Compiler int `json:"compiler"`
+}
+
+//go:embed hotalloc_budget.json
+var budgetJSON []byte
+
+var (
+	budgetOnce sync.Once
+	budgetVal  *Budget
+	budgetErr  error
+)
+
+// EmbeddedBudget parses the committed budget file compiled into the
+// analyzer, once.
+func EmbeddedBudget() (*Budget, error) {
+	budgetOnce.Do(func() {
+		budgetVal, budgetErr = ParseBudget(budgetJSON)
+	})
+	return budgetVal, budgetErr
+}
+
+// ParseBudget decodes a budget file, rejecting unknown fields so a typo in
+// a hand-edited budget fails loudly instead of silently budgeting nothing.
+func ParseBudget(data []byte) (*Budget, error) {
+	var b Budget
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("hotalloc budget: %w", err)
+	}
+	if b.Functions == nil {
+		b.Functions = map[string]FuncBudget{}
+	}
+	return &b, nil
+}
+
+// EscapeSite is one allocation whose value leaves its hot function.
+type EscapeSite struct {
+	Pos  token.Pos
+	What string // "make(...)", "new(...)", "&composite literal", ...
+}
+
+// HotFunc is one //perflint:hot-annotated declaration with its budget key.
+type HotFunc struct {
+	Key  string // "<pkgpath>.<Recv.>Name"
+	Decl *ast.FuncDecl
+}
+
+// HotFuncs returns the annotated function declarations in files, in
+// source order, keyed for budget lookup. Test files never carry hot
+// annotations (the budget guards production paths).
+func HotFuncs(pkgPath string, fset *token.FileSet, files []*ast.File) []HotFunc {
+	var out []HotFunc
+	for _, f := range files {
+		if isTestFile(fset, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := marker(fd.Doc, "hot"); !ok {
+				continue
+			}
+			out = append(out, HotFunc{Key: FuncKey(pkgPath, fd), Decl: fd})
+		}
+	}
+	return out
+}
+
+// FuncKey derives the budget key of a declaration: the package path, the
+// receiver's base type name for methods, and the function name —
+// "columbia/internal/sweep.slotTable.acquire".
+func FuncKey(pkgPath string, fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		t := fd.Recv.List[0].Type
+		for {
+			switch x := t.(type) {
+			case *ast.StarExpr:
+				t = x.X
+			case *ast.ParenExpr:
+				t = x.X
+			case *ast.IndexExpr:
+				t = x.X
+			case *ast.IndexListExpr:
+				t = x.X
+			case *ast.Ident:
+				return pkgPath + "." + x.Name + "." + fd.Name.Name
+			default:
+				return pkgPath + "." + fd.Name.Name
+			}
+		}
+	}
+	return pkgPath + "." + fd.Name.Name
+}
+
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	name := fset.Position(pos).Filename
+	return len(name) >= len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}
+
+func runHotAlloc(pass *analysis.Pass) error {
+	budget, err := EmbeddedBudget()
+	if err != nil {
+		return err
+	}
+	pkgPath := pkgPathKey(pass.Pkg.Path())
+	for _, hf := range HotFuncs(pkgPath, pass.Fset, pass.Files) {
+		sites := EscapeSites(pass.TypesInfo, hf.Decl)
+		allowed := budget.Functions[hf.Key].Static
+		if len(sites) <= allowed {
+			continue
+		}
+		for i, s := range sites[allowed:] {
+			pass.Reportf(s.Pos,
+				"hot function %s: %s escapes to the heap (site %d of %d, budget %d) — keep it stack-local, regenerate the budget with `go run ./cmd/perflint -write`, or justify with //detlint:allow hotalloc <reason>",
+				hf.Key, s.What, allowed+i+1, len(sites), allowed)
+		}
+	}
+	return nil
+}
+
+// EscapeSites returns fd's allocation sites whose values escape, in
+// source order. Sites inside nested function literals are attributed to
+// the literal itself (one site), not enumerated individually.
+func EscapeSites(info *types.Info, fd *ast.FuncDecl) []EscapeSite {
+	var sites []EscapeSite
+	for _, site := range allocSites(info, fd.Body) {
+		if escapes(info, fd.Body, site.node) {
+			sites = append(sites, EscapeSite{Pos: site.node.Pos(), What: site.what})
+		}
+	}
+	return sites
+}
+
+type allocSite struct {
+	node ast.Expr
+	what string
+}
+
+// allocSites collects allocation expressions outside nested function
+// literals: builtin make/new calls, addressed composite literals, bare
+// slice/map literals, and the function literals themselves.
+func allocSites(info *types.Info, body *ast.BlockStmt) []allocSite {
+	var sites []allocSite
+	var addressed map[ast.Expr]bool // composite literals consumed by &
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			sites = append(sites, allocSite{x, "function literal (closure)"})
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if cl, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					sites = append(sites, allocSite{x, "&composite literal"})
+					if addressed == nil {
+						addressed = make(map[ast.Expr]bool)
+					}
+					addressed[cl] = true
+				}
+			}
+		case *ast.CompositeLit:
+			if addressed[x] {
+				return true // counted as the enclosing &T{} site
+			}
+			switch info.TypeOf(x).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				sites = append(sites, allocSite{x, "composite literal"})
+			}
+		case *ast.CallExpr:
+			if b := builtinName(info, x); b == "make" || b == "new" {
+				sites = append(sites, allocSite{x, b + "(...)"})
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+// builtinName returns the name of the builtin a call invokes, or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// isConversion reports whether the call expression is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// escapes decides, conservatively, whether the value allocated at site can
+// leave the function: it taints every local derived from the site, then
+// scans for sinks. Sinks inside nested function literals are not scanned
+// (the literal is its own site); capturing a tainted local is.
+func escapes(info *types.Info, body *ast.BlockStmt, site ast.Expr) bool {
+	seed := func(e ast.Expr) bool { return e == site }
+	tainted := flow.Taint(info, body, seed)
+	for obj := range tainted {
+		// Propagation into a package-level variable is an escape no sink
+		// scan would see (the store is the taint edge itself).
+		if v, ok := obj.(*types.Var); ok && v.Parent() != nil && v.Pkg() != nil &&
+			v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+	}
+	dep := func(e ast.Expr) bool { return flow.Depends(info, tainted, seed, e) }
+	esc := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if esc {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			if s != site && capturesTainted(info, s, tainted) {
+				esc = true
+			}
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if dep(r) {
+					esc = true
+				}
+			}
+		case *ast.SendStmt:
+			if dep(s.Value) {
+				esc = true
+			}
+		case *ast.CallExpr:
+			if isConversion(info, s) {
+				return true // propagation, handled by taint through assignment
+			}
+			switch builtinName(info, s) {
+			case "":
+				for _, a := range s.Args {
+					if dep(a) {
+						esc = true
+					}
+				}
+			case "append":
+				// Growing a tainted slice in place is not a new escape;
+				// feeding the site's value into some other slice is.
+				for _, a := range s.Args[1:] {
+					if dep(a) {
+						esc = true
+					}
+				}
+			case "panic":
+				if len(s.Args) == 1 && dep(s.Args[0]) {
+					esc = true
+				}
+			}
+		case *ast.AssignStmt:
+			rhs := func(i int) ast.Expr {
+				if len(s.Lhs) == len(s.Rhs) {
+					return s.Rhs[i]
+				}
+				if len(s.Rhs) == 1 {
+					return s.Rhs[0]
+				}
+				return nil
+			}
+			for i, l := range s.Lhs {
+				r := rhs(i)
+				if r == nil || !dep(r) {
+					continue
+				}
+				switch lv := ast.Unparen(l).(type) {
+				case *ast.Ident:
+					// Locals are taint propagation; package-level targets
+					// were caught in the tainted-object scan above.
+				case *ast.IndexExpr:
+					if !dep(lv.X) {
+						esc = true // store into a container not derived from the site
+					}
+				case *ast.SelectorExpr:
+					if !dep(lv.X) {
+						esc = true
+					}
+				case *ast.StarExpr:
+					if !dep(lv.X) {
+						esc = true
+					}
+				default:
+					esc = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, e := range s.Elts {
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if dep(e) {
+					esc = true
+				}
+			}
+		}
+		return !esc
+	})
+	return esc
+}
+
+// capturesTainted reports whether the literal's body mentions a tainted
+// object from the enclosing function.
+func capturesTainted(info *types.Info, fl *ast.FuncLit, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && tainted[info.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,126 @@
+package perflint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"columbia/internal/analysis"
+	"columbia/internal/analysis/analysistest"
+	"columbia/internal/analysis/detlint"
+	"columbia/internal/analysis/perflint"
+)
+
+// TestAnalyzers golden-tests each perflint analyzer against its fixture
+// package; every fixture carries at least one true positive and one
+// //detlint:allow suppression.
+func TestAnalyzers(t *testing.T) {
+	known := append(detlint.Names(), perflint.Names()...)
+	tests := []struct {
+		name string
+		pkgs []string
+		run  []*analysis.Analyzer
+	}{
+		{"hotalloc", []string{"hot"}, []*analysis.Analyzer{perflint.HotAlloc}},
+		{"lockorder", []string{"locks"}, []*analysis.Analyzer{perflint.LockOrder}},
+		{"wirecover", []string{"wire"}, []*analysis.Analyzer{perflint.WireCover}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			for _, pkg := range tt.pkgs {
+				analysistest.Run(t, "testdata/"+tt.name, pkg, tt.run, known)
+			}
+		})
+	}
+}
+
+// TestNames pins the allow-comment vocabulary; renaming an analyzer is an
+// interface change for every suppression in the repo.
+func TestNames(t *testing.T) {
+	want := []string{"hotalloc", "lockorder", "wirecover"}
+	got := perflint.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFuncKey pins the budget key derivation for plain functions and for
+// methods through every receiver shape.
+func TestFuncKey(t *testing.T) {
+	src := `package p
+func Plain() {}
+func (t T) Val() {}
+func (t *T) Ptr() {}
+func (t *G[A, B]) Generic() {}
+type T struct{}
+type G[A any, B any] struct{}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"columbia/p.Plain":     true,
+		"columbia/p.T.Val":     true,
+		"columbia/p.T.Ptr":     true,
+		"columbia/p.G.Generic": true,
+	}
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		key := perflint.FuncKey("columbia/p", fd)
+		if !want[key] {
+			t.Errorf("FuncKey(%s) = %q, not an expected key", fd.Name.Name, key)
+		}
+		delete(want, key)
+	}
+	for k := range want {
+		t.Errorf("no declaration produced key %q", k)
+	}
+}
+
+// TestParseBudget covers the budget file loader: a round-trippable
+// document, defaulted maps, and a malformed document failing loudly.
+func TestParseBudget(t *testing.T) {
+	b, err := perflint.ParseBudget([]byte(`{
+		"go": "go1.24.0",
+		"functions": {"columbia/internal/sweep.lookup": {"static": 2, "compiler": 3}},
+		"bench_allocs": {"BenchmarkSweep": 600000}
+	}`))
+	if err != nil {
+		t.Fatalf("ParseBudget: %v", err)
+	}
+	if fb := b.Functions["columbia/internal/sweep.lookup"]; fb.Static != 2 || fb.Compiler != 3 {
+		t.Fatalf("budget entry = %+v, want {2 3}", fb)
+	}
+	if b.BenchAllocs["BenchmarkSweep"] != 600000 {
+		t.Fatalf("bench_allocs = %v", b.BenchAllocs)
+	}
+	if b, err := perflint.ParseBudget([]byte(`{}`)); err != nil || b.Functions == nil {
+		t.Fatalf("empty budget: b=%+v err=%v, want defaulted Functions map", b, err)
+	}
+	if _, err := perflint.ParseBudget([]byte(`{"functions": 7}`)); err == nil {
+		t.Fatal("malformed budget parsed without error")
+	}
+}
+
+// TestEmbeddedBudget proves the committed budget file parses: a broken
+// hotalloc_budget.json must fail the suite, not silently budget nothing.
+func TestEmbeddedBudget(t *testing.T) {
+	b, err := perflint.EmbeddedBudget()
+	if err != nil {
+		t.Fatalf("EmbeddedBudget: %v", err)
+	}
+	if b.Functions == nil {
+		t.Fatal("embedded budget has nil Functions")
+	}
+}

@@ -1,0 +1,82 @@
+// Package hot exercises the hotalloc escape-budget analyzer: every
+// function below is annotated //perflint:hot with no entry in the
+// committed budget, so its budget is zero and every escaping allocation
+// site is a diagnostic.
+package hot
+
+type node struct {
+	next *node
+	val  int
+}
+
+var global *node
+
+// newNode returns its allocation: one escaping site.
+//
+//perflint:hot
+func newNode(v int) *node {
+	n := &node{val: v} // want `hotalloc: hot function hot\.newNode: &composite literal escapes to the heap \(site 1 of 1, budget 0\)`
+	return n
+}
+
+// stackOnly allocates nothing that leaves the frame: clean.
+//
+//perflint:hot
+func stackOnly(vs []int) int {
+	var acc [8]int
+	for i, v := range vs {
+		acc[i%8] += v
+	}
+	t := 0
+	for _, a := range acc {
+		t += a
+	}
+	return t
+}
+
+// sendNode leaks its allocation through a channel.
+//
+//perflint:hot
+func sendNode(ch chan *node) {
+	n := &node{} // want `hotalloc: hot function hot\.sendNode: &composite literal escapes`
+	ch <- n
+}
+
+// capture has two escaping sites: the buffer (captured by the returned
+// closure) and the closure literal itself (returned).
+//
+//perflint:hot
+func capture() func() int {
+	buf := make([]int, 4) // want `hotalloc: hot function hot\.capture: make\(\.\.\.\) escapes`
+	return func() int {   // want `hotalloc: hot function hot\.capture: function literal \(closure\) escapes`
+		return buf[0]
+	}
+}
+
+// storeGlobal escapes by definition: the value outlives every frame.
+//
+//perflint:hot
+func storeGlobal() {
+	global = &node{} // want `hotalloc: hot function hot\.storeGlobal: &composite literal escapes`
+}
+
+// method receivers get type-qualified budget keys.
+//
+//perflint:hot
+func (n *node) push(v int) *node {
+	return &node{next: n, val: v} // want `hotalloc: hot function hot\.node\.push: &composite literal escapes`
+}
+
+// allowed demonstrates the suppression protocol: the escape is
+// acknowledged in place instead of budgeted.
+//
+//perflint:hot
+func allowed() *node {
+	//detlint:allow hotalloc deliberate escape exercised by the fixture
+	return &node{val: 1}
+}
+
+// coldAlloc is not annotated: hotalloc ignores it entirely.
+func coldAlloc() *node {
+	return &node{}
+}

@@ -6,20 +6,25 @@
 // The go command drives a vettool as follows:
 //
 //   - `tool -flags` must print a JSON array of the tool's flag
-//     definitions; detlint has none, so it prints [].
+//     definitions; the go command only forwards vet flags the tool
+//     advertises here. detlint advertises exactly one, json, so that
+//     `go vet -vettool=... -json` works (`make analyze`).
 //   - `tool -V=full` must print a version line ending in a buildID the go
 //     command caches vet results under; we hash our own executable so the
 //     cache invalidates whenever the tool is rebuilt.
-//   - `tool <unit>.cfg` is then invoked once per package in the build,
-//     with a JSON config naming the package's Go files and the export
-//     data of its dependencies. Dependency-only invocations set VetxOnly
-//     and are answered with an empty facts file; for packages under
-//     analysis, the unit is parsed and type-checked (export data is
+//   - `tool [-json] <unit>.cfg` is then invoked once per package in the
+//     build, with a JSON config naming the package's Go files and the
+//     export data of its dependencies. Dependency-only invocations set
+//     VetxOnly and are answered with an empty facts file; for packages
+//     under analysis, the unit is parsed and type-checked (export data is
 //     loaded with the standard library's gc importer) and the analyzer
 //     suite runs over it.
 //
-// Diagnostics print to stderr as "position: analyzer: message" and make
-// the tool exit 2, which go vet reports as a failure.
+// Diagnostics normally print to stderr as "position: analyzer: message"
+// and make the tool exit 2, which go vet reports as a failure. In json
+// mode they print to stdout as {"<package>": {"<analyzer>": [{"posn":
+// ..., "message": ...}]}} and the tool exits 0 — findings are data, not a
+// failure, mirroring x/tools unitchecker and `go vet -json`.
 package unitchecker
 
 import (
@@ -33,6 +38,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"columbia/internal/analysis"
@@ -50,6 +56,7 @@ type Config struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -62,19 +69,31 @@ func Main(progname string, analyzers []*analysis.Analyzer, known []string) {
 
 // run dispatches one vettool invocation and returns its exit code.
 func run(progname string, args []string, analyzers []*analysis.Analyzer, known []string, stdout, stderr io.Writer) int {
-	if len(args) == 1 {
+	jsonOut := false
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
 		switch {
 		case args[0] == "-flags":
-			fmt.Fprintln(stdout, "[]")
+			// The one vet flag this tool accepts; the go command forwards
+			// -json only because it is advertised here.
+			fmt.Fprintln(stdout, `[{"Name":"json","Bool":true,"Usage":"emit JSON diagnostics to stdout"}]`)
 			return 0
 		case strings.HasPrefix(args[0], "-V"):
 			fmt.Fprintf(stdout, "%s version devel comments-go-here buildID=%s\n", progname, buildID())
 			return 0
-		case strings.HasSuffix(args[0], ".cfg"):
-			return runUnit(progname, args[0], analyzers, known, stderr)
+		case args[0] == "-json" || args[0] == "-json=true":
+			jsonOut = true
+			args = args[1:]
+		case args[0] == "-json=false":
+			args = args[1:]
+		default:
+			fmt.Fprintf(stderr, "%s: unknown flag %s\n", progname, args[0])
+			return 1
 		}
 	}
-	fmt.Fprintf(stderr, "usage: %s <unit>.cfg  (invoked by go vet -vettool)\n", progname)
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runUnit(progname, args[0], analyzers, known, jsonOut, stdout, stderr)
+	}
+	fmt.Fprintf(stderr, "usage: %s [-json] <unit>.cfg  (invoked by go vet -vettool)\n", progname)
 	return 1
 }
 
@@ -99,7 +118,7 @@ func buildID() string {
 }
 
 // runUnit analyzes one compilation unit described by cfgPath.
-func runUnit(progname, cfgPath string, analyzers []*analysis.Analyzer, known []string, stderr io.Writer) int {
+func runUnit(progname, cfgPath string, analyzers []*analysis.Analyzer, known []string, jsonOut bool, stdout, stderr io.Writer) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintf(stderr, "%s: reading config: %v\n", progname, err)
@@ -121,6 +140,10 @@ func runUnit(progname, cfgPath string, analyzers []*analysis.Analyzer, known []s
 	if cfg.VetxOnly {
 		return 0
 	}
+	if err := validateFacts(&cfg); err != nil {
+		fmt.Fprintf(stderr, "%s: %s: %v\n", progname, cfg.ImportPath, err)
+		return 1
+	}
 	pkg, err := load(&cfg)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
@@ -134,6 +157,9 @@ func runUnit(progname, cfgPath string, analyzers []*analysis.Analyzer, known []s
 		fmt.Fprintf(stderr, "%s: %v\n", progname, err)
 		return 1
 	}
+	if jsonOut {
+		return writeJSON(progname, cfg.ID, pkg, diags, stdout, stderr)
+	}
 	for _, d := range diags {
 		fmt.Fprintf(stderr, "%s: %s: %s\n", checker.Position(pkg.Fset, d), d.Analyzer, d.Message)
 	}
@@ -141,6 +167,60 @@ func runUnit(progname, cfgPath string, analyzers []*analysis.Analyzer, known []s
 		return 2
 	}
 	return 0
+}
+
+// jsonDiagnostic is one finding in `go vet -json` output, field-compatible
+// with x/tools unitchecker's schema so downstream tooling can consume
+// either.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// writeJSON emits the unit's diagnostics as {"<pkg>": {"<analyzer>":
+// [...]}} and reports success: in JSON mode findings are data for the
+// caller to aggregate, not a vet failure.
+func writeJSON(progname, pkgID string, pkg *checker.Package, diags []checker.Diag, stdout, stderr io.Writer) int {
+	byAnalyzer := make(map[string][]jsonDiagnostic)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiagnostic{
+			Posn:    checker.Position(pkg.Fset, d).String(),
+			Message: d.Message,
+		})
+	}
+	out := map[string]map[string][]jsonDiagnostic{pkgID: byAnalyzer}
+	data, err := json.MarshalIndent(out, "", "\t")
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: encoding diagnostics: %v\n", progname, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s\n", data)
+	return 0
+}
+
+// validateFacts checks the dependency facts files the go command handed
+// us. This tool's protocol exchanges no facts — every facts file it
+// writes is empty — so a listed facts file that is missing or non-empty
+// means the vet cache holds another tool's state under our buildID;
+// analyzing on top of it would be silently wrong, so fail with a clear
+// message instead.
+func validateFacts(cfg *Config) error {
+	paths := make([]string, 0, len(cfg.PackageVetx))
+	for p := range cfg.PackageVetx {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		file := cfg.PackageVetx[p]
+		st, err := os.Stat(file)
+		if err != nil {
+			return fmt.Errorf("missing package facts for %q: %w", p, err)
+		}
+		if st.Size() != 0 {
+			return fmt.Errorf("malformed package facts for %q: %s is %d bytes, want empty (this tool exchanges no facts; a foreign or corrupted vet cache entry — try go clean -cache)", p, file, st.Size())
+		}
+	}
+	return nil
 }
 
 // load parses and type-checks the unit's Go files, resolving imports from

@@ -1,0 +1,276 @@
+package unitchecker
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"columbia/internal/analysis"
+)
+
+// noop reports nothing and always succeeds.
+var noop = &analysis.Analyzer{
+	Name: "noop",
+	Doc:  "does nothing",
+	Run:  func(*analysis.Pass) error { return nil },
+}
+
+// firstDecl reports one diagnostic at the first declaration of each file.
+var firstDecl = &analysis.Analyzer{
+	Name: "firstdecl",
+	Doc:  "flags the first declaration",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			if len(f.Decls) > 0 {
+				pass.Reportf(f.Decls[0].Pos(), "first declaration here")
+			}
+		}
+		return nil
+	},
+}
+
+// boom panics, standing in for an analyzer bug.
+var boom = &analysis.Analyzer{
+	Name: "boom",
+	Doc:  "panics",
+	Run: func(pass *analysis.Pass) error {
+		var nilFile *ast.File
+		_ = nilFile.Name.Name // nil dereference, a realistic analyzer bug
+		return nil
+	},
+}
+
+// failing returns an error (analyzer infrastructure failure, not a finding).
+var failing = &analysis.Analyzer{
+	Name: "failing",
+	Doc:  "errors out",
+	Run:  func(*analysis.Pass) error { return errors.New("infrastructure exploded") },
+}
+
+// drive invokes the vettool dispatch exactly as the go command would.
+func drive(t *testing.T, args []string, analyzers []*analysis.Analyzer) (code int, stdout, stderr string) {
+	t.Helper()
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	var out, errw bytes.Buffer
+	code = run("testtool", args, analyzers, names, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// writeCfg marshals a unit config into dir and returns its path.
+func writeCfg(t *testing.T, dir string, cfg Config) string {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "unit.cfg")
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// writeSrc drops a self-contained (import-free) source file into dir.
+func writeSrc(t *testing.T, dir, name, src string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const cleanSrc = "package p\n\nfunc F() int { return 1 }\n"
+
+func TestProtocolFlagsAndVersion(t *testing.T) {
+	code, stdout, _ := drive(t, []string{"-flags"}, []*analysis.Analyzer{noop})
+	if code != 0 || !strings.Contains(stdout, `"Name":"json"`) {
+		t.Fatalf("-flags: code=%d stdout=%q, want 0 advertising the json flag", code, stdout)
+	}
+	var defs []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal([]byte(stdout), &defs); err != nil {
+		t.Fatalf("-flags output is not the go command's flag-definition JSON: %v", err)
+	}
+	code, stdout, _ = drive(t, []string{"-V=full"}, []*analysis.Analyzer{noop})
+	if code != 0 || !strings.Contains(stdout, "buildID=") {
+		t.Fatalf("-V=full: code=%d stdout=%q, want 0 and a buildID", code, stdout)
+	}
+	code, _, stderr := drive(t, nil, []*analysis.Analyzer{noop})
+	if code != 1 || !strings.Contains(stderr, "usage") {
+		t.Fatalf("no args: code=%d stderr=%q, want usage failure", code, stderr)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	dir := t.TempDir()
+	if code, _, stderr := drive(t, []string{filepath.Join(dir, "absent.cfg")}, []*analysis.Analyzer{noop}); code != 1 || !strings.Contains(stderr, "reading config") {
+		t.Fatalf("missing cfg: code=%d stderr=%q", code, stderr)
+	}
+	bad := filepath.Join(dir, "bad.cfg")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := drive(t, []string{bad}, []*analysis.Analyzer{noop}); code != 1 || !strings.Contains(stderr, "parsing config") {
+		t.Fatalf("malformed cfg: code=%d stderr=%q", code, stderr)
+	}
+}
+
+// TestMissingExportData covers a unit whose import has no export data in
+// the config: a hard failure normally, success when the go command asked
+// for typecheck failures to be tolerated.
+func TestMissingExportData(t *testing.T) {
+	dir := t.TempDir()
+	src := writeSrc(t, dir, "p.go", "package p\n\nimport \"fmt\"\n\nfunc F() { fmt.Println(1) }\n")
+	cfg := Config{ID: "p", Compiler: "gc", ImportPath: "p", GoFiles: []string{src}}
+	cfgPath := writeCfg(t, dir, cfg)
+	code, _, stderr := drive(t, []string{cfgPath}, []*analysis.Analyzer{noop})
+	if code != 1 || !strings.Contains(stderr, "export data") {
+		t.Fatalf("missing export data: code=%d stderr=%q, want 1 mentioning export data", code, stderr)
+	}
+	cfg.SucceedOnTypecheckFailure = true
+	cfgPath = writeCfg(t, dir, cfg)
+	if code, _, stderr := drive(t, []string{cfgPath}, []*analysis.Analyzer{noop}); code != 0 {
+		t.Fatalf("SucceedOnTypecheckFailure: code=%d stderr=%q, want 0", code, stderr)
+	}
+}
+
+// TestPackageFacts covers the facts files the go command hands back: this
+// tool writes only empty ones, so a missing or non-empty facts file is a
+// corrupted or foreign vet cache entry and must fail loudly.
+func TestPackageFacts(t *testing.T) {
+	dir := t.TempDir()
+	src := writeSrc(t, dir, "p.go", cleanSrc)
+	empty := filepath.Join(dir, "dep.vetx")
+	if err := os.WriteFile(empty, nil, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	base := Config{ID: "p", Compiler: "gc", ImportPath: "p", GoFiles: []string{src}}
+
+	ok := base
+	ok.PackageVetx = map[string]string{"dep": empty}
+	if code, _, stderr := drive(t, []string{writeCfg(t, dir, ok)}, []*analysis.Analyzer{noop}); code != 0 {
+		t.Fatalf("empty facts: code=%d stderr=%q, want 0", code, stderr)
+	}
+
+	corrupt := base
+	full := filepath.Join(dir, "foreign.vetx")
+	if err := os.WriteFile(full, []byte("gob gunk"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	corrupt.PackageVetx = map[string]string{"dep": full}
+	if code, _, stderr := drive(t, []string{writeCfg(t, dir, corrupt)}, []*analysis.Analyzer{noop}); code != 1 || !strings.Contains(stderr, "malformed package facts") {
+		t.Fatalf("non-empty facts: code=%d stderr=%q, want 1 and malformed message", code, stderr)
+	}
+
+	missing := base
+	missing.PackageVetx = map[string]string{"dep": filepath.Join(dir, "gone.vetx")}
+	if code, _, stderr := drive(t, []string{writeCfg(t, dir, missing)}, []*analysis.Analyzer{noop}); code != 1 || !strings.Contains(stderr, "missing package facts") {
+		t.Fatalf("missing facts: code=%d stderr=%q, want 1 and missing message", code, stderr)
+	}
+}
+
+// TestVetxOnly covers dependency-only invocations: write the (empty)
+// facts output and do nothing else — not even facts validation runs.
+func TestVetxOnly(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.vetx")
+	cfg := Config{ID: "p", VetxOnly: true, VetxOutput: out,
+		PackageVetx: map[string]string{"dep": filepath.Join(dir, "gone.vetx")}}
+	if code, _, stderr := drive(t, []string{writeCfg(t, dir, cfg)}, []*analysis.Analyzer{noop}); code != 0 {
+		t.Fatalf("vetx-only: code=%d stderr=%q, want 0", code, stderr)
+	}
+	st, err := os.Stat(out)
+	if err != nil || st.Size() != 0 {
+		t.Fatalf("vetx output: st=%v err=%v, want empty file", st, err)
+	}
+}
+
+// TestDiagnosticsExitTwo covers the ordinary failure mode: findings print
+// position: analyzer: message and the tool exits 2.
+func TestDiagnosticsExitTwo(t *testing.T) {
+	dir := t.TempDir()
+	src := writeSrc(t, dir, "p.go", cleanSrc)
+	cfgPath := writeCfg(t, dir, Config{ID: "p", Compiler: "gc", ImportPath: "p", GoFiles: []string{src}})
+	code, _, stderr := drive(t, []string{cfgPath}, []*analysis.Analyzer{firstDecl})
+	if code != 2 || !strings.Contains(stderr, "firstdecl: first declaration here") {
+		t.Fatalf("diagnostics: code=%d stderr=%q, want 2 with finding", code, stderr)
+	}
+	if !strings.Contains(stderr, "p.go:3:1") {
+		t.Fatalf("diagnostics: stderr=%q, want position p.go:3:1", stderr)
+	}
+}
+
+// TestJSONMode covers `go vet -json`: findings go to stdout as
+// {"pkg": {"analyzer": [{"posn", "message"}]}} and the exit code is 0 —
+// in JSON mode findings are data for the aggregating caller, not a
+// failure.
+func TestJSONMode(t *testing.T) {
+	dir := t.TempDir()
+	src := writeSrc(t, dir, "p.go", cleanSrc)
+	cfgPath := writeCfg(t, dir, Config{ID: "p", Compiler: "gc", ImportPath: "p", GoFiles: []string{src}})
+	code, stdout, stderr := drive(t, []string{"-json", cfgPath}, []*analysis.Analyzer{firstDecl})
+	if code != 0 {
+		t.Fatalf("json mode: code=%d stderr=%q, want 0", code, stderr)
+	}
+	var out map[string]map[string][]struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &out); err != nil {
+		t.Fatalf("json mode: stdout=%q does not parse: %v", stdout, err)
+	}
+	ds := out["p"]["firstdecl"]
+	if len(ds) != 1 || ds[0].Message != "first declaration here" || !strings.Contains(ds[0].Posn, "p.go:3:1") {
+		t.Fatalf("json mode: diagnostics=%+v, want one firstdecl finding at p.go:3:1", ds)
+	}
+	// The =true spelling the go command uses must behave identically.
+	if code, _, _ := drive(t, []string{"-json=true", cfgPath}, []*analysis.Analyzer{firstDecl}); code != 0 {
+		t.Fatalf("-json=true: code=%d, want 0", code)
+	}
+	if code, _, _ := drive(t, []string{"-json=false", cfgPath}, []*analysis.Analyzer{firstDecl}); code != 2 {
+		t.Fatalf("-json=false: code=%d, want text mode's 2", code)
+	}
+}
+
+// TestAnalyzerPanicBecomesDiagnostic covers the containment promise: a
+// panicking analyzer degrades to a diagnostic (exit 2), never a crash,
+// and the other analyzers' findings survive alongside it.
+func TestAnalyzerPanicBecomesDiagnostic(t *testing.T) {
+	dir := t.TempDir()
+	src := writeSrc(t, dir, "p.go", cleanSrc)
+	cfgPath := writeCfg(t, dir, Config{ID: "p", Compiler: "gc", ImportPath: "p", GoFiles: []string{src}})
+	code, _, stderr := drive(t, []string{cfgPath}, []*analysis.Analyzer{boom, firstDecl})
+	if code != 2 {
+		t.Fatalf("panicking analyzer: code=%d stderr=%q, want 2", code, stderr)
+	}
+	if !strings.Contains(stderr, "boom: analyzer panicked") {
+		t.Fatalf("panicking analyzer: stderr=%q, want contained panic diagnostic", stderr)
+	}
+	if !strings.Contains(stderr, "firstdecl: first declaration here") {
+		t.Fatalf("panicking analyzer: stderr=%q, want surviving findings from healthy analyzers", stderr)
+	}
+}
+
+// TestAnalyzerErrorExitOne distinguishes analyzer errors (infrastructure,
+// exit 1) from findings (exit 2).
+func TestAnalyzerErrorExitOne(t *testing.T) {
+	dir := t.TempDir()
+	src := writeSrc(t, dir, "p.go", cleanSrc)
+	cfgPath := writeCfg(t, dir, Config{ID: "p", Compiler: "gc", ImportPath: "p", GoFiles: []string{src}})
+	code, _, stderr := drive(t, []string{cfgPath}, []*analysis.Analyzer{failing})
+	if code != 1 || !strings.Contains(stderr, "infrastructure exploded") {
+		t.Fatalf("erroring analyzer: code=%d stderr=%q, want 1", code, stderr)
+	}
+}

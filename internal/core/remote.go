@@ -82,7 +82,12 @@ func (r ClusterRef) cluster() *machine.Cluster {
 // cache key — bit-for-bit. The fault plan, sanitizer toggle and engine
 // selector deliberately do not appear: they are process-global on both
 // sides, installed in the worker from the protocol handshake, so a spec
-// cannot smuggle in a configuration the handshake didn't establish.
+// cannot smuggle in a configuration the handshake didn't establish. Every
+// field must be folded into the cache key or the run configuration by
+// buildPoint — a field the builder ignores can drift between processes
+// without the key-drift check noticing.
+//
+//perflint:wire buildPoint
 type PointSpec struct {
 	// Kind selects the builder: "beff", "pingpong-lat", "npb-mpi",
 	// "npb-omp", "mz" or "md-weak".

@@ -55,6 +55,10 @@ const (
 
 // Hello is the supervisor→worker handshake: everything a fresh worker
 // process needs to reproduce the parent's run configuration bit-for-bit.
+// Every field must be consumed on the worker side — an ignored field is a
+// configuration that silently diverges between processes.
+//
+//perflint:wire ServeWorker
 type Hello struct {
 	Version int
 	// Faults is the active fault plan's canonical fingerprint (fault.Plan
@@ -75,6 +79,8 @@ type Hello struct {
 }
 
 // HelloAck is the worker→supervisor handshake reply.
+//
+//perflint:wire lane.ensure
 type HelloAck struct {
 	Version int
 	PID     int
@@ -82,6 +88,8 @@ type HelloAck struct {
 
 // Request dispatches one sweep point: an opaque kind + serialized spec the
 // worker's executor understands, plus the memo key for cross-checking.
+//
+//perflint:wire ServeWorker
 type Request struct {
 	// Seq matches a Reply to its Request within one worker incarnation.
 	Seq uint64
@@ -97,6 +105,8 @@ type Request struct {
 
 // Reply carries one computed point back: the gob-encoded result, or the
 // structured failure the point degraded with.
+//
+//perflint:wire lane.dispatch
 type Reply struct {
 	Seq    uint64
 	Result []byte
@@ -113,6 +123,8 @@ type Heartbeat struct{ Pad byte }
 // "!kind" cell, the full original error text for the footnote, and the
 // retryable bit for the sweep's resubmission policy — so a degraded cell is
 // byte-identical whether the point failed in-process or in a worker.
+//
+//perflint:wire WireError.Error WireError.FailureKind WireError.Retryable
 type WireError struct {
 	// Kind is the FailureKind label ("timeout", "deadlock", ...).
 	Kind string
@@ -134,6 +146,8 @@ func (e *WireError) Retryable() bool { return e.CanRetry }
 // frame is assembled in memory and written with a single Write so that
 // concurrent writers (the reply path and the heartbeat goroutine serialize
 // on a mutex above this) never interleave partial frames.
+//
+//perflint:hot
 func writeFrame(w io.Writer, typ byte, payload any) error {
 	var body bytes.Buffer
 	body.WriteByte(typ)
@@ -144,6 +158,8 @@ func writeFrame(w io.Writer, typ byte, payload any) error {
 }
 
 // writeRawFrame frames and writes an already-assembled body.
+//
+//perflint:hot
 func writeRawFrame(w io.Writer, body []byte) error {
 	var hdr [8]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(body)))
@@ -159,6 +175,9 @@ func writeRawFrame(w io.Writer, body []byte) error {
 // checksum mismatch — is an error; callers treat all of them as the stream
 // being dead. io.EOF (cleanly between frames) passes through unwrapped so
 // callers can distinguish an orderly close from a mid-frame truncation.
+// One budgeted escape: the frame body buffer, sized by the length prefix.
+//
+//perflint:hot
 func readFrame(r io.Reader) (byte, []byte, error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -182,6 +201,8 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 }
 
 // decodePayload gob-decodes a frame payload into out.
+//
+//perflint:hot
 func decodePayload(payload []byte, out any) error {
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(out); err != nil {
 		return fmt.Errorf("dist: decode frame payload: %w", err)

@@ -210,6 +210,10 @@ type lane struct {
 	proc   Proc
 	events chan procEvent
 	seq    uint64
+	// pid is the last handshaken worker's operating-system PID (from its
+	// HelloAck); it survives kill() so crash reports can name the process
+	// that died.
+	pid int
 	// permErr marks the lane permanently failed (protocol version
 	// mismatch): restarting cannot heal it, so every point fails fast
 	// instead of burning spawn cycles.
@@ -285,6 +289,7 @@ func (l *lane) ensure() error {
 		return l.permErr
 	}
 	l.proc = p
+	l.pid = ack.PID
 	l.events = make(chan procEvent, 16)
 	l.seq = 0
 	go readLoop(p, l.events)
@@ -361,7 +366,7 @@ func (l *lane) serve(j *job) ([]byte, error) {
 			l.s.quarantined.Add(1)
 			return nil, &vmpi.RunError{
 				Kind: vmpi.ErrWorkerCrash, Rank: -1,
-				Msg: fmt.Sprintf("point %q killed %d consecutive workers; quarantined (last: %v)", j.key, crashes, lastCrash),
+				Msg: fmt.Sprintf("point %q killed %d consecutive workers; quarantined (last pid %d: %v)", j.key, crashes, l.pid, lastCrash),
 			}
 		}
 		l.s.restarts.Add(1)

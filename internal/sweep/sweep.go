@@ -58,6 +58,8 @@ type cacheShard struct {
 }
 
 // fnv32 is FNV-1a over s.
+//
+//perflint:hot
 func fnv32(s string) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(s); i++ {
@@ -68,6 +70,8 @@ func fnv32(s string) uint32 {
 }
 
 // shardIndex hashes a cache key (FNV-1a) onto its lock stripe.
+//
+//perflint:hot
 func shardIndex(key string) uint32 {
 	return fnv32(key) & (shardCount - 1)
 }
@@ -78,6 +82,8 @@ func shardIndex(key string) uint32 {
 // simulation's shape: which collectives it drives, which (source, tag)
 // mailboxes its engines create, which models it loads. Slot affinity keys
 // on it (see slotFor).
+//
+//perflint:hot
 func family(key string) string {
 	for i := 0; i < len(key); i++ {
 		if key[i] == '/' {
@@ -207,6 +213,10 @@ func (t *slotTable) init(lanes, width int) {
 }
 
 // acquire blocks until a lane is granted (preferring pref) or ctx is done.
+// The free-lane fast path allocates nothing; only the contended path builds
+// a waiter (the two budgeted escapes below).
+//
+//perflint:hot
 func (t *slotTable) acquire(ctx context.Context, pref int) (int, error) {
 	t.mu.Lock()
 	// held < width implies a free lane exists (lanes >= width).
@@ -254,6 +264,8 @@ func (t *slotTable) acquire(ctx context.Context, pref int) (int, error) {
 // directly: the earliest waiter preferring this lane gets it (running
 // same-class leaves consecutively on warm state), else the head waiter is
 // granted its own preferred lane when that lane is idle, or this one.
+//
+//perflint:hot
 func (t *slotTable) release(s int) {
 	t.mu.Lock()
 	if len(t.waiters) > 0 {
@@ -354,11 +366,15 @@ func ClassOf(key string) string {
 // slotFor hashes a cache key's scheduling class onto a preferred worker
 // slot, so every leaf of one class names the same slot (see slotTable and
 // RegisterAffinity).
+//
+//perflint:hot
 func (p *Pool) slotFor(key string) int {
 	return int(fnv32(ClassOf(key)) % uint32(p.Workers()))
 }
 
 // shard returns the lock stripe holding key.
+//
+//perflint:hot
 func (p *Pool) shard(key string) *cacheShard { return &p.shards[shardIndex(key)] }
 
 // ResetCache drops every memoized result, forcing subsequent Cached calls
@@ -504,6 +520,8 @@ func (f Future[T]) Err() error {
 // pool replacement already installed a different entry under the key — so
 // a later resubmission of the same point can attempt a fresh computation
 // instead of being served the memoized failure forever.
+//
+//perflint:hot
 func (p *Pool) evict(e *entry) {
 	if e.key == "" {
 		return
@@ -658,7 +676,11 @@ func Go[T any](p *Pool, fn func() T) Future[T] {
 	return Future[T]{e: e}
 }
 
-// lookup returns the future already memoized under key, if any.
+// lookup returns the future already memoized under key, if any. It is the
+// cache-hit path of every Cached call and must stay allocation-free: the
+// future wraps the existing entry by value.
+//
+//perflint:hot
 func lookup[T any](p *Pool, key string) (Future[T], bool) {
 	s := p.shard(key)
 	s.mu.Lock()
@@ -678,7 +700,10 @@ func lookup[T any](p *Pool, key string) (Future[T], bool) {
 // prefix. fn must not wait on other futures.
 //
 // The cache-hit path allocates nothing: the future is returned by value
-// and the context adapter around fn is only built on a miss.
+// and the context adapter around fn is only built on a miss (the one
+// budgeted escape below).
+//
+//perflint:hot
 func Cached[T any](p *Pool, key string, fn func() T) Future[T] {
 	if f, ok := lookup[T](p, key); ok {
 		return f
@@ -692,6 +717,8 @@ func Cached[T any](p *Pool, key string, fn func() T) Future[T] {
 // retried per the pool's policy when the error is retryable, recorded for
 // all current waiters, and evicted from the cache so a later resubmission
 // recomputes rather than replaying the failure.
+//
+//perflint:hot
 func CachedCtx[T any](p *Pool, key string, fn func(context.Context) (T, error)) Future[T] {
 	s := p.shard(key)
 	s.mu.Lock()
@@ -714,6 +741,8 @@ func CachedCtx[T any](p *Pool, key string, fn func(context.Context) (T, error)) 
 // context without the per-attempt Timeout — the fleet owns concurrency,
 // worker state and the wall-clock budget. Mixing Cached and CachedRemote
 // keys in one pool is safe: whichever submission lands first owns the entry.
+//
+//perflint:hot
 func CachedRemote[T any](p *Pool, key string, fn func(context.Context) (T, error)) Future[T] {
 	s := p.shard(key)
 	s.mu.Lock()

@@ -29,7 +29,10 @@ type SharedPool[T any] struct {
 // sharedPoolCap bounds retained instances; see the type comment.
 const sharedPoolCap = 32
 
-// Get returns a recycled *T, or a new zero-valued one when none is pooled.
+// Get returns a recycled *T, or a new zero-valued one when none is pooled
+// (the one budgeted escape below — the pool-hit path allocates nothing).
+//
+//perflint:hot
 func (p *SharedPool[T]) Get() *T {
 	p.mu.Lock()
 	if n := len(p.free); n > 0 {
@@ -45,6 +48,8 @@ func (p *SharedPool[T]) Get() *T {
 
 // Put recycles v for a later Get. nil is ignored; when the pool is already
 // at capacity v is left to the GC.
+//
+//perflint:hot
 func (p *SharedPool[T]) Put(v *T) {
 	if v == nil {
 		return

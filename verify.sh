@@ -15,13 +15,21 @@ fi
 echo "== go vet =="
 go vet ./...
 
-# Determinism and communication lint: fingerprint coverage,
+# Static analysis suite: the determinism analyzers (fingerprint coverage,
 # wall-clock/map-order hazards, stop-token discipline, exact float
-# comparisons, rank-dependent collectives (collsplit), unmatchable literal
-# tags (tagpair). See internal/analysis/detlint and DESIGN.md §6-§7.
-echo "== detlint =="
+# comparisons, collsplit, tagpair — DESIGN.md §6-§7) plus the
+# performance/concurrency analyzers (hotalloc escape budgets, lockorder,
+# wirecover — DESIGN.md §11) in one vettool.
+echo "== detlint + perflint analyzers =="
 go build -o bin/detlint ./cmd/detlint
 go vet -vettool=bin/detlint ./...
+
+# Escape-budget gate: the hotalloc static counts and the compiler's own
+# -gcflags=-m heap-escape diagnostics, both diffed against the committed
+# hotalloc_budget.json. Blocking — a new escape in a //perflint:hot
+# function fails verification before the build/test steps run.
+echo "== perflint escape budget (static + compiler) =="
+go run ./cmd/perflint
 
 echo "== go build =="
 go build ./...
