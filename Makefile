@@ -5,21 +5,23 @@ GO ?= go
 build:
 	$(GO) build ./...
 
-# Static analysis gate (see internal/analysis/{detlint,perflint}): builds
-# the combined vettool — determinism suite plus the performance/concurrency
-# suite (hotalloc, lockorder, wirecover) — and runs it over every package.
+# Static analysis gate (see internal/analysis/{detlint,perflint,scalelint}):
+# builds the combined vettool — determinism suite, performance/concurrency
+# suite (hotalloc, lockorder, wirecover) and scalability suite (rankscale,
+# chanlive, wiredrift) — and runs it over every package.
 lint:
 	$(GO) build -o bin/detlint ./cmd/detlint
 	$(GO) vet -vettool=bin/detlint ./...
 
 # Same suite in machine-readable form (-json per-package findings), plus
-# the escape-budget gate: the hotalloc analyzer's static counts AND the
-# compiler's -gcflags=-m escape diagnostics diffed against the committed
-# budget. See DESIGN.md §11.
+# the committed-artifact gates (hotalloc escape budget incl. the compiler's
+# -gcflags=-m view, rankscale site budget, wire schema) and the in-process
+# per-analyzer stats report. See DESIGN.md §11–§12.
 analyze:
 	$(GO) build -o bin/detlint ./cmd/detlint
 	$(GO) vet -vettool=bin/detlint -json ./...
 	$(GO) run ./cmd/perflint
+	$(GO) run ./cmd/perflint -stats
 
 test:
 	$(GO) test ./...

@@ -1,33 +1,47 @@
-// Perflint maintains and enforces the hotalloc escape budget
-// (internal/analysis/perflint/hotalloc_budget.json) from two independent
-// views of the same hot functions:
+// Perflint maintains and enforces the committed analysis artifacts — the
+// JSON files the analyzer suites embed and gate on — from a single
+// type-checked view of the repository:
 //
-//   - the static view: the hotalloc analyzer's own escape-site count,
-//     recomputed here over the hot packages exactly as `make lint` counts
-//     it, and
-//   - the compiler's view: the gc escape diagnostics (-gcflags=-m)
-//     attributed to each //perflint:hot function's line range.
+//   - the hotalloc escape budget
+//     (internal/analysis/perflint/hotalloc_budget.json): per //perflint:hot
+//     function, the static escape-site count recomputed here exactly as
+//     `make lint` counts it, cross-checked against the gc escape
+//     diagnostics (-gcflags=-m) attributed to the function's line range;
+//   - the rankscale site budget
+//     (internal/analysis/scalelint/rankscale_budget.json): per engine
+//     function, the accepted number of O(ranks) allocation and goroutine
+//     sites, recomputed from the same CFG walk the rankscale analyzer uses;
+//   - the wire schema (internal/analysis/scalelint/wire_schema.json): the
+//     gob shape of every //perflint:wire struct, stamped with the
+//     dist.ProtocolVersion it was snapshotted at.
 //
-// With no flags it is a gate: any hot function whose current counts differ
-// from the committed budget — a new escape, a stale entry for a function
-// that lost its annotation, or an improvement the budget has not banked —
-// fails with exit 1. The compiler diff is skipped (with a notice) when the
-// budget was written by a different toolchain, since escape analysis
-// results are only comparable within one compiler version.
+// With no flags it is a gate: any drift between the committed artifacts
+// and the current source — a new escape or rank-scaled site, an
+// improvement the budget has not banked, a wire struct whose shape moved —
+// fails with exit 1. The compiler escape diff is skipped (with a notice)
+// when the budget was written by a different toolchain.
 //
-//	go run ./cmd/perflint          # gate: diff current counts vs budget
-//	go run ./cmd/perflint -write   # regenerate the budget (then rebuild
-//	                               # bin/detlint: the analyzer embeds it)
+//	go run ./cmd/perflint          # gate: diff current counts vs artifacts
+//	go run ./cmd/perflint -write   # regenerate all three (then rebuild
+//	                               # bin/detlint: the analyzers embed them)
+//	go run ./cmd/perflint -stats   # run the full analyzer suite in-process
+//	                               # and print per-analyzer wall time and
+//	                               # diagnostic counts
 //
-// -write also snapshots allocs/op from the latest BENCH_<date>.json into
-// the budget's bench_allocs, which cmd/benchgate cross-checks so the
-// static budget and the measured allocation rate cannot silently diverge.
+// -write refuses to re-snapshot a drifted wire schema while
+// dist.ProtocolVersion still equals the committed snapshot's version:
+// changing a wire shape is a protocol change, and the bump is the reviewed
+// evidence that both sides of the wire will be rebuilt. It also snapshots
+// allocs/op from the latest BENCH_<date>.json into the escape budget's
+// bench_allocs, which cmd/benchgate cross-checks so the static budget and
+// the measured allocation rate cannot silently diverge.
 package main
 
 import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"go/ast"
@@ -43,9 +57,22 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
+	"time"
 
+	"columbia/internal/analysis"
+	"columbia/internal/analysis/checker"
+	"columbia/internal/analysis/detlint"
 	"columbia/internal/analysis/perflint"
+	"columbia/internal/analysis/scalelint"
 )
+
+// modulePath is the repository's module; only its packages are analyzed.
+const modulePath = "columbia"
+
+// distPath is the package whose ProtocolVersion constant stamps the wire
+// schema.
+const distPath = "columbia/internal/dist"
 
 // listedPackage is the subset of `go list -json` perflint consumes.
 type listedPackage struct {
@@ -53,6 +80,16 @@ type listedPackage struct {
 	Dir        string
 	GoFiles    []string
 	Export     string
+}
+
+// repoPkg is one repository package parsed and type-checked from source,
+// the unit every gate and the stats runner consume.
+type repoPkg struct {
+	listedPackage
+	fset  *token.FileSet
+	files []*ast.File
+	info  *types.Info
+	pkg   *types.Package
 }
 
 // hotCount is one hot function's measured escape counts plus the source
@@ -75,44 +112,92 @@ func main() {
 }
 
 func run() error {
-	write := flag.Bool("write", false, "regenerate the budget file instead of gating on it")
+	write := flag.Bool("write", false, "regenerate the artifact files instead of gating on them")
+	stats := flag.Bool("stats", false, "run the full detlint+perflint+scalelint suite in-process and print per-analyzer wall time and diagnostic counts")
 	budgetPath := flag.String("budget", filepath.Join("internal", "analysis", "perflint", "hotalloc_budget.json"),
 		"path of the committed escape budget")
+	rankPath := flag.String("rankbudget", filepath.Join("internal", "analysis", "scalelint", "rankscale_budget.json"),
+		"path of the committed rank-scaled site budget")
+	schemaPath := flag.String("wireschema", filepath.Join("internal", "analysis", "scalelint", "wire_schema.json"),
+		"path of the committed wire schema")
 	benchDir := flag.String("benchdir", ".", "directory holding BENCH_*.json baselines (for bench_allocs)")
 	flag.Parse()
+	if *write && *stats {
+		return errors.New("-write and -stats are mutually exclusive")
+	}
 
-	pkgs, exports, err := listPackages(perflint.HotPackages)
+	listed, exports, err := listRepoPackages()
 	if err != nil {
 		return err
 	}
-	counts, err := staticCounts(pkgs, exports)
+	pkgs, err := typecheckAll(listed, exports)
 	if err != nil {
 		return err
 	}
+
+	if *stats {
+		return runStats(pkgs)
+	}
+
+	counts := staticCounts(pkgs)
 	goVersion := runtime.Version()
 	if err := compilerCounts(counts); err != nil {
 		return err
 	}
+	ranks := rankCounts(pkgs)
+	shapes := wireShapes(pkgs)
+	pv, hasPV := distProtocolVersion(pkgs)
 
 	if *write {
-		return writeBudget(*budgetPath, *benchDir, goVersion, counts)
+		if err := writeBudget(*budgetPath, *benchDir, goVersion, counts); err != nil {
+			return err
+		}
+		if err := writeRankBudget(*rankPath, ranks); err != nil {
+			return err
+		}
+		return writeWireSchema(*schemaPath, shapes, pv, hasPV)
 	}
-	return gate(*budgetPath, goVersion, counts)
+
+	var failures []string
+	hotFailures, err := gateHot(*budgetPath, goVersion, counts)
+	if err != nil {
+		return err
+	}
+	failures = append(failures, hotFailures...)
+	rankFailures, err := gateRank(*rankPath, ranks)
+	if err != nil {
+		return err
+	}
+	failures = append(failures, rankFailures...)
+	wireFailures, err := gateWire(*schemaPath, shapes, pv, hasPV)
+	if err != nil {
+		return err
+	}
+	failures = append(failures, wireFailures...)
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Printf("  %s\n", f)
+		}
+		return fmt.Errorf("artifact gates failed: %d finding(s)", len(failures))
+	}
+	var rankSites int
+	for _, n := range ranks {
+		rankSites += n
+	}
+	fmt.Printf("perflint: %d hot functions within budget, %d rank-scaled sites budgeted, %d wire structs frozen at protocol %d\n",
+		len(counts), rankSites, len(shapes), pv)
+	return nil
 }
 
-// listPackages resolves the hot packages and the export data of everything
-// they import, via the go command.
-func listPackages(patterns []string) ([]listedPackage, map[string]string, error) {
-	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,GoFiles,Export"}, patterns...)
-	cmd := exec.Command("go", args...)
+// listRepoPackages resolves every package in the module plus the export
+// data of everything they import, via the go command.
+func listRepoPackages() ([]listedPackage, map[string]string, error) {
+	cmd := exec.Command("go", "list", "-deps", "-export", "-json=ImportPath,Dir,GoFiles,Export", "./...")
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
 	if err != nil {
 		return nil, nil, fmt.Errorf("go list: %w", err)
-	}
-	want := make(map[string]bool, len(patterns))
-	for _, p := range patterns {
-		want[p] = true
 	}
 	exports := make(map[string]string)
 	var pkgs []listedPackage
@@ -127,20 +212,24 @@ func listPackages(patterns []string) ([]listedPackage, map[string]string, error)
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if want[p.ImportPath] {
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.ImportPath == modulePath || strings.HasPrefix(p.ImportPath, modulePath+"/") {
 			pkgs = append(pkgs, p)
 		}
 	}
-	if len(pkgs) != len(patterns) {
-		return nil, nil, fmt.Errorf("go list resolved %d of %d hot packages", len(pkgs), len(patterns))
+	if len(pkgs) == 0 {
+		return nil, nil, fmt.Errorf("go list resolved no %s packages; run from the repository root", modulePath)
 	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
 	return pkgs, exports, nil
 }
 
-// staticCounts type-checks each hot package from source and counts the
-// hotalloc analyzer's escape sites per annotated function.
-func staticCounts(pkgs []listedPackage, exports map[string]string) (map[string]*hotCount, error) {
-	counts := make(map[string]*hotCount)
+// typecheckAll parses and type-checks each repository package from source,
+// importing dependencies through their gc export data — the same view the
+// vet driver gives the analyzers.
+func typecheckAll(listed []listedPackage, exports map[string]string) ([]*repoPkg, error) {
 	lookup := func(path string) (io.ReadCloser, error) {
 		file, ok := exports[path]
 		if !ok {
@@ -148,7 +237,8 @@ func staticCounts(pkgs []listedPackage, exports map[string]string) (map[string]*
 		}
 		return os.Open(file)
 	}
-	for _, p := range pkgs {
+	var pkgs []*repoPkg
+	for _, p := range listed {
 		fset := token.NewFileSet()
 		var files []*ast.File
 		for _, name := range p.GoFiles {
@@ -167,15 +257,33 @@ func staticCounts(pkgs []listedPackage, exports map[string]string) (map[string]*
 			Implicits:  make(map[ast.Node]types.Object),
 		}
 		tconf := &types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
-		if _, err := tconf.Check(p.ImportPath, fset, files, info); err != nil {
+		tpkg, err := tconf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
 			return nil, fmt.Errorf("typecheck %s: %w", p.ImportPath, err)
 		}
-		for _, hf := range perflint.HotFuncs(p.ImportPath, fset, files) {
-			start := fset.Position(hf.Decl.Pos())
-			end := fset.Position(hf.Decl.End())
+		pkgs = append(pkgs, &repoPkg{listedPackage: p, fset: fset, files: files, info: info, pkg: tpkg})
+	}
+	return pkgs, nil
+}
+
+// staticCounts counts the hotalloc analyzer's escape sites per annotated
+// function in the hot packages.
+func staticCounts(pkgs []*repoPkg) map[string]*hotCount {
+	hot := make(map[string]bool, len(perflint.HotPackages))
+	for _, p := range perflint.HotPackages {
+		hot[p] = true
+	}
+	counts := make(map[string]*hotCount)
+	for _, p := range pkgs {
+		if !hot[p.ImportPath] {
+			continue
+		}
+		for _, hf := range perflint.HotFuncs(p.ImportPath, p.fset, p.files) {
+			start := p.fset.Position(hf.Decl.Pos())
+			end := p.fset.Position(hf.Decl.End())
 			counts[hf.Key] = &hotCount{
 				key:      hf.Key,
-				static:   len(perflint.EscapeSites(info, hf.Decl)),
+				static:   len(perflint.EscapeSites(p.info, hf.Decl)),
 				file:     start.Filename,
 				from:     start.Line,
 				to:       end.Line,
@@ -184,7 +292,45 @@ func staticCounts(pkgs []listedPackage, exports map[string]string) (map[string]*
 			}
 		}
 	}
-	return counts, nil
+	return counts
+}
+
+// rankCounts counts the rankscale analyzer's O(ranks) sites per function
+// key across the engine packages — the numbers the committed budget fixes.
+func rankCounts(pkgs []*repoPkg) map[string]int {
+	counts := make(map[string]int)
+	for _, p := range pkgs {
+		if !scalelint.RankScoped(p.ImportPath) {
+			continue
+		}
+		for _, s := range scalelint.RankSites(p.ImportPath, p.fset, p.files, p.info) {
+			counts[s.Key]++
+		}
+	}
+	return counts
+}
+
+// wireShapes collects the current gob shape of every //perflint:wire
+// struct in the repository, keyed "<pkgpath>.<Name>".
+func wireShapes(pkgs []*repoPkg) map[string][]scalelint.WireField {
+	shapes := make(map[string][]scalelint.WireField)
+	for _, p := range pkgs {
+		for _, ws := range scalelint.WireShapes(p.ImportPath, p.fset, p.files, p.info) {
+			shapes[ws.Key] = ws.Fields
+		}
+	}
+	return shapes
+}
+
+// distProtocolVersion reads dist.ProtocolVersion from the type-checked
+// dist package.
+func distProtocolVersion(pkgs []*repoPkg) (int, bool) {
+	for _, p := range pkgs {
+		if p.ImportPath == distPath {
+			return scalelint.ProtocolVersionOf(p.pkg)
+		}
+	}
+	return 0, false
 }
 
 // escapeLine matches one gc escape diagnostic, e.g.
@@ -234,15 +380,15 @@ func compilerCounts(counts map[string]*hotCount) error {
 	return nil
 }
 
-// gate diffs the measured counts against the committed budget.
-func gate(budgetPath, goVersion string, counts map[string]*hotCount) error {
+// gateHot diffs the measured escape counts against the committed budget.
+func gateHot(budgetPath, goVersion string, counts map[string]*hotCount) ([]string, error) {
 	data, err := os.ReadFile(budgetPath)
 	if err != nil {
-		return fmt.Errorf("%w (run `go run ./cmd/perflint -write` to create it)", err)
+		return nil, fmt.Errorf("%w (run `go run ./cmd/perflint -write` to create it)", err)
 	}
 	budget, err := perflint.ParseBudget(data)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	compilerComparable := budget.Go == goVersion
 	if !compilerComparable {
@@ -256,17 +402,17 @@ func gate(budgetPath, goVersion string, counts map[string]*hotCount) error {
 		b, ok := budget.Functions[key]
 		if !ok {
 			failures = append(failures, fmt.Sprintf(
-				"%s (%s): hot function not budgeted — run `go run ./cmd/perflint -write` and commit the budget",
+				"ESCAPE %s (%s): hot function not budgeted — run `go run ./cmd/perflint -write` and commit the budget",
 				key, c.shortPos))
 			continue
 		}
 		if c.static > b.Static {
 			failures = append(failures, fmt.Sprintf(
-				"%s (%s): %d static escape site(s), budget %d — a new allocation escapes this hot function; make it stack-local or justify and regenerate",
+				"ESCAPE %s (%s): %d static escape site(s), budget %d — a new allocation escapes this hot function; make it stack-local or justify and regenerate",
 				key, c.shortPos, c.static, b.Static))
 		} else if c.static < b.Static {
 			failures = append(failures, fmt.Sprintf(
-				"%s (%s): %d static escape site(s), budget %d — an escape was eliminated; bank the win with `go run ./cmd/perflint -write` so it cannot silently regress",
+				"ESCAPE %s (%s): %d static escape site(s), budget %d — an escape was eliminated; bank the win with `go run ./cmd/perflint -write` so it cannot silently regress",
 				key, c.shortPos, c.static, b.Static))
 		}
 		if compilerComparable && c.compiler != b.Compiler {
@@ -275,30 +421,100 @@ func gate(budgetPath, goVersion string, counts map[string]*hotCount) error {
 				direction = "fewer compiler-reported heap escapes than budgeted; bank the win"
 			}
 			failures = append(failures, fmt.Sprintf(
-				"%s (%s): compiler reports %d heap escape(s), budget %d — %s (`go run ./cmd/perflint -write`)",
+				"ESCAPE %s (%s): compiler reports %d heap escape(s), budget %d — %s (`go run ./cmd/perflint -write`)",
 				key, c.shortPos, c.compiler, b.Compiler, direction))
 		}
 	}
 	for _, key := range sortedKeys(budget.Functions) {
 		if _, ok := counts[key]; !ok {
 			failures = append(failures, fmt.Sprintf(
-				"%s: stale budget entry — the function is gone or no longer //perflint:hot; regenerate with `go run ./cmd/perflint -write`",
+				"ESCAPE %s: stale budget entry — the function is gone or no longer //perflint:hot; regenerate with `go run ./cmd/perflint -write`",
 				key))
 		}
 	}
-
-	if len(failures) > 0 {
-		for _, f := range failures {
-			fmt.Printf("  ESCAPE %s\n", f)
-		}
-		return fmt.Errorf("escape budget gate failed: %d finding(s)", len(failures))
-	}
-	fmt.Printf("perflint: %d hot functions within budget (%s)\n", len(counts), budgetPath)
-	return nil
+	return failures, nil
 }
 
-// writeBudget regenerates the committed budget from the measured counts
-// and the latest benchmark baseline's allocs/op.
+// gateRank diffs the measured rank-scaled site counts against the
+// committed budget. The rankscale analyzer fails a build only when a
+// function exceeds its budget; this gate also catches the other drifts —
+// an unbanked improvement and a stale entry — exactly as the escape gate
+// does for hotalloc.
+func gateRank(rankPath string, ranks map[string]int) ([]string, error) {
+	data, err := os.ReadFile(rankPath)
+	if err != nil {
+		return nil, fmt.Errorf("%w (run `go run ./cmd/perflint -write` to create it)", err)
+	}
+	budget, err := scalelint.ParseRankBudget(data)
+	if err != nil {
+		return nil, err
+	}
+	var failures []string
+	for _, key := range sortedKeys(ranks) {
+		n, b := ranks[key], budget.Functions[key]
+		if n > b {
+			failures = append(failures, fmt.Sprintf(
+				"RANK %s: %d rank-scaled site(s), budget %d — a new O(ranks) allocation or spawn site appeared; pool it behind //perflint:pooled or regenerate and review the budget (`go run ./cmd/perflint -write`)",
+				key, n, b))
+		} else if n < b {
+			failures = append(failures, fmt.Sprintf(
+				"RANK %s: %d rank-scaled site(s), budget %d — a site was pooled or removed; bank the win with `go run ./cmd/perflint -write` so it cannot silently regress",
+				key, n, b))
+		}
+	}
+	for _, key := range sortedKeys(budget.Functions) {
+		if _, ok := ranks[key]; !ok {
+			failures = append(failures, fmt.Sprintf(
+				"RANK %s: stale budget entry — the function is gone, fully pooled, or no longer rank-scaled; regenerate with `go run ./cmd/perflint -write`",
+				key))
+		}
+	}
+	return failures, nil
+}
+
+// gateWire diffs the current wire shapes against the committed schema and
+// the dist.ProtocolVersion it was stamped with.
+func gateWire(schemaPath string, shapes map[string][]scalelint.WireField, pv int, hasPV bool) ([]string, error) {
+	data, err := os.ReadFile(schemaPath)
+	if err != nil {
+		return nil, fmt.Errorf("%w (run `go run ./cmd/perflint -write` to create it)", err)
+	}
+	schema, err := scalelint.ParseWireSchema(data)
+	if err != nil {
+		return nil, err
+	}
+	var failures []string
+	if !hasPV {
+		failures = append(failures,
+			"WIRE dist.ProtocolVersion constant not found — the schema snapshot cannot be validated against a protocol version")
+	} else if pv != schema.ProtocolVersion {
+		failures = append(failures, fmt.Sprintf(
+			"WIRE schema snapshotted at protocol %d but dist declares %d — regenerate with `go run ./cmd/perflint -write`",
+			schema.ProtocolVersion, pv))
+	}
+	for _, key := range sortedKeys(shapes) {
+		want, ok := schema.Structs[key]
+		if !ok {
+			failures = append(failures, fmt.Sprintf(
+				"WIRE %s: wire struct not in the committed schema — snapshot it with `go run ./cmd/perflint -write`", key))
+			continue
+		}
+		if diff := scalelint.ShapeDiff(want, shapes[key]); diff != "" {
+			failures = append(failures, fmt.Sprintf(
+				"WIRE %s: gob shape drifted from the committed schema (%s) — bump dist.ProtocolVersion and regenerate", key, diff))
+		}
+	}
+	for _, key := range sortedKeys(schema.Structs) {
+		if _, ok := shapes[key]; !ok {
+			failures = append(failures, fmt.Sprintf(
+				"WIRE %s: stale schema entry — the struct is gone or lost its //perflint:wire marker; bump dist.ProtocolVersion and regenerate", key))
+		}
+	}
+	return failures, nil
+}
+
+// writeBudget regenerates the committed escape budget from the measured
+// counts and the latest benchmark baseline's allocs/op.
 func writeBudget(budgetPath, benchDir, goVersion string, counts map[string]*hotCount) error {
 	b := perflint.Budget{Go: goVersion, Functions: make(map[string]perflint.FuncBudget, len(counts))}
 	for key, c := range counts {
@@ -321,6 +537,119 @@ func writeBudget(budgetPath, benchDir, goVersion string, counts map[string]*hotC
 		fmt.Printf(", allocs/op snapshot from %s", filepath.Base(base))
 	}
 	fmt.Printf(") — rebuild bin/detlint to embed it\n")
+	return nil
+}
+
+// writeRankBudget regenerates the committed rank-scaled site budget.
+func writeRankBudget(rankPath string, ranks map[string]int) error {
+	b := scalelint.RankBudget{Functions: make(map[string]int, len(ranks))}
+	for key, n := range ranks {
+		if n > 0 {
+			b.Functions[key] = n
+		}
+	}
+	data, err := json.MarshalIndent(&b, "", "\t")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(rankPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("perflint: wrote %s (%d rank-budgeted functions) — rebuild bin/detlint to embed it\n",
+		rankPath, len(b.Functions))
+	return nil
+}
+
+// writeWireSchema re-snapshots the wire schema — unless the shapes drifted
+// while dist.ProtocolVersion still equals the committed snapshot's
+// version. A shape change is a protocol change, and the bump is the
+// reviewed evidence that every process on the wire will be rebuilt; a tool
+// that regenerated past that check would erase exactly the drift the
+// wiredrift analyzer exists to refuse. New structs snapshot freely: adding
+// a message type is backward compatible at the gob layer.
+func writeWireSchema(schemaPath string, shapes map[string][]scalelint.WireField, pv int, hasPV bool) error {
+	if !hasPV {
+		return errors.New("wire schema: dist.ProtocolVersion constant not found; cannot stamp the snapshot")
+	}
+	committed := &scalelint.WireSchema{Structs: map[string][]scalelint.WireField{}}
+	if data, err := os.ReadFile(schemaPath); err == nil {
+		if s, perr := scalelint.ParseWireSchema(data); perr == nil {
+			committed = s
+		}
+	}
+	if pv == committed.ProtocolVersion {
+		var changes []string
+		for _, key := range sortedKeys(committed.Structs) {
+			cur, ok := shapes[key]
+			if !ok {
+				changes = append(changes, key+" was removed")
+				continue
+			}
+			if diff := scalelint.ShapeDiff(committed.Structs[key], cur); diff != "" {
+				changes = append(changes, key+": "+diff)
+			}
+		}
+		if len(changes) > 0 {
+			return fmt.Errorf(
+				"refusing to re-snapshot a drifted wire schema at unchanged protocol version %d (%s) — bump dist.ProtocolVersion first, then -write",
+				pv, strings.Join(changes, "; "))
+		}
+	}
+	s := scalelint.WireSchema{ProtocolVersion: pv, Structs: shapes}
+	data, err := json.MarshalIndent(&s, "", "\t")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(schemaPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("perflint: wrote %s (%d wire structs at protocol %d) — rebuild bin/detlint to embed it\n",
+		schemaPath, len(shapes), pv)
+	return nil
+}
+
+// runStats runs every analyzer of the three suites in-process over the
+// repository packages and prints per-analyzer wall time and surviving
+// diagnostic counts. One analyzer runs at a time so the timings are
+// attributable; the allow protocol is applied exactly as `make lint`
+// applies it, and each suppression is judged once — by the run of the
+// analyzer it names. Stale or malformed allows surface on the final
+// driver line.
+func runStats(pkgs []*repoPkg) error {
+	suite := make([]*analysis.Analyzer, 0, len(detlint.Suite)+len(perflint.Suite)+len(scalelint.Suite))
+	suite = append(suite, detlint.Suite...)
+	suite = append(suite, perflint.Suite...)
+	suite = append(suite, scalelint.Suite...)
+	known := append(append(detlint.Names(), perflint.Names()...), scalelint.Names()...)
+
+	fmt.Printf("perflint: analyzer stats over %d packages\n", len(pkgs))
+	start := time.Now()
+	var total, allowDiags int
+	for _, a := range suite {
+		aStart := time.Now()
+		n := 0
+		for _, p := range pkgs {
+			diags, err := checker.Run(&checker.Package{Fset: p.fset, Files: p.files, Pkg: p.pkg, Info: p.info},
+				[]*analysis.Analyzer{a}, known)
+			if err != nil {
+				return err
+			}
+			for _, d := range diags {
+				if d.Analyzer == a.Name {
+					n++
+				} else {
+					allowDiags++
+				}
+			}
+		}
+		total += n
+		fmt.Printf("  %-18s %9.1fms  %d diagnostic(s)\n", a.Name, float64(time.Since(aStart).Microseconds())/1000, n)
+	}
+	fmt.Printf("  %-18s %9.1fms  %d diagnostic(s), %d allow-protocol finding(s)\n",
+		"total", float64(time.Since(start).Microseconds())/1000, total, allowDiags)
+	if total+allowDiags > 0 {
+		fmt.Printf("perflint: diagnostics above are informational here — `go vet -vettool=bin/detlint ./...` is the blocking gate\n")
+	}
 	return nil
 }
 

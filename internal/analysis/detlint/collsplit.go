@@ -6,10 +6,11 @@ import (
 
 	"columbia/internal/analysis"
 	"columbia/internal/analysis/flow"
+	"columbia/internal/analysis/ir"
 )
 
-// Collsplit flags a collective call that is lexically reachable only under
-// a rank-dependent branch — the classic conditional-collective bug: if one
+// Collsplit flags a collective call that is reachable only under a
+// rank-dependent branch — the classic conditional-collective bug: if one
 // rank's condition differs, a strict subset of ranks enters the collective
 // and the job deadlocks (the commsan runtime sanitizer reports exactly this
 // as a subset-collective violation; this analyzer catches it before any run
@@ -20,6 +21,14 @@ import (
 // and are never flagged; test files are exempt. A split that is safe by
 // construction (every arm still enters the collective) is silenced with
 // //detlint:allow collsplit <reason>.
+//
+// Guardedness is computed on the control-flow graph: a block is guarded by
+// a rank-dependent branch head when it is reachable from the head but does
+// not postdominate it — i.e. some path from the branch skips it. The
+// original lexical walker is kept as runCollsplitLexical and pinned
+// bit-identical on the fixtures by TestCollsplitDifferential; the CFG
+// formulation additionally understands early returns and dead code, which
+// lexical nesting cannot express.
 var Collsplit = &analysis.Analyzer{
 	Name: "collsplit",
 	Doc:  "flag collective calls guarded by rank-dependent branches",
@@ -37,23 +46,31 @@ var collectiveFuncs = map[string]bool{
 }
 
 func runCollsplit(pass *analysis.Pass) error {
+	forEachTopLevelBody(pass, func(body *ast.BlockStmt) {
+		checkCollsplitCFG(pass, body)
+	})
+	return nil
+}
+
+// forEachTopLevelBody visits each non-test top-level function body once:
+// declarations, and function literals in package-level initializers.
+// Nested literals are reached by the checkers themselves, so they must not
+// be re-entered separately.
+func forEachTopLevelBody(pass *analysis.Pass, check func(*ast.BlockStmt)) {
 	for _, f := range pass.Files {
 		if isTestFile(pass, f.Pos()) {
 			continue
 		}
-		// Check each top-level function body once; the walk itself descends
-		// into nested literals, so they must not be re-entered separately.
 		for _, decl := range f.Decls {
 			switch d := decl.(type) {
 			case *ast.FuncDecl:
 				if d.Body != nil {
-					checkCollsplit(pass, d.Body)
+					check(d.Body)
 				}
 			case *ast.GenDecl:
-				// Function literals in package-level initializers.
 				ast.Inspect(d, func(n ast.Node) bool {
 					if fl, ok := n.(*ast.FuncLit); ok {
-						checkCollsplit(pass, fl.Body)
+						check(fl.Body)
 						return false
 					}
 					return true
@@ -61,15 +78,99 @@ func runCollsplit(pass *analysis.Pass) error {
 			}
 		}
 	}
+}
+
+// checkCollsplitCFG builds the body's control-flow graph and reports every
+// collective call in a block guarded by a rank-dependent branch head.
+func checkCollsplitCFG(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Seed the shared taint engine with direct Rank() reads over the whole
+	// top-level body (nested literals included), exactly as the lexical
+	// walker does, so the two formulations agree on rank-dependence.
+	seed := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		return ok && isRankCall(pass, call)
+	}
+	tainted := flow.Taint(pass.TypesInfo, body, seed)
+	dep := func(e ast.Expr) bool { return flow.Depends(pass.TypesInfo, tainted, seed, e) }
+
+	var check func(body *ast.BlockStmt, forced bool)
+	check = func(body *ast.BlockStmt, forced bool) {
+		g := ir.New(body)
+		guarded := rankGuardedBlocks(g, dep)
+		for _, b := range g.Blocks {
+			if b == g.Exit {
+				continue // exit nodes replay deferred calls already seen at their registration
+			}
+			inGuard := forced || guarded[b]
+			for _, n := range b.Nodes {
+				ir.Walk(n, func(sub ast.Node) bool {
+					switch x := sub.(type) {
+					case *ast.FuncLit:
+						check(x.Body, inGuard)
+					case *ast.CallExpr:
+						if !inGuard {
+							return true
+						}
+						if name, ok := collectiveCall(pass, x); ok {
+							pass.Reportf(x.Pos(), "collective %s is reachable only under a rank-dependent branch; if any rank takes another path the job deadlocks — hoist it, or justify with //detlint:allow collsplit <reason>", name)
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	check(body, false)
+}
+
+// rankGuardedBlocks returns the blocks whose execution is conditional on a
+// rank-dependent branch: reachable from a rank-dependent head without
+// postdominating it. Range heads are never guards (iterating a collection
+// is not a rank split), matching the lexical walker.
+func rankGuardedBlocks(g *ir.Graph, dep func(ast.Expr) bool) map[*ir.Block]bool {
+	pdom := ir.Postdominators(g)
+	guarded := make(map[*ir.Block]bool)
+	for _, br := range g.Branches {
+		ranked := false
+		switch br.Kind {
+		case "if", "for":
+			ranked = len(br.Conds) > 0 && dep(br.Conds[0])
+		case "switch":
+			// switch { case c.Rank() == 0: ... }: any rank-dependent case
+			// (or tag) makes every clause's reachability rank-dependent.
+			for _, c := range br.Conds {
+				if dep(c) {
+					ranked = true
+					break
+				}
+			}
+		}
+		if !ranked {
+			continue
+		}
+		for b := range ir.ReachableFrom(br.Block) {
+			if !pdom[br.Block][b] {
+				guarded[b] = true
+			}
+		}
+	}
+	return guarded
+}
+
+// runCollsplitLexical is the original AST formulation, retained as the
+// differential oracle: TestCollsplitDifferential asserts it and the CFG
+// formulation produce bit-identical diagnostics on every fixture.
+func runCollsplitLexical(pass *analysis.Pass) error {
+	forEachTopLevelBody(pass, func(body *ast.BlockStmt) {
+		checkCollsplitLexical(pass, body)
+	})
 	return nil
 }
 
-// checkCollsplit walks one function body tracking whether the current
-// position is lexically inside a rank-dependent branch, and reports any
-// collective call found there.
-func checkCollsplit(pass *analysis.Pass, body *ast.BlockStmt) {
-	// Seed the shared taint engine with direct Rank() reads; the fixed
-	// point then finds every local whose value derives from one.
+// checkCollsplitLexical walks one function body tracking whether the
+// current position is lexically inside a rank-dependent branch, and
+// reports any collective call found there.
+func checkCollsplitLexical(pass *analysis.Pass, body *ast.BlockStmt) {
 	seed := func(e ast.Expr) bool {
 		call, ok := e.(*ast.CallExpr)
 		return ok && isRankCall(pass, call)
@@ -99,8 +200,6 @@ func checkCollsplit(pass *analysis.Pass, body *ast.BlockStmt) {
 			}
 			g := guarded || (s.Tag != nil && dep(s.Tag))
 			if !g {
-				// switch { case c.Rank() == 0: ... }: any rank-dependent
-				// case makes every clause's reachability rank-dependent.
 				for _, cc := range s.Body.List {
 					for _, e := range cc.(*ast.CaseClause).List {
 						if dep(e) {

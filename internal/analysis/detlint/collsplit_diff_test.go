@@ -1,0 +1,93 @@
+package detlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"columbia/internal/analysis"
+	"columbia/internal/analysis/checker"
+)
+
+// TestCollsplitDifferential pins the CFG port of collsplit to the original
+// lexical walker: on every committed fixture the two formulations must
+// produce bit-identical diagnostics — same file, line, column and message.
+// The CFG version is allowed to diverge only on shapes the fixtures do not
+// contain (early returns out of guarded branches, dead code), where the
+// lexical nesting model has no answer at all.
+func TestCollsplitDifferential(t *testing.T) {
+	pkg := loadFixturePkg(t, filepath.Join("testdata", "collsplit", "src", "coll"), "coll")
+	run := func(name string, runFn func(*analysis.Pass) error) []string {
+		t.Helper()
+		a := &analysis.Analyzer{Name: "collsplit", Doc: "differential instance", Run: runFn}
+		diags, err := checker.Run(pkg, []*analysis.Analyzer{a}, Names())
+		if err != nil {
+			t.Fatalf("%s: checker.Run: %v", name, err)
+		}
+		var out []string
+		for _, d := range diags {
+			p := pkg.Fset.Position(d.Pos)
+			out = append(out, fmt.Sprintf("%s:%d:%d %s: %s", filepath.Base(p.Filename), p.Line, p.Column, d.Analyzer, d.Message))
+		}
+		sort.Strings(out)
+		return out
+	}
+	cfgDiags := run("cfg", runCollsplit)
+	lexDiags := run("lexical", runCollsplitLexical)
+	if len(cfgDiags) != len(lexDiags) {
+		t.Fatalf("CFG and lexical collsplit disagree: %d vs %d diagnostics\ncfg:\n%s\nlexical:\n%s",
+			len(cfgDiags), len(lexDiags), strings.Join(cfgDiags, "\n"), strings.Join(lexDiags, "\n"))
+	}
+	for i := range cfgDiags {
+		if cfgDiags[i] != lexDiags[i] {
+			t.Errorf("diagnostic %d differs:\ncfg:     %s\nlexical: %s", i, cfgDiags[i], lexDiags[i])
+		}
+	}
+}
+
+// loadFixturePkg parses and type-checks one fixture directory, mirroring
+// the analysistest loader (which is unexported).
+func loadFixturePkg(t *testing.T, dir, pkgpath string) *checker.Package {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := &types.Config{Importer: importer.ForCompiler(token.NewFileSet(), "source", nil)}
+	tpkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", pkgpath, err)
+	}
+	return &checker.Package{Fset: fset, Files: files, Pkg: tpkg, Info: info}
+}

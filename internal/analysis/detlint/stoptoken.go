@@ -5,6 +5,7 @@ import (
 	"go/types"
 
 	"columbia/internal/analysis"
+	"columbia/internal/analysis/ir"
 )
 
 // StopToken enforces the vmpi shutdown contract: when a rank panics with a
@@ -14,7 +15,11 @@ import (
 // Concretely, every `go` statement in internal/vmpi (test files exempt:
 // tests may spawn watchdogs freely) must start a function that is
 // stop-aware — its body references the stopToken type, or it calls a
-// same-package function that is, transitively.
+// same-package function that is, transitively. The check runs on the
+// goroutine body's control-flow graph: only references in blocks reachable
+// from entry count, so a token mention sitting in dead code no longer
+// satisfies the contract. The path-sensitive upgrade — must the token be
+// observed before every blocking operation — is scalelint's chanlive.
 var StopToken = &analysis.Analyzer{
 	Name: "stoptoken",
 	Doc:  "every goroutine started in internal/vmpi must observe the rank stop token",
@@ -115,17 +120,39 @@ func callsStopAware(pass *analysis.Pass, n ast.Node, aware map[*types.Func]bool)
 }
 
 // goIsStopAware reports whether the goroutine launched by gs is stop-aware:
-// a function literal whose body references stopToken or calls a stop-aware
-// function, or a named same-package function that is stop-aware.
+// a function literal that observes stopToken in reachable code, or a named
+// same-package function that is stop-aware.
 func goIsStopAware(pass *analysis.Pass, gs *ast.GoStmt, tok *types.TypeName, aware map[*types.Func]bool) bool {
 	if tok == nil {
 		return false // no stop token declared at all: every goroutine is a leak
 	}
 	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
-		return referencesToken(pass, lit.Body, tok) || callsStopAware(pass, lit.Body, aware)
+		return bodyIsStopAware(pass, lit.Body, tok, aware)
 	}
 	if fn := calleeFunc(pass.TypesInfo, gs.Call); fn != nil {
 		return aware[fn]
+	}
+	return false
+}
+
+// bodyIsStopAware checks a goroutine body on its control-flow graph: a
+// stopToken reference or stop-aware call counts only when its block is
+// reachable from entry — a mention after an unconditional return is not an
+// observation the running goroutine can ever make.
+func bodyIsStopAware(pass *analysis.Pass, body *ast.BlockStmt, tok *types.TypeName, aware map[*types.Func]bool) bool {
+	g := ir.New(body)
+	reach := g.Reachable()
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			// Full descent per atomic node: a nested closure that observes
+			// the token still runs inside this goroutine's dynamic extent.
+			if referencesToken(pass, n, tok) || callsStopAware(pass, n, aware) {
+				return true
+			}
+		}
 	}
 	return false
 }

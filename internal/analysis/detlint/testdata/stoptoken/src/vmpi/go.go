@@ -49,4 +49,13 @@ func (e *engine) start() {
 	go func() {
 		e.parked <- 4
 	}()
+	// The only token mention sits after an unconditional return: the CFG
+	// rebase sees it is unreachable and still flags the goroutine.
+	go func() { // want `stoptoken: goroutine started without referencing the rank stop token`
+		e.parked <- 5
+		return
+		if e.stopping {
+			panic(stopToken{})
+		}
+	}()
 }

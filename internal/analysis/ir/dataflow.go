@@ -1,0 +1,293 @@
+package ir
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A Def is one definition site: an object and the atomic node that assigns
+// it (an assignment, a declaration, an inc/dec, or a range statement
+// binding its key/value).
+type Def struct {
+	Obj  types.Object
+	Node ast.Node
+}
+
+// DefSet is a reaching-definitions fact: the definitions that may reach a
+// program point.
+type DefSet map[*Def]bool
+
+// ReachingDefs solves may-reaching definitions over the graph: In[b] is
+// the set of definitions reaching b's start along some path. The returned
+// slice lists every definition discovered, in block/creation order, so
+// callers can index defs by object deterministically. Function parameters
+// are outside the body and carry no definition here; a use reached by no
+// definition is parameter- or closure-bound.
+func ReachingDefs(g *Graph, info *types.Info) (Facts[DefSet], []*Def) {
+	defs := collectDefs(g, info)
+	byObj := make(map[types.Object][]*Def)
+	byBlock := make(map[*Block][]*Def)
+	for _, d := range defs {
+		byObj[d.Obj] = append(byObj[d.Obj], d)
+	}
+	for _, b := range g.Blocks {
+		for _, d := range defs {
+			if blockHasNode(b, d.Node) {
+				byBlock[b] = append(byBlock[b], d)
+			}
+		}
+	}
+	f := Solve(g, Problem[DefSet]{
+		Dir:      Forward,
+		Boundary: DefSet{},
+		Init:     DefSet{},
+		Meet:     unionDefs,
+		Equal:    equalDefs,
+		Transfer: func(b *Block, in DefSet) DefSet {
+			out := make(DefSet, len(in))
+			for d := range in {
+				out[d] = true
+			}
+			// Apply the block's definitions in order: each kills every
+			// other definition of the same object, then asserts itself.
+			for _, d := range byBlock[b] {
+				for _, other := range byObj[d.Obj] {
+					delete(out, other)
+				}
+				out[d] = true
+			}
+			return out
+		},
+	})
+	return f, defs
+}
+
+// LiveSet is a liveness fact: the objects whose current value may still be
+// read on some path onward.
+type LiveSet map[types.Object]bool
+
+// Liveness solves backward may-liveness over the graph: for a Backward
+// problem In[b] is the fact at the block's end, so Out[b] is the live set
+// at the block's start.
+func Liveness(g *Graph, info *types.Info) Facts[LiveSet] {
+	use := make(map[*Block]LiveSet, len(g.Blocks))
+	def := make(map[*Block]LiveSet, len(g.Blocks))
+	for _, b := range g.Blocks {
+		use[b], def[b] = blockUseDef(b, info)
+	}
+	return Solve(g, Problem[LiveSet]{
+		Dir:      Backward,
+		Boundary: LiveSet{},
+		Init:     LiveSet{},
+		Meet:     unionLive,
+		Equal:    equalLive,
+		Transfer: func(b *Block, in LiveSet) LiveSet {
+			out := make(LiveSet, len(in)+len(use[b]))
+			for o := range in {
+				if !def[b][o] {
+					out[o] = true
+				}
+			}
+			for o := range use[b] {
+				out[o] = true
+			}
+			return out
+		},
+	})
+}
+
+// collectDefs finds every definition site in the graph, in block order.
+func collectDefs(g *Graph, info *types.Info) []*Def {
+	var defs []*Def
+	addIdent := func(id *ast.Ident, node ast.Node) {
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil && id.Name != "_" {
+			defs = append(defs, &Def{Obj: obj, Node: node})
+		}
+	}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for _, l := range x.Lhs {
+					if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+						addIdent(id, x)
+					}
+				}
+			case *ast.IncDecStmt:
+				if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+					addIdent(id, x)
+				}
+			case *ast.DeclStmt:
+				gd, ok := x.Decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, name := range vs.Names {
+							addIdent(name, x)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if id, ok := x.Key.(*ast.Ident); ok {
+					addIdent(id, x)
+				}
+				if id, ok := x.Value.(*ast.Ident); ok {
+					addIdent(id, x)
+				}
+			}
+		}
+	}
+	return defs
+}
+
+func blockHasNode(b *Block, n ast.Node) bool {
+	for _, bn := range b.Nodes {
+		if bn == n {
+			return true
+		}
+	}
+	return false
+}
+
+// blockUseDef computes the block-level use set (objects read before any
+// in-block definition) and def set (objects assigned), scanning nodes in
+// execution order.
+func blockUseDef(b *Block, info *types.Info) (use, def LiveSet) {
+	use, def = LiveSet{}, LiveSet{}
+	markUse := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		Walk(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil && !def[obj] {
+					use[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	markDef := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil {
+				def[obj] = true
+			}
+			return
+		}
+		// Assignment through a selector/index/deref reads its operand.
+		markUse(e)
+	}
+	for _, n := range b.Nodes {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, r := range x.Rhs {
+				markUse(r)
+			}
+			for _, l := range x.Lhs {
+				if x.Tok != token.ASSIGN && x.Tok != token.DEFINE {
+					markUse(l) // compound ops (+=) read the target first
+				}
+				markDef(l)
+			}
+		case *ast.IncDecStmt:
+			markUse(x.X)
+			markDef(x.X)
+		case *ast.RangeStmt:
+			markUse(x.X)
+			markDef(x.Key)
+			if x.Value != nil {
+				markDef(x.Value)
+			}
+		case *ast.DeclStmt:
+			gd, ok := x.Decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					markUse(v)
+				}
+				for _, name := range vs.Names {
+					if obj := info.Defs[name]; obj != nil {
+						def[obj] = true
+					}
+				}
+			}
+		default:
+			if e, ok := n.(ast.Expr); ok {
+				markUse(e)
+				continue
+			}
+			Walk(n, func(sub ast.Node) bool {
+				if id, ok := sub.(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil && !def[obj] {
+						use[obj] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return use, def
+}
+
+func unionDefs(a, b DefSet) DefSet {
+	out := make(DefSet, len(a)+len(b))
+	for d := range a {
+		out[d] = true
+	}
+	for d := range b {
+		out[d] = true
+	}
+	return out
+}
+
+func equalDefs(a, b DefSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for d := range a {
+		if !b[d] {
+			return false
+		}
+	}
+	return true
+}
+
+func unionLive(a, b LiveSet) LiveSet {
+	out := make(LiveSet, len(a)+len(b))
+	for o := range a {
+		out[o] = true
+	}
+	for o := range b {
+		out[o] = true
+	}
+	return out
+}
+
+func equalLive(a, b LiveSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for o := range a {
+		if !b[o] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,89 @@
+package ir
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Dot renders the graph in Graphviz dot form, deterministically: blocks in
+// index order, edges in creation order, node text printed with go/printer
+// and flattened to one line each. The golden CFG tests diff this output
+// verbatim, so any lowering change is a reviewed diff, not a silent shift
+// in analyzer behavior.
+func (g *Graph) Dot(fset *token.FileSet) string {
+	var sb strings.Builder
+	sb.WriteString("digraph cfg {\n")
+	reach := g.Reachable()
+	for _, b := range g.Blocks {
+		var label strings.Builder
+		fmt.Fprintf(&label, "b%d %s", b.Index, b.Kind)
+		if !reach[b] {
+			label.WriteString(" (unreachable)")
+		}
+		label.WriteString("\\l")
+		for _, n := range b.Nodes {
+			label.WriteString(escapeDot(NodeText(fset, n)))
+			label.WriteString("\\l")
+		}
+		fmt.Fprintf(&sb, "  b%d [shape=box,label=\"%s\"];\n", b.Index, label.String())
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			fmt.Fprintf(&sb, "  b%d -> b%d;\n", b.Index, s.Index)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// NodeText renders one block node as a single line of source text. Range
+// statements render as their head only ("for k, v := range xs"); all other
+// nodes print whole (their bodies, if any, live in other blocks, so whole
+// is still one construct).
+func NodeText(fset *token.FileSet, n ast.Node) string {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		head := "for "
+		if rs.Key != nil {
+			head += exprText(fset, rs.Key)
+			if rs.Value != nil {
+				head += ", " + exprText(fset, rs.Value)
+			}
+			head += " " + rs.Tok.String() + " "
+		}
+		return head + "range " + exprText(fset, rs.X)
+	}
+	return flatten(printNode(fset, n))
+}
+
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	return flatten(printNode(fset, e))
+}
+
+func printNode(fset *token.FileSet, n ast.Node) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	return sb.String()
+}
+
+// flatten joins a multi-line rendering into one line and bounds its
+// length, keeping dot labels readable for large statements.
+func flatten(s string) string {
+	fields := strings.Fields(s)
+	out := strings.Join(fields, " ")
+	const max = 80
+	if len(out) > max {
+		out = out[:max] + "…"
+	}
+	return out
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}

@@ -1,0 +1,227 @@
+package ir_test
+
+import (
+	"flag"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"columbia/internal/analysis/ir"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden CFG dumps")
+
+// loadFixture parses and type-checks testdata/cfg.go once per test.
+func loadFixture(t *testing.T) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join("testdata", "cfg.go"), nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := &types.Config{Importer: importer.ForCompiler(token.NewFileSet(), "source", nil)}
+	if _, err := conf.Check("cfg", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	return fset, f, info
+}
+
+func fixtureFunc(t *testing.T, f *ast.File, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("fixture function %s not found", name)
+	return nil
+}
+
+// TestCFGGolden diffs each fixture function's dot dump against its
+// committed golden, pinning the lowering of select-with-default,
+// defer-unlock, labeled break/continue and goto. Regenerate with
+// `go test ./internal/analysis/ir -run Golden -update`.
+func TestCFGGolden(t *testing.T) {
+	fset, f, _ := loadFixture(t)
+	for _, name := range []string{"selectDefault", "deferUnlock", "labeledLoops", "gotoRetry", "loopHeavy"} {
+		t.Run(name, func(t *testing.T) {
+			g := ir.New(fixtureFunc(t, f, name).Body)
+			got := g.Dot(fset)
+			golden := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("CFG dump for %s drifted from golden.\ngot:\n%s\nwant:\n%s", name, got, want)
+			}
+		})
+	}
+}
+
+// TestGraphShape pins structural properties the analyzers rely on, beyond
+// what the goldens show: bypass edges, blocking selects, defer replay.
+func TestGraphShape(t *testing.T) {
+	_, f, _ := loadFixture(t)
+
+	t.Run("select default is a head successor", func(t *testing.T) {
+		g := ir.New(fixtureFunc(t, f, "selectDefault").Body)
+		var head *ir.Block
+		for _, br := range g.Branches {
+			if br.Kind == "select" {
+				head = br.Block
+			}
+		}
+		if head == nil {
+			t.Fatal("no select branch recorded")
+		}
+		foundDefault := false
+		for _, s := range head.Succs {
+			if s.Kind == "select.default" {
+				foundDefault = true
+			}
+		}
+		if !foundDefault {
+			t.Error("select head has no default successor")
+		}
+	})
+
+	t.Run("defer call replays at exit", func(t *testing.T) {
+		g := ir.New(fixtureFunc(t, f, "deferUnlock").Body)
+		if len(g.Defers) != 1 {
+			t.Fatalf("got %d defers, want 1", len(g.Defers))
+		}
+		found := false
+		for _, n := range g.Exit.Nodes {
+			if n == g.Defers[0].Call {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("deferred call not replayed in the exit block")
+		}
+	})
+
+	t.Run("goto closes a reachable loop", func(t *testing.T) {
+		g := ir.New(fixtureFunc(t, f, "gotoRetry").Body)
+		reach := g.Reachable()
+		var label *ir.Block
+		for _, b := range g.Blocks {
+			if b.Kind == "label.retry" {
+				label = b
+			}
+		}
+		if label == nil {
+			t.Fatal("no label block for retry")
+		}
+		if !reach[label] {
+			t.Error("label block unreachable")
+		}
+		if len(label.Preds) < 2 {
+			t.Errorf("label block has %d preds, want >= 2 (fallthrough + goto)", len(label.Preds))
+		}
+	})
+}
+
+// TestWorklistConvergence bounds the solver on the loop-heavy fixture:
+// nested loops and a switch must converge in a small multiple of the block
+// count for both a forward and a backward instance, and the solved facts
+// must be right at spot-checked points.
+func TestWorklistConvergence(t *testing.T) {
+	_, f, info := loadFixture(t)
+	fd := fixtureFunc(t, f, "loopHeavy")
+	g := ir.New(fd.Body)
+	bound := 6 * len(g.Blocks)
+
+	live := ir.Liveness(g, info)
+	if live.Steps > bound {
+		t.Errorf("liveness took %d transfer steps on %d blocks, want <= %d", live.Steps, len(g.Blocks), bound)
+	}
+	reaching, defs := ir.ReachingDefs(g, info)
+	if reaching.Steps > bound {
+		t.Errorf("reaching-defs took %d transfer steps on %d blocks, want <= %d", reaching.Steps, len(g.Blocks), bound)
+	}
+
+	// acc is live at every loop head: it carries across iterations. For a
+	// backward problem In[b] is the fact at the block's end, so In[Entry]
+	// is the program point just after `acc := 0`.
+	var accObj types.Object
+	for obj := range live.In[g.Entry] {
+		if obj.Name() == "acc" {
+			accObj = obj
+		}
+	}
+	if accObj == nil {
+		t.Fatal("acc not live after its initialization — use/def extraction broken")
+	}
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" || b.Kind == "range.head" {
+			if !live.Out[b][accObj] {
+				t.Errorf("acc not live at %s (b%d)", b.Kind, b.Index)
+			}
+		}
+	}
+
+	// Both the init and the loop-carried updates of acc reach the exit.
+	accDefs := 0
+	for _, d := range defs {
+		if d.Obj == accObj && reaching.In[g.Exit][d] {
+			accDefs++
+		}
+	}
+	if accDefs < 3 {
+		t.Errorf("%d definitions of acc reach exit, want >= 3 (init, -=, +=)", accDefs)
+	}
+}
+
+// TestPostdominators checks the control-dependence substrate on the
+// labeled-loops fixture: the inner body does not postdominate the outer
+// head, while the function's return block postdominates everything
+// reachable.
+func TestPostdominators(t *testing.T) {
+	_, f, _ := loadFixture(t)
+	g := ir.New(fixtureFunc(t, f, "labeledLoops").Body)
+	pdom := ir.Postdominators(g)
+	reach := g.Reachable()
+
+	var outerHead, innerBody *ir.Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" && outerHead == nil {
+			outerHead = b
+		}
+		if b.Kind == "for.body" {
+			innerBody = b // last one wins: the inner loop's body
+		}
+	}
+	if outerHead == nil || innerBody == nil {
+		t.Fatal("loop blocks not found")
+	}
+	if pdom[outerHead][innerBody] {
+		t.Error("inner loop body postdominates the outer head; loop bodies are conditional")
+	}
+	for b := range reach {
+		if !pdom[b][g.Exit] {
+			t.Errorf("exit does not postdominate reachable block b%d (%s)", b.Index, b.Kind)
+		}
+		if !pdom[b][b] {
+			t.Errorf("block b%d does not postdominate itself", b.Index)
+		}
+	}
+}

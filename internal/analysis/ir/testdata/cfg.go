@@ -1,0 +1,89 @@
+// Package cfg (fixture) exercises the IR lowering: each function below has
+// a committed golden dot dump (testdata/<func>.golden) diffed by
+// TestCFGGolden, so every change to the lowering is a reviewed diff.
+package cfg
+
+type mutex struct{ held bool }
+
+func (m *mutex) Lock()   { m.held = true }
+func (m *mutex) Unlock() { m.held = false }
+
+// selectDefault: a select with a default clause is non-blocking — the
+// lowering must give the head a default successor, unlike a bare select.
+func selectDefault(ch chan int, stop chan struct{}) int {
+	total := 0
+	for {
+		select {
+		case v := <-ch:
+			total += v
+		case <-stop:
+			return total
+		default:
+			return -1
+		}
+	}
+}
+
+// deferUnlock: the defer registers in its source block and the unlock call
+// replays in the exit block, most-recently-registered first.
+func deferUnlock(m *mutex, n int) int {
+	m.Lock()
+	defer m.Unlock()
+	if n < 0 {
+		return 0
+	}
+	return n * 2
+}
+
+// labeledLoops: labeled break and continue must target the labeled loop's
+// join and head, not the inner loop's.
+func labeledLoops(grid [][]int) int {
+	found := 0
+outer:
+	for i := 0; i < len(grid); i++ {
+		for j := 0; j < len(grid[i]); j++ {
+			if grid[i][j] < 0 {
+				continue outer
+			}
+			if grid[i][j] == 0 {
+				break outer
+			}
+			found++
+		}
+	}
+	return found
+}
+
+// gotoRetry: a backward goto forms a loop the builder must close through
+// the label block; the statement after the goto is unreachable.
+func gotoRetry(attempts int) int {
+	tries := 0
+retry:
+	tries++
+	if tries < attempts {
+		goto retry
+	}
+	return tries
+}
+
+// loopHeavy drives the worklist convergence test: nested loops with a
+// carried accumulator, an early break, and a switch in the body.
+func loopHeavy(xs []int, lim int) int {
+	acc := 0
+	for i := 0; i < lim; i++ {
+		for _, x := range xs {
+			switch {
+			case x < 0:
+				acc -= x
+			case x == 0:
+				continue
+			default:
+				acc += x
+			}
+			if acc > 1<<20 {
+				break
+			}
+		}
+	}
+	return acc
+}

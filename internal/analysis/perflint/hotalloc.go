@@ -104,7 +104,7 @@ func HotFuncs(pkgPath string, fset *token.FileSet, files []*ast.File) []HotFunc 
 			if !ok || fd.Body == nil {
 				continue
 			}
-			if _, ok := marker(fd.Doc, "hot"); !ok {
+			if _, ok := Marker(fd.Doc, "hot"); !ok {
 				continue
 			}
 			out = append(out, HotFunc{Key: FuncKey(pkgPath, fd), Decl: fd})

@@ -49,7 +49,7 @@ func runWireCover(pass *analysis.Pass) error {
 				if doc == nil && len(gd.Specs) == 1 {
 					doc = gd.Doc
 				}
-				names, ok := marker(doc, "wire")
+				names, ok := Marker(doc, "wire")
 				if !ok {
 					continue
 				}

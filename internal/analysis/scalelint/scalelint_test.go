@@ -1,0 +1,72 @@
+package scalelint
+
+import (
+	"testing"
+
+	"columbia/internal/analysis"
+	"columbia/internal/analysis/analysistest"
+	"columbia/internal/analysis/detlint"
+	"columbia/internal/analysis/perflint"
+)
+
+// knownNames is the full analyzer vocabulary, so fixtures may carry allow
+// comments for analyzers outside the run under test.
+func knownNames() []string {
+	names := detlint.Names()
+	names = append(names, perflint.Names()...)
+	names = append(names, Names()...)
+	return names
+}
+
+func TestRankScale(t *testing.T) {
+	a := newRankScale(&RankBudget{Functions: map[string]int{"vmpi.budgeted": 1}})
+	analysistest.Run(t, "testdata/rankscale", "vmpi", []*analysis.Analyzer{a}, knownNames())
+}
+
+func TestChanLive(t *testing.T) {
+	analysistest.Run(t, "testdata/chanlive", "vmpi", []*analysis.Analyzer{ChanLive}, knownNames())
+}
+
+func TestWireDrift(t *testing.T) {
+	schema := &WireSchema{ProtocolVersion: 1, Structs: map[string][]WireField{
+		"dist.Stable":  {{Name: "Seq", Type: "uint64"}, {Name: "Kind", Type: "string"}},
+		"dist.Drifted": {{Name: "A", Type: "int"}, {Name: "B", Type: "int"}},
+		"dist.Hidden":  {{Name: "X", Type: "int"}},
+		"dist.Gone":    {{Name: "X", Type: "int"}},
+	}}
+	analysistest.Run(t, "testdata/wiredrift", "dist", []*analysis.Analyzer{newWireDrift(schema)}, knownNames())
+}
+
+// TestWireDriftBumped pins the other arm of the version logic: the same
+// drift with ProtocolVersion already bumped asks for regeneration instead
+// of a bump.
+func TestWireDriftBumped(t *testing.T) {
+	schema := &WireSchema{ProtocolVersion: 1, Structs: map[string][]WireField{
+		"distbump.Payload": {{Name: "A", Type: "int"}},
+	}}
+	analysistest.Run(t, "testdata/wiredrift", "distbump", []*analysis.Analyzer{newWireDrift(schema)}, knownNames())
+}
+
+func TestNames(t *testing.T) {
+	want := []string{"rankscale", "chanlive", "wiredrift"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestEmbeddedArtifacts ensures the committed budget and schema parse: a
+// malformed artifact must fail in tests, not first in the vet tool.
+func TestEmbeddedArtifacts(t *testing.T) {
+	if _, err := EmbeddedRankBudget(); err != nil {
+		t.Errorf("embedded rankscale budget: %v", err)
+	}
+	if _, err := EmbeddedWireSchema(); err != nil {
+		t.Errorf("embedded wire schema: %v", err)
+	}
+}

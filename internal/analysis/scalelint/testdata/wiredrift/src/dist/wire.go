@@ -1,0 +1,37 @@
+package dist // want `wiredrift: wire schema still lists dist.Gone`
+
+// ProtocolVersion matches the committed schema's version, so any shape
+// drift below is drift *without* a bump.
+const ProtocolVersion = 1
+
+// Stable matches the committed schema exactly: silent.
+//
+//perflint:wire
+type Stable struct {
+	Seq  uint64
+	Kind string
+}
+
+// Drifted retyped B from int to string while ProtocolVersion stayed 1.
+//
+//perflint:wire
+type Drifted struct { // want `wiredrift: gob shape of wire struct dist.Drifted changed without a ProtocolVersion bump`
+	A int
+	B string
+}
+
+// Fresh is annotated but absent from the committed schema.
+//
+//perflint:wire
+type Fresh struct { // want `wiredrift: wire struct dist.Fresh is not in the committed wire schema`
+	Payload []byte
+}
+
+// unexported fields never reach the wire; Hidden matches its schema entry
+// even though the unexported field is new.
+//
+//perflint:wire
+type Hidden struct {
+	X    int
+	seen bool
+}

@@ -1,0 +1,12 @@
+// Package distbump (fixture): the version was bumped past the committed
+// schema's, so drift is reported as a stale schema to regenerate, not as
+// an unversioned protocol change.
+package distbump
+
+const ProtocolVersion = 2
+
+//perflint:wire
+type Payload struct { // want `wiredrift: wire schema entry for distbump.Payload is stale .* regenerate`
+	A int
+	B int
+}

@@ -1,0 +1,256 @@
+package scalelint
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+
+	"columbia/internal/analysis"
+	"columbia/internal/analysis/perflint"
+)
+
+// WireDrift freezes the gob shape of every //perflint:wire struct: the
+// ordered exported field names and types are snapshotted in
+// wire_schema.json together with the dist.ProtocolVersion they were taken
+// at. Adding, removing, retyping or reordering a field without bumping the
+// version is a build failure — gob tolerates some of those changes
+// silently (a removed field just stops arriving), which is exactly how two
+// processes on different builds end up agreeing on a handshake while
+// disagreeing on the payload. After a bump, `go run ./cmd/perflint -write`
+// re-snapshots the shapes; without one it refuses.
+var WireDrift = &analysis.Analyzer{
+	Name: "wiredrift",
+	Doc:  "freeze the gob shape of //perflint:wire structs against the committed schema",
+	Run: func(pass *analysis.Pass) error {
+		schema, err := EmbeddedWireSchema()
+		if err != nil {
+			return err
+		}
+		return runWireDrift(pass, schema)
+	},
+}
+
+// newWireDrift builds a wiredrift instance bound to an explicit schema,
+// for fixture tests that must not depend on the committed one.
+func newWireDrift(schema *WireSchema) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: WireDrift.Name,
+		Doc:  WireDrift.Doc,
+		Run: func(pass *analysis.Pass) error {
+			return runWireDrift(pass, schema)
+		},
+	}
+}
+
+// WireSchema is the committed wire-shape snapshot.
+type WireSchema struct {
+	// ProtocolVersion is the dist.ProtocolVersion the shapes were
+	// snapshotted at; a shape change at an unchanged version is the drift
+	// this analyzer exists to refuse.
+	ProtocolVersion int `json:"protocol_version"`
+	// Structs maps "<pkgpath>.<Name>" to the ordered exported fields.
+	Structs map[string][]WireField `json:"structs"`
+}
+
+// WireField is one exported struct field as gob sees it.
+type WireField struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+//go:embed wire_schema.json
+var wireSchemaJSON []byte
+
+var (
+	wireSchemaOnce sync.Once
+	wireSchemaVal  *WireSchema
+	wireSchemaErr  error
+)
+
+// EmbeddedWireSchema parses the committed schema compiled into the
+// analyzer, once.
+func EmbeddedWireSchema() (*WireSchema, error) {
+	wireSchemaOnce.Do(func() {
+		wireSchemaVal, wireSchemaErr = ParseWireSchema(wireSchemaJSON)
+	})
+	return wireSchemaVal, wireSchemaErr
+}
+
+// ParseWireSchema decodes a schema file.
+func ParseWireSchema(data []byte) (*WireSchema, error) {
+	var s WireSchema
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("wire schema: %w", err)
+	}
+	if s.Structs == nil {
+		s.Structs = map[string][]WireField{}
+	}
+	return &s, nil
+}
+
+// A WireStruct is one annotated struct's current shape.
+type WireStruct struct {
+	Key    string // "<pkgpath>.<Name>"
+	Pos    token.Pos
+	Fields []WireField
+}
+
+func runWireDrift(pass *analysis.Pass, schema *WireSchema) error {
+	pkgKey := pkgPathKey(pass.Pkg.Path())
+	shapes := WireShapes(pkgKey, pass.Fset, pass.Files, pass.TypesInfo)
+	pv, hasPV := protocolVersion(pass.Pkg)
+	bumped := hasPV && pv != schema.ProtocolVersion
+
+	present := make(map[string]bool, len(shapes))
+	for _, ws := range shapes {
+		present[ws.Key] = true
+		want, ok := schema.Structs[ws.Key]
+		if !ok {
+			pass.Reportf(ws.Pos,
+				"wire struct %s is not in the committed wire schema — snapshot its gob shape with `go run ./cmd/perflint -write` so future drift is caught",
+				ws.Key)
+			continue
+		}
+		if diff := ShapeDiff(want, ws.Fields); diff != "" {
+			if bumped {
+				pass.Reportf(ws.Pos,
+					"wire schema entry for %s is stale (%s) — ProtocolVersion was bumped to %d; regenerate the schema with `go run ./cmd/perflint -write`",
+					ws.Key, diff, pv)
+			} else {
+				pass.Reportf(ws.Pos,
+					"gob shape of wire struct %s changed without a ProtocolVersion bump (%s) — an old and a new process would shake hands and then misread each other's frames; bump dist.ProtocolVersion, then regenerate the schema with `go run ./cmd/perflint -write`",
+					ws.Key, diff)
+			}
+		}
+	}
+	// Schema entries for this package whose struct no longer carries the
+	// annotation (or no longer exists) are stale: deleting a wire struct is
+	// itself a protocol change.
+	var stale []string
+	for key := range schema.Structs {
+		if strings.HasPrefix(key, pkgKey+".") && !present[key] && key[len(pkgKey)+1:] != "" &&
+			!strings.Contains(key[len(pkgKey)+1:], "/") {
+			stale = append(stale, key)
+		}
+	}
+	sort.Strings(stale)
+	for _, key := range stale {
+		if len(pass.Files) == 0 {
+			break
+		}
+		pass.Reportf(pass.Files[0].Name.Pos(),
+			"wire schema still lists %s but this package no longer declares it as a //perflint:wire struct — removing a wire struct is a protocol change; bump dist.ProtocolVersion and regenerate the schema with `go run ./cmd/perflint -write`",
+			key)
+	}
+	return nil
+}
+
+// WireShapes returns the current gob shape of every //perflint:wire
+// struct in the files, sorted by key. Exported for cmd/perflint, which
+// regenerates the schema from the same walk.
+func WireShapes(pkgPath string, fset *token.FileSet, files []*ast.File, info *types.Info) []WireStruct {
+	var out []WireStruct
+	for _, f := range files {
+		if isTestFile(fset, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				if _, ok := perflint.Marker(doc, "wire"); !ok {
+					continue
+				}
+				tn, _ := info.Defs[ts.Name].(*types.TypeName)
+				if tn == nil {
+					continue
+				}
+				st, ok := tn.Type().Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				ws := WireStruct{Key: pkgPath + "." + ts.Name.Name, Pos: ts.Pos()}
+				for i := 0; i < st.NumFields(); i++ {
+					field := st.Field(i)
+					if !field.Exported() {
+						continue // gob never encodes unexported fields
+					}
+					ws.Fields = append(ws.Fields, WireField{
+						Name: field.Name(),
+						Type: FieldTypeString(tn.Pkg(), field.Type()),
+					})
+				}
+				out = append(out, ws)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// FieldTypeString renders a field type deterministically: same-package
+// names bare, foreign names qualified by full import path, so the schema
+// compares equal across type-checking contexts (the analyzer pass and
+// cmd/perflint's own loader).
+func FieldTypeString(pkg *types.Package, t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string {
+		if p == pkg {
+			return ""
+		}
+		return p.Path()
+	})
+}
+
+// ShapeDiff describes the first difference between the committed and
+// current shape, or "" when identical. Order matters: gob transmits field
+// names, but the repo treats reorders as drift too — they change the
+// committed review surface and the handshake fingerprints. Exported for
+// cmd/perflint, which diffs and regenerates the schema.
+func ShapeDiff(want, got []WireField) string {
+	for i := 0; i < len(want) && i < len(got); i++ {
+		if want[i] != got[i] {
+			return fmt.Sprintf("field %d was %s %s, now %s %s", i+1, want[i].Name, want[i].Type, got[i].Name, got[i].Type)
+		}
+	}
+	if len(want) != len(got) {
+		return fmt.Sprintf("committed %d exported fields, now %d", len(want), len(got))
+	}
+	return ""
+}
+
+// ProtocolVersionOf reads the package's ProtocolVersion constant.
+// Exported for cmd/perflint, which must observe a bump before it agrees
+// to re-snapshot a drifted schema.
+func ProtocolVersionOf(pkg *types.Package) (int, bool) {
+	return protocolVersion(pkg)
+}
+
+// protocolVersion reads the package's ProtocolVersion constant.
+func protocolVersion(pkg *types.Package) (int, bool) {
+	c, _ := pkg.Scope().Lookup("ProtocolVersion").(*types.Const)
+	if c == nil {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+	if !ok {
+		return 0, false
+	}
+	return int(v), true
+}

@@ -292,33 +292,47 @@ func (l *lane) ensure() error {
 	l.pid = ack.PID
 	l.events = make(chan procEvent, 16)
 	l.seq = 0
-	go readLoop(p, l.events)
+	go readLoop(p, l.events, l.s.ctx.Done())
 	return nil
 }
 
 // readLoop turns one worker incarnation's stdout into events. It exits on
 // the first stream error (EOF, corrupt frame, killed process), reporting it
-// as a final event; the channel's buffer guarantees the send never blocks a
-// lane that has already moved on.
-func readLoop(p Proc, ch chan<- procEvent) {
+// as a final event, or when the supervisor shuts down: every send races the
+// done channel, so a lane that was abandoned mid-burst can never strand
+// this goroutine behind a full event buffer. (The buffer still absorbs the
+// common case; done is the guarantee, not the fast path.)
+func readLoop(p Proc, ch chan<- procEvent, done <-chan struct{}) {
+	send := func(ev procEvent) bool {
+		select {
+		case ch <- ev:
+			return true
+		case <-done:
+			return false
+		}
+	}
 	for {
 		typ, payload, err := readFrame(p)
 		if err != nil {
-			ch <- procEvent{err: fmt.Errorf("dist: worker stream: %w", err)}
+			send(procEvent{err: fmt.Errorf("dist: worker stream: %w", err)})
 			return
 		}
 		switch typ {
 		case frameHeartbeat:
-			ch <- procEvent{typ: typ}
+			if !send(procEvent{typ: typ}) {
+				return
+			}
 		case frameReply:
 			var r Reply
 			if err := decodePayload(payload, &r); err != nil {
-				ch <- procEvent{err: err}
+				send(procEvent{err: err})
 				return
 			}
-			ch <- procEvent{typ: typ, reply: r}
+			if !send(procEvent{typ: typ, reply: r}) {
+				return
+			}
 		default:
-			ch <- procEvent{err: fmt.Errorf("dist: unexpected frame type %d from worker", typ)}
+			send(procEvent{err: fmt.Errorf("dist: unexpected frame type %d from worker", typ)})
 			return
 		}
 	}

@@ -103,6 +103,8 @@ var scratchPool calendar.SharedPool[engineScratch]
 // else the process-wide pool — and readies it for a run of procs ranks on
 // a cluster of nodes boxes. Missing rank records are created; existing ones
 // are reset but keep their mailbox storage and parking channel.
+//
+//perflint:pooled the scratch pool owns the per-rank records; growing them here is how reuse amortizes them
 func acquireScratch(a *Arena, procs, nodes int) *engineScratch {
 	s := a.take()
 	if s == nil {

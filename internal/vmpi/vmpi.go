@@ -342,6 +342,7 @@ func (e *engine) spawn(fn func(par.Comm)) {
 	for i := range e.ranks {
 		r := e.ranks[i]
 		go func(r *rankState) {
+			//detlint:allow chanlive parked ranks are woken by the shutdown broadcast, which resumes every rank before stopping is checked
 			<-r.resume
 			defer e.rankExit(r)
 			if e.stopping {
