@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-all bench-baseline bench-scaling verify golden lint analyze chaos
+.PHONY: build test race bench bench-all bench-baseline bench-scaling verify golden lint analyze chaos noise
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,19 @@ chaos:
 	cmp bin/chaos_serial.out bin/chaos_workers.out
 	rm -f bin/chaos_serial.out bin/chaos_workers.out
 	@echo "chaos: byte-identical under worker crashes"
+
+# Noise ensemble smoke: a paper figure as a 5-replica seeded jitter
+# ensemble, serial vs 2 worker processes, byte-compared — the replica
+# draws are a pure function of (spec, seed, replica), never of
+# scheduling. See DESIGN.md §13.
+noise:
+	$(GO) build -o bin/columbia ./cmd/columbia
+	bin/columbia -noise jitter=exp:0.05,seed=12 -replicas 5 run fig7 > bin/noise_serial.out
+	bin/columbia -workers 2 -noise jitter=exp:0.05,seed=12 -replicas 5 run fig7 > bin/noise_workers.out
+	cmp bin/noise_serial.out bin/noise_workers.out
+	grep -q '±' bin/noise_serial.out
+	rm -f bin/noise_serial.out bin/noise_workers.out
+	@echo "noise: ensemble byte-identical across worker processes"
 
 # Full tier-1 gate: gofmt, vet, build, tests, race detector.
 verify:

@@ -17,6 +17,7 @@ import (
 	"columbia/internal/hpcc"
 	"columbia/internal/machine"
 	"columbia/internal/md"
+	"columbia/internal/noise"
 	"columbia/internal/npb"
 	"columbia/internal/omp"
 	"columbia/internal/overset"
@@ -86,6 +87,36 @@ func BenchmarkSweepParallelGoroutine(b *testing.B) {
 	core.SetEngine(vmpi.EngineGoroutine)
 	defer core.SetEngine("")
 	benchSweepAll(b, 8)
+}
+
+// BenchmarkSweepEnsemble times a noise-ensemble sweep: fig7 (the lightest
+// experiment whose points run real vmpi compute phases) at 5 replicas
+// under a seeded jitter spec on 8 workers, every iteration from a cold
+// cache — the cost profile of `columbia -noise ... -replicas 5 run fig7`.
+func BenchmarkSweepEnsemble(b *testing.B) {
+	spec, err := noise.Parse("jitter=exp:0.05,seed=12")
+	if err != nil {
+		b.Fatal(err)
+	}
+	core.SetNoise(spec)
+	core.SetReplicas(5)
+	defer func() {
+		core.SetNoise(nil)
+		core.SetReplicas(0)
+	}()
+	e, err := core.Lookup("fig7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweep.SetWorkers(8) // fresh pool, cold cache
+		if len(e.Run()) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+	b.StopTimer()
+	sweep.SetWorkers(0)
 }
 
 // --- One benchmark per paper item ---

@@ -22,6 +22,14 @@
 //	columbia -engine goroutine run fig5        select the vmpi execution engine
 //	columbia -workers 2 -faults wkill=3 all    chaos: each worker dies after 3 points
 //
+// Performance-noise ensembles (see DESIGN.md, "Performance noise and
+// replica ensembles"):
+//
+//	columbia -noise jitter=exp:0.05 run fig7            seeded stochastic compute jitter
+//	columbia -noise daemon=0.01:0.2:3:2 run fig7        periodic daemon interference on CPUs 0-1
+//	columbia -noise jitter=uniform:0.1,seed=7 -replicas 5 run fig7
+//	                                                    5-replica ensemble; cells become min/avg/max ±spread
+//
 // A failed point degrades to an annotated "!kind" cell instead of aborting
 // the run; if any point failed, the command prints a summary to stderr and
 // exits 1. Output is byte-identical for every -j and -workers value:
@@ -50,6 +58,7 @@ import (
 	"columbia/internal/core"
 	"columbia/internal/dist"
 	"columbia/internal/fault"
+	"columbia/internal/noise"
 	"columbia/internal/report"
 	"columbia/internal/sweep"
 	"columbia/internal/vmpi"
@@ -99,6 +108,13 @@ func workerSetup(h dist.Hello) (dist.Executor, error) {
 	core.SetSanitize(h.Commsan)
 	if h.Engine != "" {
 		core.SetEngine(vmpi.Engine(h.Engine))
+	}
+	if h.Noise != "" {
+		spec, err := noise.Parse(h.Noise)
+		if err != nil {
+			return nil, err
+		}
+		core.SetNoise(spec)
 	}
 	return core.ExecutePoint, nil
 }
@@ -173,9 +189,11 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		faultSpec  = fs.String("faults", "", "comma-separated fault plan, e.g. nodedown=0,slownode=1:1.5,wkill=2 (see DESIGN.md)")
 		commsan    = fs.Bool("commsan", false, "run every simulation under the communication sanitizer (races, unmatched traffic, collective mismatches fail as !sanitizer cells)")
 		engineSel  = fs.String("engine", "", "vmpi execution engine: calendar (default) or goroutine (the legacy central-loop scheduler; byte-identical output, see DESIGN.md §8)")
+		noiseSpec  = fs.String("noise", "", "comma-separated performance-noise spec, e.g. jitter=exp:0.05,daemon=0.01:0.2:3:2,seed=7 (see DESIGN.md §13)")
+		replicaCnt = fs.Int("replicas", 1, "noise-ensemble size: run every sweep point N times with distinct replica indices and report min/avg/max cells (needs -noise to draw distinct samples)")
 	)
 	usage := func() int {
-		fmt.Fprintln(stderr, "usage: columbia [-csv] [-plot] [-j N] [-workers N] [-timeout D] [-max-retries N] [-faults SPEC] [-commsan] [-engine NAME] {list | all | run <id>...}")
+		fmt.Fprintln(stderr, "usage: columbia [-csv] [-plot] [-j N] [-workers N] [-timeout D] [-max-retries N] [-faults SPEC] [-noise SPEC] [-replicas N] [-commsan] [-engine NAME] {list | all | run <id>...}")
 		return 2
 	}
 	if err := fs.Parse(argv); err != nil {
@@ -215,6 +233,25 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+	noiseFP := ""
+	if *noiseSpec != "" {
+		spec, err := noise.Parse(*noiseSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, "columbia:", err)
+			return 2
+		}
+		core.SetNoise(spec)
+		defer core.SetNoise(nil)
+		noiseFP = spec.Fingerprint()
+	}
+	if *replicaCnt < 1 {
+		fmt.Fprintln(stderr, "columbia: -replicas must be at least 1")
+		return 2
+	}
+	if *replicaCnt > 1 {
+		core.SetReplicas(*replicaCnt)
+		defer core.SetReplicas(0)
+	}
 	var fleet *dist.Supervisor
 	if *workers > 0 {
 		exe, err := os.Executable()
@@ -228,6 +265,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 			Hello: dist.Hello{
 				Faults:    faultsFP,
 				Commsan:   *commsan,
+				Noise:     noiseFP,
 				Engine:    *engineSel,
 				Timeout:   *timeout,
 				Heartbeat: workerHeartbeat,

@@ -198,6 +198,64 @@ func TestWorkersChaosByteIdentity(t *testing.T) {
 	}
 }
 
+// TestNoiseEnsembleWorkersByteIdentity: a seeded noise ensemble renders
+// the exact bytes of the serial run under a supervised worker fleet — the
+// noise spec crosses the handshake, the replica index crosses the point
+// spec, and both sides derive identical cache keys. A chaos schedule that
+// crashes workers mid-ensemble must not perturb a single byte either.
+func TestNoiseEnsembleWorkersByteIdentity(t *testing.T) {
+	defer resetGlobals()
+	args := []string{"-noise", "jitter=uniform:0.1,seed=7", "-replicas", "3", "run", "stride"}
+	code, serial, _ := runCLI(args...)
+	if code != 0 {
+		t.Fatalf("serial ensemble exit = %d", code)
+	}
+	if !strings.Contains(serial, "±") {
+		t.Errorf("ensemble output has no distribution cells:\n%s", serial)
+	}
+	resetGlobals()
+	code, fleet, errOut := runCLI(append([]string{"-workers", "2"}, args...)...)
+	if code != 0 {
+		t.Fatalf("-workers 2 ensemble exit = %d\nstderr: %s", code, errOut)
+	}
+	if fleet != serial {
+		t.Errorf("-workers 2 ensemble differs from serial\n--- serial ---\n%s\n--- workers ---\n%s",
+			serial, fleet)
+	}
+	// Worker chaos: the noise directives ride -noise, the crash schedule
+	// rides -faults; crashes are retried invisibly.
+	chaosArgs := append([]string{"-workers", "2", "-faults", "wkill=1"}, args...)
+	resetGlobals()
+	code, chaos, errOut := runCLI(chaosArgs...)
+	if code != 0 {
+		t.Fatalf("chaos ensemble exit = %d\nstderr: %s", code, errOut)
+	}
+	if chaos != serial {
+		t.Errorf("chaotic fleet ensemble differs from serial\n--- serial ---\n%s\n--- chaos ---\n%s",
+			serial, chaos)
+	}
+	if !strings.Contains(errOut, "worker fleet:") {
+		t.Errorf("fleet summary missing from stderr: %q", errOut)
+	}
+	if core.NoisePlan() != nil || core.Replicas() != 1 {
+		t.Error("-noise/-replicas leaked into the process globals after run returned")
+	}
+}
+
+// TestBadNoiseSpecIsUsageError: malformed -noise and -replicas values are
+// rejected before any experiment runs.
+func TestBadNoiseSpecIsUsageError(t *testing.T) {
+	defer resetGlobals()
+	if code, _, errOut := runCLI("-noise", "jitter=bogus:0.1", "run", "stride"); code != 2 {
+		t.Fatalf("bad -noise exit = %d, want 2 (stderr %q)", code, errOut)
+	} else if !strings.Contains(errOut, "bogus") {
+		t.Errorf("stderr should name the bad distribution: %q", errOut)
+	}
+	if code, _, errOut := runCLI("-replicas", "0", "run", "stride"); code != 2 {
+		t.Fatalf("-replicas 0 exit = %d, want 2 (stderr %q)", code, errOut)
+	}
+}
+
 // TestWorkersQuarantinePoisonPoint: a schedule that kills the worker on
 // every request poisons every point; the sweep survives, each cell degrades
 // to !workercrash, and the run exits 1 with the full failure summary.

@@ -61,6 +61,7 @@ var simPackages = map[string]bool{
 	"sweep":    true,
 	"machine":  true,
 	"fault":    true,
+	"noise":    true,
 	"netmodel": true,
 	"report":   true,
 }

@@ -25,6 +25,32 @@ func (p Plan) Fingerprint() string {
 	return fmt.Sprintf("s%d", p.seed)
 }
 
+// Noise is a nested overlay spec modeled on noise.Spec: folded into the
+// key only when non-empty, with the replica index reached transitively
+// through a same-package helper — coverage must follow both the
+// conditional and the helper call. One field is forgotten everywhere.
+type Noise struct {
+	kind    string
+	amp     float64
+	replica int
+	burst   int // want `fingerprintcover: Noise.burst is never read`
+}
+
+// Empty gates the overlay's appearance in the parent key.
+func (n Noise) Empty() bool { return n.kind == "" }
+
+// Fingerprint covers kind and amp inline and replica via replicaPart.
+func (n Noise) Fingerprint() string {
+	return fmt.Sprintf("%s:%g%s", n.kind, n.amp, n.replicaPart())
+}
+
+func (n Noise) replicaPart() string {
+	if n.replica == 0 {
+		return ""
+	}
+	return fmt.Sprintf(":r%d", n.replica)
+}
+
 // Config is the cache key under test.
 type Config struct {
 	Procs  int
@@ -32,10 +58,15 @@ type Config struct {
 	Name   string //detlint:allow fingerprintcover display label only, never result-relevant
 	Opt    Opts
 	In     Plan
+	Ov     Noise
 }
 
-// Fingerprint reads Procs, part of Opt, and delegates In; it misses
-// Stride entirely and Opt.Chunk one level down.
+// Fingerprint reads Procs, part of Opt, and delegates In and (when
+// non-empty) Ov; it misses Stride entirely and Opt.Chunk one level down.
 func (c Config) Fingerprint() string {
-	return fmt.Sprintf("p%d-d%d-%s", c.Procs, c.Opt.Depth, c.In.Fingerprint())
+	key := fmt.Sprintf("p%d-d%d-%s", c.Procs, c.Opt.Depth, c.In.Fingerprint())
+	if !c.Ov.Empty() {
+		key += "|" + c.Ov.Fingerprint()
+	}
+	return key
 }

@@ -9,7 +9,6 @@ import (
 	"columbia/internal/md"
 	"columbia/internal/overflow"
 	"columbia/internal/report"
-	"columbia/internal/sweep"
 )
 
 func init() {
@@ -106,7 +105,7 @@ func runTable5() []*report.Table {
 	t := report.New("Table 5: MD weak scaling (64,000 atoms/processor, NUMAlink4)",
 		"CPUs", "atoms (millions)", "s/step", "efficiency")
 	procCounts := []int{1, 8, 64, 256, 504, 1020, 2040}
-	points := make([]sweep.Future[float64], len(procCounts))
+	points := make([]Ens[float64], len(procCounts))
 	for i, p := range procCounts {
 		nodes := (p + 509) / 510
 		if nodes > 4 {
@@ -116,24 +115,42 @@ func runTable5() []*report.Table {
 			Kind: "md-weak", Cluster: quadNL, Procs: p, Nodes: nodes,
 		})
 	}
-	var base float64
+	// Efficiency pairs each replica with the same replica of the 1-CPU
+	// base row, so an ensemble's efficiency column reflects per-replica
+	// ratios, not a ratio of aggregates.
+	var bases []float64
 	for i, p := range procCounts {
 		atoms := float64(p) * float64(w.AtomsPerProc) / 1e6
-		perStep, err := points[i].WaitErr()
-		if err != nil {
-			// A failed point degrades to an annotated cell; the efficiency
-			// column (which needs the 1-CPU base) degrades with it.
-			t.AddF(p, atoms, t.FailCell(err), "-")
+		vals, firstErr, fails := points[i].collect()
+		if len(vals) == 0 {
+			// A fully failed point degrades to an annotated cell; the
+			// efficiency column (which needs the 1-CPU base) degrades too.
+			t.AddF(p, atoms, t.FailCell(firstErr), "-")
 			continue
 		}
-		if p == 1 {
-			base = perStep
+		if p == 1 && fails == 0 {
+			bases = vals
 		}
 		eff := any("-")
-		if base > 0 {
-			eff = base / perStep
+		if fails == 0 && len(bases) == len(vals) {
+			effVals := make([]float64, len(vals))
+			ok := true
+			for j := range vals {
+				if bases[j] <= 0 {
+					ok = false
+					break
+				}
+				effVals[j] = bases[j] / vals[j]
+			}
+			if ok {
+				if len(effVals) == 1 {
+					eff = effVals[0]
+				} else {
+					eff = report.EnsembleCell(effVals)
+				}
+			}
 		}
-		t.AddF(p, atoms, perStep, eff)
+		t.AddF(p, atoms, ensCell(t, vals, firstErr, fails, points[i].size()), eff)
 	}
 	t.Note("Paper: 130.56 million atoms at 2040 processors; almost perfect scalability; communication insignificant over 100 steps.")
 	return []*report.Table{t}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"columbia/internal/fault"
+	"columbia/internal/noise"
 	"columbia/internal/vmpi"
 )
 
@@ -21,27 +22,44 @@ func diffFaultPlan() *fault.Plan {
 		DegradeFabric(0, 0.85)
 }
 
+// diffNoiseSpec is a jitter+daemon overlay every experiment can survive:
+// both noise kinds fire, so the engines must agree on every stream draw
+// and window crossing, not just on healthy timelines.
+func diffNoiseSpec() *noise.Spec {
+	s, err := noise.Parse("jitter=exp:0.05,daemon=0.002:0.2:1.5:2,seed=12")
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 // TestEngineDifferential is the equivalence contract between the two vmpi
 // execution engines (DESIGN.md §8): every registered experiment, run under
 // the event-calendar engine and the goroutine engine, must render
-// byte-identical report output — plain, under a degrading fault plan, and
-// under the communication sanitizer. The engine selector is part of each
-// point's fingerprint, so the two passes never share a memo-cache entry:
-// the goroutine pass genuinely recomputes every sweep point.
+// byte-identical report output — plain, under a degrading fault plan,
+// under the communication sanitizer, and under seeded performance noise
+// (alone and stacked on the fault plan, whose seed decorrelates the jitter
+// streams). The engine selector is part of each point's fingerprint, so
+// the two passes never share a memo-cache entry: the goroutine pass
+// genuinely recomputes every sweep point.
 func TestEngineDifferential(t *testing.T) {
 	modes := []struct {
 		name     string
 		faults   *fault.Plan
 		sanitize bool
+		noise    *noise.Spec
 	}{
-		{"plain", nil, false},
-		{"faulted", diffFaultPlan(), false},
-		{"commsan", nil, true},
+		{"plain", nil, false, nil},
+		{"faulted", diffFaultPlan(), false, nil},
+		{"commsan", nil, true, nil},
+		{"noisy", nil, false, diffNoiseSpec()},
+		{"noisy-faulted", diffFaultPlan().WithSeed(7), false, diffNoiseSpec()},
 	}
 	defer func() {
 		SetEngine("")
 		SetFaultPlan(nil)
 		SetSanitize(false)
+		SetNoise(nil)
 	}()
 	for _, e := range Experiments() {
 		e := e
@@ -53,6 +71,7 @@ func TestEngineDifferential(t *testing.T) {
 				}
 				SetFaultPlan(m.faults)
 				SetSanitize(m.sanitize)
+				SetNoise(m.noise)
 				SetEngine(vmpi.EngineCalendar)
 				cal := experimentCSV(e)
 				SetEngine(vmpi.EngineGoroutine)

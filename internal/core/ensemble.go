@@ -1,0 +1,70 @@
+package core
+
+import (
+	"columbia/internal/report"
+	"columbia/internal/sweep"
+)
+
+// Ens is the handle for one submitted experiment point across its noise
+// ensemble: R ordinary memoized sweep futures that differ only in their
+// replica index. With -replicas 1 (the default) it holds exactly one future
+// and every accessor behaves as sweep.Future does, so experiment code,
+// golden outputs and memo caches are unchanged. The zero value is invalid
+// (Valid reports false), mirroring the zero sweep.Future.
+type Ens[T any] struct {
+	reps []sweep.Future[T]
+}
+
+// Valid reports whether the ensemble holds any submitted point.
+func (e Ens[T]) Valid() bool { return len(e.reps) > 0 && e.reps[0].Valid() }
+
+// size is the ensemble's replica count (0 for the zero value).
+func (e Ens[T]) size() int { return len(e.reps) }
+
+// Wait returns replica 0's value, panicking on failure like
+// sweep.Future.Wait; the synchronous experiment helpers and shape tests
+// use it.
+func (e Ens[T]) Wait() T { return e.reps[0].Wait() }
+
+// WaitErr returns replica 0's value or error.
+func (e Ens[T]) WaitErr() (T, error) { return e.reps[0].WaitErr() }
+
+// collect waits for every replica and returns the successful values in
+// replica order, the first error observed, and the failure count. The
+// replica-order walk keeps rendering deterministic regardless of which
+// worker or pool goroutine finished first.
+func (e Ens[T]) collect() (vals []T, firstErr error, fails int) {
+	for _, f := range e.reps {
+		v, err := f.WaitErr()
+		if err != nil {
+			fails++
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		vals = append(vals, v)
+	}
+	return vals, firstErr, fails
+}
+
+// ratioCell renders the per-replica ratio num/den as one cell: a plain
+// float for single runs (byte-identical to the historical rendering), a
+// distribution cell for ensembles, and "-" when any replica of either side
+// failed — the per-side cells already carry the failure annotations, so
+// the derived column degrades quietly.
+func ratioCell(num, den Ens[float64]) any {
+	nv, _, nf := num.collect()
+	dv, _, df := den.collect()
+	if nf > 0 || df > 0 || len(nv) != len(dv) || len(nv) == 0 {
+		return "-"
+	}
+	ratios := make([]float64, len(nv))
+	for i := range nv {
+		ratios[i] = nv[i] / dv[i]
+	}
+	if len(ratios) == 1 {
+		return ratios[0]
+	}
+	return report.EnsembleCell(ratios)
+}

@@ -1,23 +1,26 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 
 	"columbia/internal/fault"
+	"columbia/internal/noise"
 	"columbia/internal/report"
-	"columbia/internal/sweep"
 	"columbia/internal/vmpi"
 )
 
-// The active fault plan and sanitizer toggle are process-global, like the
-// sweep pool: experiments are free functions registered at init time, so
-// the CLI (and tests) install them here and every simulated point picks
-// them up via withFaults.
+// The active fault plan, sanitizer toggle, noise spec and replica count are
+// process-global, like the sweep pool: experiments are free functions
+// registered at init time, so the CLI (and tests) install them here and
+// every simulated point picks them up via withFaults.
 var (
 	faultMu   sync.Mutex
 	faultPlan *fault.Plan
 	sanitize  bool
 	engine    vmpi.Engine
+	noiseSpec *noise.Spec
+	replicas  int
 )
 
 // SetFaultPlan installs the fault plan applied to every subsequently
@@ -74,25 +77,112 @@ func EngineSelector() vmpi.Engine {
 	return engine
 }
 
-// withFaults stamps the active fault plan, sanitizer toggle, and engine
-// selector into a point's config. Call it before computing the cache key so
-// the fingerprint reflects all three.
-func withFaults(cfg vmpi.Config) vmpi.Config {
+// SetNoise installs the performance-noise specification applied to every
+// subsequently submitted simulation point; nil (or an empty spec) restores
+// silence. Noisy and silent points never share memo-cache entries — the
+// spec, including its seed, is part of each point's fingerprint key.
+func SetNoise(s *noise.Spec) {
+	faultMu.Lock()
+	defer faultMu.Unlock()
+	noiseSpec = s
+}
+
+// NoisePlan returns the currently installed noise spec (nil when silent).
+func NoisePlan() *noise.Spec {
+	faultMu.Lock()
+	defer faultMu.Unlock()
+	return noiseSpec
+}
+
+// SetReplicas sets the ensemble size: every subsequently submitted point
+// fans out into n replicas that differ only in their noise replica index.
+// Values below 1 restore single-shot operation.
+func SetReplicas(n int) {
+	faultMu.Lock()
+	defer faultMu.Unlock()
+	replicas = n
+}
+
+// Replicas returns the active ensemble size (at least 1).
+func Replicas() int {
+	faultMu.Lock()
+	defer faultMu.Unlock()
+	if replicas < 1 {
+		return 1
+	}
+	return replicas
+}
+
+// withFaults stamps the active fault plan, sanitizer toggle, engine
+// selector and noise spec (bound to the given ensemble replica) into a
+// point's config. Call it before computing the cache key so the fingerprint
+// reflects all of them. Under a silent spec the replica index is discarded
+// — every replica of a noiseless point shares one fingerprint, so an
+// ensemble sweep without -noise memo-collapses to single computations.
+func withFaults(cfg vmpi.Config, replica int) vmpi.Config {
 	cfg.Faults = FaultPlan()
 	cfg.Sanitize = Sanitize()
 	cfg.Engine = EngineSelector()
+	if spec := NoisePlan(); !spec.Empty() {
+		cfg.Noise = spec.WithReplica(replica)
+	}
 	return cfg
 }
 
-// waitCell collects one sweep point into a table cell: the rendered value
-// on success, or a degraded "!kind" annotation (counted in t.Failures) on
-// failure, so one sick point cannot abort a whole table.
-func waitCell[T any](t *report.Table, f sweep.Future[T], render func(T) any) any {
-	v, err := f.WaitErr()
-	if err != nil {
-		return t.FailCell(err)
+// waitCell collects one submitted point into a table cell. Single-shot
+// points (ensemble size 1) keep their historical rendering exactly: the
+// rendered value on success, or a degraded "!kind" annotation (counted in
+// t.Failures) on failure, so one sick point cannot abort a whole table.
+// Ensembles of float-rendered replicas aggregate into a distribution cell
+// (min/avg/max ±spread); a partially failed ensemble keeps its surviving
+// distribution and appends one failure annotation with the survivor count.
+func waitCell[T any](t *report.Table, e Ens[T], render func(T) any) any {
+	vals, firstErr, fails := e.collect()
+	if len(vals) == 0 {
+		return t.FailCell(firstErr)
 	}
-	return render(v)
+	if e.size() == 1 {
+		return render(vals[0])
+	}
+	nums := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		f, ok := render(v).(float64)
+		if !ok {
+			// Non-numeric renders cannot aggregate; the first surviving
+			// replica's view stands in for the ensemble.
+			return render(vals[0])
+		}
+		nums = append(nums, f)
+	}
+	return ensCell(t, nums, firstErr, fails, e.size())
+}
+
+// ensCell renders collected replica values as one cell: the bare value for
+// single-shot points (so AddF formatting is byte-identical to the
+// pre-ensemble renderer), a distribution cell otherwise, annotated with the
+// first failure when some — but not all — replicas died.
+func ensCell(t *report.Table, vals []float64, firstErr error, fails, total int) any {
+	if len(vals) == 0 {
+		return t.FailCell(firstErr)
+	}
+	if total == 1 {
+		return vals[0]
+	}
+	cell := report.EnsembleCell(vals)
+	if fails > 0 {
+		cell = fmt.Sprintf("%s %s(%d/%d)", cell, t.FailCell(firstErr), len(vals), total)
+	}
+	return cell
+}
+
+// cellText renders a waitCell result at a Table.Add (string-typed) call
+// site: floats through report.Fmt, everything else — distribution cells,
+// "!kind" annotations — verbatim.
+func cellText(v any) string {
+	if f, ok := v.(float64); ok {
+		return report.Fmt(f)
+	}
+	return fmt.Sprint(v)
 }
 
 // numCell is the identity render for float64-valued points.

@@ -6,7 +6,6 @@ import (
 	"columbia/internal/hpcc"
 	"columbia/internal/machine"
 	"columbia/internal/report"
-	"columbia/internal/sweep"
 )
 
 // nodeTypes are the three Columbia node flavours compared throughout §4.1.
@@ -72,7 +71,7 @@ func runTable1() []*report.Table {
 // point and returns the result future. The active fault plan is stamped
 // into the config (and therefore the cache key) at build time, and the
 // point runs wherever submitPoint routes it — in-process or on a worker.
-func beffAsync(cl ClusterRef, procs, nodes int, random bool) sweep.Future[hpcc.BeffResult] {
+func beffAsync(cl ClusterRef, procs, nodes int, random bool) Ens[hpcc.BeffResult] {
 	return submitPoint[hpcc.BeffResult](PointSpec{
 		Kind: "beff", Cluster: cl, Procs: procs, Nodes: nodes, Random: random,
 	})
@@ -95,9 +94,9 @@ func runFig5() []*report.Table {
 	}
 	// One sweep point per node type and CPU count, submitted up front and
 	// reused across the six metrics.
-	results := map[machine.NodeType]map[int]sweep.Future[hpcc.BeffResult]{}
+	results := map[machine.NodeType]map[int]Ens[hpcc.BeffResult]{}
 	for _, nt := range nodeTypes {
-		results[nt] = map[int]sweep.Future[hpcc.BeffResult]{}
+		results[nt] = map[int]Ens[hpcc.BeffResult]{}
 		for _, p := range cpus {
 			results[nt][p] = beffAsync(singleNode(nt), p, 1, true)
 		}
@@ -132,7 +131,7 @@ func runStride() []*report.Table {
 		hpcc.StreamModel(strided(1)).Triad/1e9,
 		hpcc.StreamModel(strided(2)).Triad/1e9,
 		hpcc.StreamModel(strided(4)).Triad/1e9)
-	lat := func(stride int) sweep.Future[float64] {
+	lat := func(stride int) Ens[float64] {
 		return submitPoint[float64](PointSpec{
 			Kind: "pingpong-lat", Cluster: singleNode(machine.Altix3700), Procs: 8, Stride: stride,
 		})
@@ -147,8 +146,8 @@ func runStride() []*report.Table {
 func runFig10() []*report.Table {
 	cpus := []int{64, 128, 256, 512, 1024, 2048}
 	var tables []*report.Table
-	nl := map[int]sweep.Future[hpcc.BeffResult]{}
-	ib := map[int]sweep.Future[hpcc.BeffResult]{}
+	nl := map[int]Ens[hpcc.BeffResult]{}
+	ib := map[int]Ens[hpcc.BeffResult]{}
 	for _, p := range cpus {
 		nodes := (p + 511) / 512
 		if nodes < 2 {

@@ -8,7 +8,6 @@ import (
 	"columbia/internal/npbmz"
 	"columbia/internal/pinning"
 	"columbia/internal/report"
-	"columbia/internal/sweep"
 )
 
 func init() {
@@ -35,7 +34,7 @@ func init() {
 // mzTimeAsync submits a hybrid multi-zone run as a sweep point and returns
 // the per-step virtual-time future.
 func mzTimeAsync(bench string, class npb.Class, cl ClusterRef, procs, threads, nodes int,
-	pin pinning.Method, mpt machine.MPTVersion) sweep.Future[float64] {
+	pin pinning.Method, mpt machine.MPTVersion) Ens[float64] {
 	return submitPoint[float64](PointSpec{
 		Kind: "mz", Cluster: cl, Procs: procs, Threads: threads, Nodes: nodes,
 		Bench: bench, Class: class, Pin: pin, MPT: mpt,
@@ -58,7 +57,7 @@ func runFig7() []*report.Table {
 	cl := singleNode(machine.AltixBX2b)
 	type point struct {
 		label            string
-		pinned, unpinned sweep.Future[float64]
+		pinned, unpinned Ens[float64]
 	}
 	cpuCounts := []int{64, 128, 256}
 	points := make([][]point, len(cpuCounts))
@@ -80,20 +79,9 @@ func runFig7() []*report.Table {
 		t := report.New(fmt.Sprintf("Fig. 7: SP-MZ class C on %d CPUs, time/step (s)", cpus),
 			"Threads/proc", "pinned", "no pinning", "slowdown")
 		for _, pt := range points[i] {
-			pinned, perr := pt.pinned.WaitErr()
-			unpinned, uerr := pt.unpinned.WaitErr()
-			pc, uc := any(pinned), any(unpinned)
-			slowdown := any("-")
-			if perr != nil {
-				pc = t.FailCell(perr)
-			}
-			if uerr != nil {
-				uc = t.FailCell(uerr)
-			}
-			if perr == nil && uerr == nil {
-				slowdown = unpinned / pinned
-			}
-			t.AddF(pt.label, pc, uc, slowdown)
+			pc := waitCell(t, pt.pinned, numCell)
+			uc := waitCell(t, pt.unpinned, numCell)
+			t.AddF(pt.label, pc, uc, ratioCell(pt.unpinned, pt.pinned))
 		}
 		t.Note("Paper: pinning matters most with many threads per process and high CPU counts; pure process mode (x1) is least affected.")
 		tables = append(tables, t)
@@ -103,9 +91,9 @@ func runFig7() []*report.Table {
 
 func runFig9() []*report.Table {
 	cl := singleNode(machine.AltixBX2b)
-	point := func(procs, th int) sweep.Future[float64] {
+	point := func(procs, th int) Ens[float64] {
 		if procs*th > 512 {
-			return sweep.Future[float64]{}
+			return Ens[float64]{}
 		}
 		return mzTimeAsync("BT-MZ", npb.ClassC, cl, procs, th, 1, pinning.Dplace, machine.MPT111b)
 	}
@@ -113,19 +101,19 @@ func runFig9() []*report.Table {
 	leftThreads := []int{1, 2, 4}
 	rightThreads := []int{1, 2, 4, 8, 16, 32}
 	rightProcs := []int{16, 64, 256}
-	leftPts := make([][]sweep.Future[float64], len(leftProcs))
+	leftPts := make([][]Ens[float64], len(leftProcs))
 	for i, procs := range leftProcs {
 		for _, th := range leftThreads {
 			leftPts[i] = append(leftPts[i], point(procs, th))
 		}
 	}
-	rightPts := make([][]sweep.Future[float64], len(rightThreads))
+	rightPts := make([][]Ens[float64], len(rightThreads))
 	for i, th := range rightThreads {
 		for _, procs := range rightProcs {
 			rightPts[i] = append(rightPts[i], point(procs, th))
 		}
 	}
-	cellFor := func(t *report.Table, f sweep.Future[float64]) interface{} {
+	cellFor := func(t *report.Table, f Ens[float64]) interface{} {
 		if !f.Valid() {
 			return "-"
 		}
@@ -162,7 +150,7 @@ func runFig11() []*report.Table {
 	bottomCPUs := []int{256, 512, 1024, 2048}
 	// Top row points: per-CPU Gflop/s, NUMAlink4 quad vs a single box.
 	type topPoint struct {
-		single, quad sweep.Future[float64]
+		single, quad Ens[float64]
 	}
 	top := map[string][]topPoint{}
 	for _, bench := range benches {
@@ -185,7 +173,7 @@ func runFig11() []*report.Table {
 	// Bottom row points: total Gflop/s, NUMAlink4 vs InfiniBand (both MPT
 	// versions for SP-MZ's anomaly).
 	type bottomPoint struct {
-		nl, ibr, ibb sweep.Future[float64]
+		nl, ibr, ibb Ens[float64]
 	}
 	bottom := map[string][]bottomPoint{}
 	for _, bench := range benches {
@@ -216,14 +204,14 @@ func runFig11() []*report.Table {
 			cpus := cfg.p * cfg.th
 			pt := top[bench][i]
 			perCPU := func(perStep float64) any {
-				return report.Fmt(mzGflops(bench, npb.ClassE, perStep) / float64(cpus))
+				return mzGflops(bench, npb.ClassE, perStep) / float64(cpus)
 			}
 			single := "-"
 			if pt.single.Valid() {
-				single = waitCell(t, pt.single, perCPU).(string)
+				single = cellText(waitCell(t, pt.single, perCPU))
 			}
 			t.Add(fmt.Sprintf("%dx%d", cfg.p, cfg.th),
-				single, waitCell(t, pt.quad, perCPU).(string))
+				single, cellText(waitCell(t, pt.quad, perCPU)))
 		}
 		t.Note("Paper: NUMAlink4 comparable to or better than in-node; 512-CPU in-node runs drop 10-15%% (boot cpuset) — compare the 508x1 and 512x1 rows.")
 		tables = append(tables, t)

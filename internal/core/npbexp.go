@@ -7,7 +7,6 @@ import (
 	"columbia/internal/machine"
 	"columbia/internal/npb"
 	"columbia/internal/report"
-	"columbia/internal/sweep"
 )
 
 func init() {
@@ -27,7 +26,7 @@ func init() {
 
 // npbRateMPIAsync submits an MPI run of bench/class as a sweep point and
 // returns the per-CPU Gflop/s future.
-func npbRateMPIAsync(bench string, class npb.Class, nt machine.NodeType, procs int) sweep.Future[float64] {
+func npbRateMPIAsync(bench string, class npb.Class, nt machine.NodeType, procs int) Ens[float64] {
 	return submitPoint[float64](PointSpec{
 		Kind: "npb-mpi", Cluster: singleNode(nt), Procs: procs, Bench: bench, Class: class,
 	})
@@ -40,7 +39,7 @@ func npbRateMPI(bench string, class npb.Class, nt machine.NodeType, procs int) f
 
 // npbRateOpenMPAsync submits a pure OpenMP run with the given compute
 // factor (compiler model) and returns the per-CPU Gflop/s future.
-func npbRateOpenMPAsync(bench string, class npb.Class, nt machine.NodeType, threads int, factor float64) sweep.Future[float64] {
+func npbRateOpenMPAsync(bench string, class npb.Class, nt machine.NodeType, threads int, factor float64) Ens[float64] {
 	return submitPoint[float64](PointSpec{
 		Kind: "npb-omp", Cluster: singleNode(nt), Threads: threads,
 		Bench: bench, Class: class, Factor: factor,
@@ -57,18 +56,18 @@ func runFig6() []*report.Table {
 	ompThreads := []int{4, 16, 64, 128}
 	// Submit every sweep point before assembling any table, so the whole
 	// figure fans out across the pool at once.
-	mpi := map[string][][3]sweep.Future[float64]{}
-	omp := map[string][][3]sweep.Future[float64]{}
+	mpi := map[string][][3]Ens[float64]{}
+	omp := map[string][][3]Ens[float64]{}
 	for _, bench := range npb.Benchmarks {
 		for _, p := range mpiCPUs {
-			mpi[bench] = append(mpi[bench], [3]sweep.Future[float64]{
+			mpi[bench] = append(mpi[bench], [3]Ens[float64]{
 				npbRateMPIAsync(bench, npb.ClassC, machine.Altix3700, p),
 				npbRateMPIAsync(bench, npb.ClassC, machine.AltixBX2a, p),
 				npbRateMPIAsync(bench, npb.ClassC, machine.AltixBX2b, p),
 			})
 		}
 		for _, th := range ompThreads {
-			omp[bench] = append(omp[bench], [3]sweep.Future[float64]{
+			omp[bench] = append(omp[bench], [3]Ens[float64]{
 				npbRateOpenMPAsync(bench, npb.ClassB, machine.Altix3700, th, 1),
 				npbRateOpenMPAsync(bench, npb.ClassB, machine.AltixBX2a, th, 1),
 				npbRateOpenMPAsync(bench, npb.ClassB, machine.AltixBX2b, th, 1),
@@ -110,10 +109,10 @@ func runFig6() []*report.Table {
 
 func runFig8() []*report.Table {
 	threads := []int{4, 16, 32, 64, 128, 256}
-	points := map[string][][]sweep.Future[float64]{}
+	points := map[string][][]Ens[float64]{}
 	for _, bench := range npb.Benchmarks {
 		for _, th := range threads {
-			var row []sweep.Future[float64]
+			var row []Ens[float64]
 			for _, v := range compiler.Versions {
 				f := compiler.Factor(v, bench, th)
 				row = append(row, npbRateOpenMPAsync(bench, npb.ClassB, machine.AltixBX2b, th, f))

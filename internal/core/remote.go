@@ -107,6 +107,11 @@ type PointSpec struct {
 	// Pin and MPT parameterize the hybrid multi-zone runs.
 	Pin pinning.Method
 	MPT machine.MPTVersion
+	// Replica selects the noise-ensemble replica. It reaches the cache key
+	// only through the noise spec (withFaults binds it into Config.Noise),
+	// so under a silent spec every replica of a point shares one key and
+	// the ensemble memo-collapses to a single computation.
+	Replica int
 }
 
 // buildPoint is the single source of truth for what a point spec means: it
@@ -121,7 +126,7 @@ func buildPoint(spec PointSpec) (string, func(context.Context) (any, error), err
 	switch spec.Kind {
 	case "beff":
 		cl := spec.Cluster.cluster()
-		cfg := withFaults(vmpi.Config{Cluster: cl, Procs: spec.Procs, Nodes: spec.Nodes, RandomPattern: spec.Random})
+		cfg := withFaults(vmpi.Config{Cluster: cl, Procs: spec.Procs, Nodes: spec.Nodes, RandomPattern: spec.Random}, spec.Replica)
 		key := "beff/reps=3/" + cfg.Fingerprint()
 		return key, func(ctx context.Context) (any, error) {
 			var out hpcc.BeffResult
@@ -135,7 +140,7 @@ func buildPoint(spec PointSpec) (string, func(context.Context) (any, error), err
 		}, nil
 	case "pingpong-lat":
 		cl := spec.Cluster.cluster()
-		cfg := withFaults(vmpi.Config{Cluster: cl, Procs: spec.Procs, Stride: spec.Stride})
+		cfg := withFaults(vmpi.Config{Cluster: cl, Procs: spec.Procs, Stride: spec.Stride}, spec.Replica)
 		key := "pingpong-lat/reps=3/" + cfg.Fingerprint()
 		return key, func(ctx context.Context) (any, error) {
 			var out float64
@@ -148,7 +153,7 @@ func buildPoint(spec PointSpec) (string, func(context.Context) (any, error), err
 			return out, err
 		}, nil
 	case "npb-mpi":
-		cfg := withFaults(vmpi.Config{Cluster: spec.Cluster.cluster(), Procs: spec.Procs})
+		cfg := withFaults(vmpi.Config{Cluster: spec.Cluster.cluster(), Procs: spec.Procs}, spec.Replica)
 		key := fmt.Sprintf("npb/mpi/%s/%s/%s", spec.Bench, spec.Class, cfg.Fingerprint())
 		return key, func(ctx context.Context) (any, error) {
 			fn, ct := npb.Skeleton(spec.Bench, spec.Class, spec.Procs)
@@ -167,7 +172,7 @@ func buildPoint(spec PointSpec) (string, func(context.Context) (any, error), err
 			Procs:         1,
 			Threads:       spec.Threads,
 			ComputeFactor: spec.Factor,
-		})
+		}, spec.Replica)
 		key := fmt.Sprintf("npb/omp/%s/%s/%s", spec.Bench, spec.Class, cfg.Fingerprint())
 		return key, func(ctx context.Context) (any, error) {
 			fn, ct := npb.Skeleton(spec.Bench, spec.Class, 1)
@@ -186,7 +191,7 @@ func buildPoint(spec PointSpec) (string, func(context.Context) (any, error), err
 		// the net model is built inside the point.
 		cl := spec.Cluster.cluster()
 		keyCfg := withFaults(vmpi.Config{Cluster: cl, Procs: spec.Procs, Threads: spec.Threads,
-			Nodes: spec.Nodes, Pin: spec.Pin})
+			Nodes: spec.Nodes, Pin: spec.Pin}, spec.Replica)
 		key := fmt.Sprintf("mz/%s/%s/mpt=%s/%s", spec.Bench, spec.Class, spec.MPT, keyCfg.Fingerprint())
 		return key, func(ctx context.Context) (any, error) {
 			fn, info := npbmz.Skeleton(spec.Bench, spec.Class, spec.Procs)
@@ -201,6 +206,7 @@ func buildPoint(spec PointSpec) (string, func(context.Context) (any, error), err
 				Pin:      spec.Pin,
 				OMP:      info.OMPOpts(),
 				Faults:   keyCfg.Faults,
+				Noise:    keyCfg.Noise,
 				Sanitize: keyCfg.Sanitize,
 				Engine:   keyCfg.Engine,
 			}, fn)
@@ -216,7 +222,7 @@ func buildPoint(spec PointSpec) (string, func(context.Context) (any, error), err
 		}, nil
 	case "md-weak":
 		w := md.PaperWeakScaling()
-		cfg := withFaults(vmpi.Config{Cluster: spec.Cluster.cluster(), Procs: spec.Procs, Nodes: spec.Nodes})
+		cfg := withFaults(vmpi.Config{Cluster: spec.Cluster.cluster(), Procs: spec.Procs, Nodes: spec.Nodes}, spec.Replica)
 		key := fmt.Sprintf("md-weak/atoms=%d/%s", w.AtomsPerProc, cfg.Fingerprint())
 		return key, func(ctx context.Context) (any, error) {
 			res, err := vmpi.RunCtx(ctx, cfg, w.Skeleton(spec.Procs))
@@ -229,12 +235,30 @@ func buildPoint(spec PointSpec) (string, func(context.Context) (any, error), err
 	return "", nil, fmt.Errorf("core: unknown point kind %q", spec.Kind)
 }
 
-// submitPoint submits one point to the sweep: through the installed
+// submitPoint submits one experiment point as its noise ensemble: R
+// replicas (R = Replicas(), 1 by default) that differ only in
+// PointSpec.Replica, each an ordinary memoized sweep point. Under a noise
+// spec the replicas key distinct cache entries (the replica index rides the
+// noise fingerprint); without one they share a single key and the sweep
+// memoizer collapses them to one computation, so -replicas without -noise
+// costs nothing.
+func submitPoint[T any](spec PointSpec) Ens[T] {
+	n := Replicas()
+	reps := make([]sweep.Future[T], n)
+	for r := 0; r < n; r++ {
+		s := spec
+		s.Replica = r
+		reps[r] = submitReplica[T](s)
+	}
+	return Ens[T]{reps: reps}
+}
+
+// submitReplica submits one replica to the sweep: through the installed
 // dispatcher when the run is distributed, in-process otherwise. Both paths
 // share buildPoint, so the cache key — and with it memoization, affinity
 // class and report output — is identical regardless of where the point
 // executes.
-func submitPoint[T any](spec PointSpec) sweep.Future[T] {
+func submitReplica[T any](spec PointSpec) sweep.Future[T] {
 	key, run, err := buildPoint(spec)
 	if err != nil {
 		// An unbuildable spec is a bug at the submission site; surface it

@@ -37,7 +37,8 @@ import (
 
 // ProtocolVersion is bumped whenever the frame vocabulary or a message
 // shape changes incompatibly; the handshake rejects a mismatch.
-const ProtocolVersion = 1
+// Version 2 added Hello.Noise and PointSpec.Replica (noise ensembles).
+const ProtocolVersion = 2
 
 // maxFrame bounds a frame body. A corrupt length prefix must not make the
 // reader allocate gigabytes before the CRC gets a chance to object.
@@ -67,6 +68,11 @@ type Hello struct {
 	Faults string
 	// Commsan enables the communication sanitizer in the worker.
 	Commsan bool
+	// Noise is the active performance-noise spec's canonical fingerprint
+	// (noise.Spec round-trips through it losslessly); the worker re-parses
+	// it so replica-bearing point specs stamp identical noise fingerprints
+	// — and therefore identical cache keys — on both sides.
+	Noise string
 	// Engine selects the vmpi scheduling engine ("heap", "calendar", ...).
 	Engine string
 	// Timeout is the per-point wall-clock budget the worker enforces; the

@@ -104,6 +104,12 @@ type Plan struct {
 	workerCorrupt int
 	workerTrunc   int
 	workerStall   int
+	// seed decorrelates any stochastic noise overlay (package noise)
+	// riding on top of this plan: it is mixed as an extra word into the
+	// per-rank jitter stream derivation, so the same -noise spec draws
+	// fresh jitter under each faulted scenario. 0 (the default) adds no
+	// entropy and leaves historical fingerprints unchanged.
+	seed uint64
 }
 
 // New returns an empty plan describing the healthy machine.
@@ -204,6 +210,22 @@ func (p *Plan) MarkTransient() *Plan {
 	return p
 }
 
+// WithSeed sets the plan's noise-decorrelation seed (see the seed field):
+// package noise mixes it into its jitter stream derivation so a faulted
+// scenario draws jitter independent of the healthy run's.
+func (p *Plan) WithSeed(n uint64) *Plan {
+	p.seed = n
+	return p
+}
+
+// Seed returns the noise-decorrelation seed; 0 for a nil or unseeded plan.
+func (p *Plan) Seed() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.seed
+}
+
 // KillWorker schedules worker suicide: each worker process serves m (>= 0)
 // points, then exits abruptly while serving the next. m = 0 kills every
 // request — the poison-point schedule that drives quarantine.
@@ -286,7 +308,8 @@ func (p *Plan) WorkerStallRequest() (int, bool) {
 func (p *Plan) Empty() bool {
 	return p == nil || (len(p.slowCPU) == 0 && len(p.slowNode) == 0 &&
 		len(p.bus) == 0 && len(p.link) == 0 && len(p.fabric) == 0 && len(p.down) == 0 &&
-		p.workerKill == 0 && p.workerCorrupt == 0 && p.workerTrunc == 0 && p.workerStall == 0)
+		p.workerKill == 0 && p.workerCorrupt == 0 && p.workerTrunc == 0 && p.workerStall == 0 &&
+		p.seed == 0)
 }
 
 // CPUFactor returns the compute-time multiplier (>= 1) for the CPU at l:
@@ -414,6 +437,9 @@ func (p *Plan) Fingerprint() string {
 	if p.workerStall > 0 {
 		parts = append(parts, fmt.Sprintf("wstall=%d", p.workerStall-1))
 	}
+	if p.seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.seed))
+	}
 	sort.Strings(parts)
 	if p.transient {
 		parts = append(parts, "transient")
@@ -439,6 +465,7 @@ func (p *Plan) String() string {
 //	flap=NODE:PERIOD:DUTY:DOWNSCALE  flapping link (virtual-time square wave)
 //	fabric=NODE:SCALE          scale a box's cross-brick fabric capacity
 //	nodedown=NODE              lose the box entirely
+//	seed=N                     decorrelation seed for a stochastic noise overlay
 //	transient                  node losses are retryable
 //
 // Worker-chaos directives (effective only with columbia -workers N):
@@ -463,6 +490,16 @@ func Parse(spec string) (*Plan, error) {
 		name, argstr, ok := strings.Cut(part, "=")
 		if !ok {
 			return nil, fmt.Errorf("fault: directive %q is not name=args or \"transient\"", part)
+		}
+		if name == "seed" {
+			// Parsed as uint64, not through the float path: seeds use the
+			// full 64-bit range and must round-trip exactly.
+			n, err := strconv.ParseUint(strings.TrimSpace(argstr), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: directive %q: seed must be a non-negative integer", part)
+			}
+			p.WithSeed(n)
+			continue
 		}
 		args, err := parseArgs(argstr)
 		if err != nil {

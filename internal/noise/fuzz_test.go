@@ -1,0 +1,58 @@
+package noise
+
+import "testing"
+
+// FuzzNoiseParse fuzzes the -noise directive syntax for the same two
+// properties FuzzPlanParse checks on -faults: Parse never panics on
+// arbitrary input (a malformed noise spec must be a CLI usage error, not a
+// crash), and every accepted spec round-trips through its canonical
+// fingerprint — Parse(s.Fingerprint()) succeeds and reaches the same
+// fingerprint fixed point. The fixed point is what lets the supervisor
+// ship the active noise spec to worker processes as a fingerprint string
+// (dist.Hello.Noise) and lets each ensemble replica re-derive its exact
+// memo-cache key: any drift between the parsed spec and its canonical
+// rendering would split the cache between supervisor and fleet.
+//
+// The seed corpus lives under testdata/fuzz/FuzzNoiseParse; `go test`
+// replays it on every run, `go test -fuzz=FuzzNoiseParse` explores from it.
+func FuzzNoiseParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"jitter=uniform:0.1",
+		"jitter=exp:0.05,seed=7",
+		"jitter=pareto:0.02:1.5",
+		"jitter=pareto:0.02",
+		"daemon=10:0.02:3:4",
+		"daemon=10:0.02:3",
+		"jitter=uniform:0.1,daemon=5:0.5:2,seed=9,replica=3",
+		"seed=18446744073709551615",
+		"jitter=uniform:10,replica=4096",
+		"jitter=pareto:1e-300:1.05",
+		"daemon=1e308:1:2",
+		"jitter=uniform:nan",
+		"jitter=gauss:0.1",
+		" jitter = uniform:0.1 , seed=5 ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := Parse(spec)
+		if err != nil {
+			return // rejected specs just need to not panic
+		}
+		fp := s.Fingerprint()
+		q, err := Parse(fp)
+		if err != nil {
+			t.Fatalf("fingerprint %q of accepted spec %q does not re-parse: %v", fp, spec, err)
+		}
+		if fp2 := q.Fingerprint(); fp2 != fp {
+			t.Fatalf("fingerprint not a fixed point for spec %q:\n first  %q\n second %q", spec, fp, fp2)
+		}
+		if s.Empty() != (fp == "") {
+			t.Fatalf("Empty()=%v inconsistent with fingerprint %q for spec %q", s.Empty(), fp, spec)
+		}
+		if s.Perturbs() && !s.Jitters() && !s.Daemons() {
+			t.Fatalf("Perturbs() without Jitters() or Daemons() for spec %q", spec)
+		}
+	})
+}

@@ -1,0 +1,309 @@
+package noise
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEmptyAndNilSafety(t *testing.T) {
+	var nilSpec *Spec
+	if !nilSpec.Empty() || nilSpec.Perturbs() || nilSpec.Jitters() || nilSpec.Daemons() {
+		t.Error("nil spec must be empty silence")
+	}
+	if nilSpec.Fingerprint() != "" {
+		t.Errorf("nil fingerprint = %q", nilSpec.Fingerprint())
+	}
+	if nilSpec.WithReplica(3) != nil {
+		t.Error("nil.WithReplica must stay nil")
+	}
+	if nilSpec.Replica() != 0 || nilSpec.Seed() != 0 {
+		t.Error("nil accessors must return zeros")
+	}
+	if !New().Empty() || New().Fingerprint() != "" {
+		t.Error("fresh spec must be empty with empty fingerprint")
+	}
+	if New().String() != "silent" {
+		t.Errorf("String() of empty spec = %q", New().String())
+	}
+}
+
+func TestFingerprintCanonical(t *testing.T) {
+	cases := []struct {
+		build *Spec
+		want  string
+	}{
+		{New().WithUniform(0.1), "jitter=uniform:0.1"},
+		{New().WithExp(0.05).WithSeed(7), "jitter=exp:0.05,seed=7"},
+		{New().WithPareto(0.02, 1.5), "jitter=pareto:0.02:1.5"},
+		{New().WithDaemon(10, 0.02, 3, 4), "daemon=10:0.02:3:4"},
+		{New().WithDaemon(10, 0.02, 3, 0), "daemon=10:0.02:3"},
+		{New().WithUniform(0.1).WithDaemon(5, 0.5, 2, 0).WithSeed(9),
+			"daemon=5:0.5:2,jitter=uniform:0.1,seed=9"},
+		{New().WithUniform(0.1).WithReplica(2).WithSeed(1),
+			"jitter=uniform:0.1,replica=2,seed=1"},
+		// Clamps canonicalize: amp over the cap pins to 10, alpha below
+		// the floor pulls up, a never-slowing daemon window vanishes.
+		{New().WithUniform(99), "jitter=uniform:10"},
+		{New().WithPareto(0.1, 0.5), "jitter=pareto:0.1:1.05"},
+		{New().WithDaemon(10, 0, 3, 0), ""},
+		{New().WithDaemon(10, 0.5, 1, 0), ""},
+		{New().WithDaemon(-1, 0.5, 3, 0), ""},
+		{New().WithUniform(0), ""},
+		{New().WithUniform(-2), ""},
+		{New().WithUniform(math.NaN()), ""},
+	}
+	for _, c := range cases {
+		if got := c.build.Fingerprint(); got != c.want {
+			t.Errorf("fingerprint = %q, want %q", got, c.want)
+		}
+		if c.build.Empty() != (c.want == "") {
+			t.Errorf("Empty()=%v inconsistent with fingerprint %q", c.build.Empty(), c.want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"jitter=uniform:0.1",
+		"jitter=exp:0.05,seed=7",
+		"jitter=pareto:0.02:1.5",
+		"jitter=pareto:0.02",
+		"daemon=10:0.02:3:4",
+		"daemon=10:0.02:3",
+		"jitter=uniform:0.1,daemon=5:0.5:2,seed=9,replica=3",
+		" jitter = uniform:0.1 , seed=5 ",
+		"",
+		",,",
+		"seed=18446744073709551615", // full uint64 range must survive
+	} {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+			continue
+		}
+		fp := p.Fingerprint()
+		q, err := Parse(fp)
+		if err != nil {
+			t.Errorf("fingerprint %q of %q does not re-parse: %v", fp, spec, err)
+			continue
+		}
+		if fp2 := q.Fingerprint(); fp2 != fp {
+			t.Errorf("not a fixed point for %q: %q then %q", spec, fp, fp2)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, spec := range []string{
+		"jitter",                    // no args
+		"jitter=",                   // empty args
+		"jitter=uniform",            // missing amplitude
+		"jitter=uniform:0",          // zero amplitude
+		"jitter=uniform:-1",         // negative amplitude
+		"jitter=uniform:11",         // amplitude over cap is a user error
+		"jitter=uniform:0.1:2",      // alpha on a non-pareto kind
+		"jitter=gauss:0.1",          // unknown distribution
+		"jitter=pareto:0.1:1",       // alpha at 1: infinite mean
+		"jitter=pareto:0.1:999",     // alpha over cap
+		"jitter=uniform:x",          // non-numeric
+		"daemon=10:0.5",             // too few args
+		"daemon=10:0.5:2:4:9",       // too many args
+		"daemon=0:0.5:2",            // zero period
+		"daemon=10:0:2",             // zero duty
+		"daemon=10:1.5:2",           // duty over 1
+		"daemon=10:0.5:1",           // factor 1: never slows
+		"daemon=10:0.5:2:1.5",       // fractional cpus
+		"daemon=10:0.5:2:-1",        // negative cpus
+		"daemon=10:0.5:2:5000",      // cpus over cap
+		"seed=-1",                   // negative seed
+		"seed=1.5",                  // fractional seed
+		"seed=18446744073709551616", // uint64 overflow
+		"replica=-1",                // negative replica
+		"bogus=1",                   // unknown directive
+		"daemon",                    // not name=args
+		"jitter=uniform:nan",        // NaN amplitude
+		"daemon=inf:0.5:2",          // infinite period
+	} {
+		if p, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted: %v", spec, p)
+		}
+	}
+}
+
+func TestWithReplicaCopies(t *testing.T) {
+	base := New().WithUniform(0.1).WithSeed(3)
+	r2 := base.WithReplica(2)
+	if base.Replica() != 0 {
+		t.Error("WithReplica mutated the receiver")
+	}
+	if r2.Replica() != 2 {
+		t.Errorf("replica = %d, want 2", r2.Replica())
+	}
+	if !strings.Contains(r2.Fingerprint(), "replica=2") {
+		t.Errorf("replica missing from fingerprint %q", r2.Fingerprint())
+	}
+	if strings.Contains(base.Fingerprint(), "replica") {
+		t.Errorf("receiver fingerprint gained a replica: %q", base.Fingerprint())
+	}
+	if base.WithReplica(-5).Replica() != 0 {
+		t.Error("negative replica must clamp to 0")
+	}
+	// Replicas of the same spec differ only in the replica part.
+	if base.WithReplica(1).Fingerprint() == base.WithReplica(2).Fingerprint() {
+		t.Error("distinct replicas share a fingerprint")
+	}
+}
+
+func TestRuntimeIdentityWhenSilent(t *testing.T) {
+	for _, s := range []*Spec{nil, New(), New().WithSeed(5), New().WithSeed(5).WithReplica(2)} {
+		if rt := NewRuntime(s, 0, 8, nil); rt != nil {
+			t.Errorf("NewRuntime(%v) != nil for a non-perturbing spec", s)
+		}
+	}
+	var rt *Runtime
+	if got := rt.Perturb(0, 1.5, 2.5); got != 2.5 {
+		t.Errorf("nil runtime Perturb = %v, want identity", got)
+	}
+}
+
+func TestPerturbDeterministicPerRank(t *testing.T) {
+	spec, err := Parse("jitter=exp:0.1,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewRuntime(spec, 0, 4, nil)
+	b := NewRuntime(spec, 0, 4, nil)
+	// Interleave ranks differently in the two runtimes: per-rank streams
+	// must make the draw sequence independent of global call order.
+	var seqA, seqB []float64
+	for i := 0; i < 16; i++ {
+		seqA = append(seqA, a.Perturb(i%4, float64(i), 1))
+	}
+	for r := 0; r < 4; r++ {
+		for i := r; i < 16; i += 4 {
+			seqB = append(seqB, b.Perturb(r, float64(i), 1))
+		}
+	}
+	// seqB is seqA regrouped by rank: compare rank-by-rank.
+	for r := 0; r < 4; r++ {
+		for k := 0; k < 4; k++ {
+			got := seqB[r*4+k]
+			want := seqA[k*4+r]
+			if got != want {
+				t.Fatalf("rank %d draw %d: %v (grouped) vs %v (interleaved)", r, k, got, want)
+			}
+		}
+	}
+}
+
+func TestPerturbSeedAndReplicaDecorrelate(t *testing.T) {
+	base, _ := Parse("jitter=uniform:0.5,seed=1")
+	other, _ := Parse("jitter=uniform:0.5,seed=2")
+	r0 := NewRuntime(base, 0, 1, nil)
+	r0again := NewRuntime(base, 0, 1, nil)
+	rSeed := NewRuntime(other, 0, 1, nil)
+	rRep := NewRuntime(base.WithReplica(1), 0, 1, nil)
+	rPlan := NewRuntime(base, 99, 1, nil)
+	a, b := r0.Perturb(0, 0, 1), r0again.Perturb(0, 0, 1)
+	if a != b {
+		t.Fatalf("same seed differs: %v vs %v", a, b)
+	}
+	if c := rSeed.Perturb(0, 0, 1); c == a {
+		t.Errorf("different spec seed drew the same value %v", c)
+	}
+	if c := rRep.Perturb(0, 0, 1); c == a {
+		t.Errorf("different replica drew the same value %v", c)
+	}
+	if c := rPlan.Perturb(0, 0, 1); c == a {
+		t.Errorf("different plan seed drew the same value %v", c)
+	}
+}
+
+func TestPerturbAlwaysSlows(t *testing.T) {
+	for _, spec := range []string{
+		"jitter=uniform:0.3,seed=5",
+		"jitter=exp:0.3,seed=5",
+		"jitter=pareto:0.3:1.5,seed=5",
+	} {
+		s, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := NewRuntime(s, 0, 2, nil)
+		for i := 0; i < 1000; i++ {
+			got := rt.Perturb(i%2, float64(i), 1)
+			if got < 1 || math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("%s: Perturb produced %v at step %d; jitter must only slow", spec, got, i)
+			}
+			// The truncated Pareto bounds every draw at 1 + amp*cap.
+			if got > 1+0.3*paretoCap {
+				t.Fatalf("%s: draw %v exceeds the truncation cap", spec, got)
+			}
+		}
+	}
+}
+
+func TestDaemonWindowSquareWave(t *testing.T) {
+	spec, err := Parse("daemon=10:0.2:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(spec, 0, 1, nil)
+	cases := []struct {
+		now  float64
+		want float64
+	}{
+		{0, 3},    // window opens at each period start
+		{1.9, 3},  // still inside duty*period = 2s
+		{2.1, 1},  // window closed
+		{9.9, 1},  // closed until the next period
+		{10.0, 3}, // reopens
+		{11.9, 3},
+		{12.5, 1},
+	}
+	for _, c := range cases {
+		if got := rt.Perturb(0, c.now, 1); got != c.want {
+			t.Errorf("Perturb at t=%v = %v, want %v", c.now, got, c.want)
+		}
+	}
+}
+
+func TestDaemonCPUEligibility(t *testing.T) {
+	spec, err := Parse("daemon=10:0.5:2:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ranks 0-3 sit on per-node CPUs 0-3 (eligible), ranks 4-7 on CPUs
+	// 4-7 (outside the boot cpuset).
+	rt := NewRuntime(spec, 0, 8, func(rank int) int { return rank })
+	for rank := 0; rank < 8; rank++ {
+		got := rt.Perturb(rank, 0, 1) // t=0 is inside the window
+		want := 1.0
+		if rank < 4 {
+			want = 2.0
+		}
+		if got != want {
+			t.Errorf("rank %d: Perturb = %v, want %v", rank, got, want)
+		}
+	}
+	// cpus=0 means every CPU, even with no index function.
+	all, _ := Parse("daemon=10:0.5:2")
+	rtAll := NewRuntime(all, 0, 2, nil)
+	if got := rtAll.Perturb(1, 0, 1); got != 2 {
+		t.Errorf("cpus=0 rank not slowed: %v", got)
+	}
+}
+
+func TestStreamAdvancesWhateverT(t *testing.T) {
+	// A zero-duration compute must still consume one draw, so the draw
+	// sequence is a pure function of per-rank event order.
+	spec, _ := Parse("jitter=uniform:1,seed=3")
+	a := NewRuntime(spec, 0, 1, nil)
+	b := NewRuntime(spec, 0, 1, nil)
+	a.Perturb(0, 0, 0) // zero-length event
+	b.Perturb(0, 0, 1) // normal event
+	if got, want := a.Perturb(0, 1, 1), b.Perturb(0, 1, 1); got != want {
+		t.Errorf("second draw differs after a zero-length event: %v vs %v", got, want)
+	}
+}

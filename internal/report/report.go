@@ -107,6 +107,38 @@ func (t *Table) FailCell(err error) string {
 	return "!" + kind
 }
 
+// EnsembleCell renders a replica distribution as one distribution-aware
+// cell: "min/avg/max ±spread%", where spread is the relative range
+// (max-min)/avg — the noise-study convention (ARCHER/Cirrus, RZBENCH) for
+// reporting run-to-run variation. A single value renders as Fmt does, so
+// one-replica ensembles are indistinguishable from plain cells. The cell
+// never contains a comma, keeping Table.CSV lossless.
+func EnsembleCell(vals []float64) string {
+	if len(vals) == 0 {
+		return "-"
+	}
+	if len(vals) == 1 {
+		return Fmt(vals[0])
+	}
+	min, max, sum := vals[0], vals[0], 0.0
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	avg := sum / float64(len(vals))
+	spread := 0.0
+	//detlint:allow floatcmp only an exactly-zero mean suppresses the spread; near-zero means divide normally
+	if avg != 0 {
+		spread = (max - min) / avg * 100
+	}
+	return fmt.Sprintf("%s/%s/%s ±%.1f%%", Fmt(min), Fmt(avg), Fmt(max), spread)
+}
+
 // Fmt renders a float compactly: 3-4 significant digits, scientific only
 // when far from unity.
 func Fmt(x float64) string {

@@ -115,3 +115,27 @@ func Skip(seed, a float64, n int64) *Stream {
 	s.Randlc(PowMod46(a, n))
 	return s
 }
+
+// Derive returns a Stream whose state is a mixed hash of the given words
+// (splitmix64 finalizer over a running accumulator). The resulting 46-bit
+// state is forced odd: odd seeds are coprime to the 2^46 modulus, so the
+// derived stream has the LCG's full 2^44 period and can never hit the
+// absorbing zero state. Distinct word tuples — e.g. (seed, replica, rank)
+// — yield decorrelated streams deterministically, with no dependence on
+// call order or shared state.
+func Derive(words ...uint64) Stream {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range words {
+		h = mix64(h + w + 0x9e3779b97f4a7c15)
+	}
+	state := h&(1<<46-1) | 1
+	return Stream{x: float64(state)}
+}
+
+// mix64 is the splitmix64 finalizer: an invertible avalanche mix whose
+// output bits each depend on every input bit.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

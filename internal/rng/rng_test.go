@@ -64,6 +64,63 @@ func TestVranlcEqualsLoop(t *testing.T) {
 	}
 }
 
+func TestDeriveDeterministicAndOdd(t *testing.T) {
+	// Same words ⇒ same state; derivation is a pure function.
+	a := Derive(7, 0, 3)
+	b := Derive(7, 0, 3)
+	if a.X() != b.X() {
+		t.Fatalf("Derive not reproducible: %v vs %v", a.X(), b.X())
+	}
+	// Every derived state is an odd integer inside the 46-bit modulus, so
+	// the stream has full period and never absorbs at zero.
+	for seed := uint64(0); seed < 64; seed++ {
+		for rank := uint64(0); rank < 64; rank++ {
+			s := Derive(seed, rank)
+			x := s.X()
+			if x != float64(uint64(x)) || uint64(x)%2 != 1 || uint64(x) >= 1<<46 {
+				t.Fatalf("Derive(%d,%d) state %v not an odd 46-bit integer", seed, rank, x)
+			}
+		}
+	}
+}
+
+func TestDeriveDecorrelates(t *testing.T) {
+	// Neighboring word tuples must land on distinct states: collisions
+	// here would correlate per-rank jitter streams inside one replica.
+	seen := make(map[float64][3]uint64)
+	for seed := uint64(0); seed < 8; seed++ {
+		for rep := uint64(0); rep < 8; rep++ {
+			for rank := uint64(0); rank < 64; rank++ {
+				s := Derive(seed, rep, rank)
+				if prev, dup := seen[s.X()]; dup {
+					t.Fatalf("state collision: (%d,%d,%d) and %v", seed, rep, rank, prev)
+				}
+				seen[s.X()] = [3]uint64{seed, rep, rank}
+			}
+		}
+	}
+	// Word count matters too: (a, b) and (a, b, 0) are distinct tuples.
+	two, three := Derive(1, 2), Derive(1, 2, 0)
+	if two.X() == three.X() {
+		t.Error("Derive(1,2) and Derive(1,2,0) collide")
+	}
+}
+
+func TestDerivedStreamUniform(t *testing.T) {
+	// A derived stream still walks the NPB recurrence: coarse bin check.
+	s := Derive(42, 0, 0)
+	var bins [10]int
+	n := 100000
+	for i := 0; i < n; i++ {
+		bins[int(s.Next()*10)]++
+	}
+	for b, c := range bins {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Errorf("bin %d has %d of %d draws", b, c, n)
+		}
+	}
+}
+
 func TestUniformity(t *testing.T) {
 	// Coarse chi-square-ish check: 10 bins over 100k draws.
 	s := New(DefaultSeed)

@@ -47,6 +47,14 @@ func (c Config) Fingerprint() string {
 		b.WriteString("|faults=")
 		b.WriteString(c.Faults.Fingerprint())
 	}
+	// Stochastic noise changes results draw by draw, and the ensemble
+	// replica index selects a distinct stream even under one seed, so the
+	// whole spec — distribution, seed, replica — keys the cache;
+	// noiseless configs keep their historical fingerprints byte-identical.
+	if !c.Noise.Empty() {
+		b.WriteString("|noise=")
+		b.WriteString(c.Noise.Fingerprint())
+	}
 	// The sanitizer never perturbs timing, but sanitized runs can fail
 	// where unsanitized runs succeed, so the toggle must split the cache;
 	// unsanitized fingerprints stay byte-identical to past releases.

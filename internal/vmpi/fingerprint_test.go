@@ -8,6 +8,7 @@ import (
 	"columbia/internal/fault"
 	"columbia/internal/machine"
 	"columbia/internal/netmodel"
+	"columbia/internal/noise"
 	"columbia/internal/pinning"
 )
 
@@ -32,6 +33,7 @@ var fingerprintMutators = map[string]func(*Config){
 	"OMP":           func(c *Config) { c.OMP.SerialFraction = 0.25 },
 	"RandomPattern": func(c *Config) { c.RandomPattern = true },
 	"Faults":        func(c *Config) { c.Faults = fault.New().SlowNode(0, 2) },
+	"Noise":         func(c *Config) { c.Noise = noise.New().WithUniform(0.1).WithSeed(7) },
 	"Sanitize":      func(c *Config) { c.Sanitize = true },
 	"Engine":        func(c *Config) { c.Engine = EngineGoroutine },
 }
@@ -97,6 +99,44 @@ func TestFingerprintSanitizeIff(t *testing.T) {
 	on2.Sanitize = true
 	if on2.Fingerprint() != onFP {
 		t.Errorf("equal sanitized configs fingerprint differently")
+	}
+}
+
+// TestFingerprintNoiseIff: the fingerprint mentions noise iff a non-empty
+// spec is attached — noiseless fingerprints stay byte-identical to
+// releases that predate Config.Noise — and each ensemble replica of one
+// seed keys its own cache entry while equal (seed, replica) pairs collide.
+func TestFingerprintNoiseIff(t *testing.T) {
+	silent := baseFingerprintConfig()
+	noisy := baseFingerprintConfig()
+	noisy.Noise = noise.New().WithExp(0.05).WithSeed(3)
+	silentFP, noisyFP := silent.Fingerprint(), noisy.Fingerprint()
+	if strings.Contains(silentFP, "noise") {
+		t.Errorf("noiseless fingerprint mentions noise (breaks historical cache keys):\n%s", silentFP)
+	}
+	if noisyFP == silentFP {
+		t.Errorf("noise spec does not change the fingerprint:\n%s", noisyFP)
+	}
+	if !strings.Contains(noisyFP, "noise=jitter=exp:0.05,seed=3") {
+		t.Errorf("noisy fingerprint missing canonical noise component:\n%s", noisyFP)
+	}
+	// Replicas of one seed are distinct points; equal replicas collide.
+	r1, r2 := baseFingerprintConfig(), baseFingerprintConfig()
+	r1.Noise = noisy.Noise.WithReplica(1)
+	r2.Noise = noisy.Noise.WithReplica(2)
+	if r1.Fingerprint() == r2.Fingerprint() {
+		t.Errorf("replicas 1 and 2 share a fingerprint:\n%s", r1.Fingerprint())
+	}
+	r1b := baseFingerprintConfig()
+	r1b.Noise = noisy.Noise.WithReplica(1)
+	if r1b.Fingerprint() != r1.Fingerprint() {
+		t.Errorf("equal (seed, replica) configs fingerprint differently")
+	}
+	// An empty-but-non-nil spec is silence: no component, same cache entry.
+	blank := baseFingerprintConfig()
+	blank.Noise = noise.New()
+	if blank.Fingerprint() != silentFP {
+		t.Errorf("empty noise spec changed the fingerprint:\n%s", blank.Fingerprint())
 	}
 }
 

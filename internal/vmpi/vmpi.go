@@ -57,6 +57,7 @@ import (
 	"columbia/internal/fault"
 	"columbia/internal/machine"
 	"columbia/internal/netmodel"
+	"columbia/internal/noise"
 	"columbia/internal/omp"
 	"columbia/internal/par"
 	"columbia/internal/pinning"
@@ -119,6 +120,13 @@ type Config struct {
 	// nil simulates the healthy machine; the plan is fingerprint-visible,
 	// so faulted and healthy runs never share a cache entry.
 	Faults *fault.Plan
+	// Noise overlays seeded stochastic performance noise (per-rank compute
+	// jitter and periodic daemon-interference windows — see package noise)
+	// on top of whatever Faults describes. nil is silence; the spec,
+	// including its seed and ensemble replica index, is
+	// fingerprint-visible, so every (seed, replica) point memoizes
+	// independently while noiseless fingerprints stay byte-identical.
+	Noise *noise.Spec
 	// Sanitize enables the communication sanitizer (package commsan):
 	// per-rank vector clocks and a message-match ledger that turn
 	// wildcard-receive races, unmatched traffic and mismatched collectives
@@ -253,6 +261,10 @@ type engine struct {
 	bootFactor float64
 	computeFac float64
 	faults     *fault.Plan
+	// noise is the run's bound noise runtime (per-rank jitter streams and
+	// the daemon eligibility mask); nil is silence. It lives on the engine,
+	// never shared across runs, because streams are mutable per-rank state.
+	noise *noise.Runtime
 	// san is the communication sanitizer; nil unless Config.Sanitize.
 	san *commsan.Tracker
 	// arena, when non-nil, is where this run's scratch came from and where
@@ -614,6 +626,15 @@ func newEngine(cfg Config, arena *Arena) (e *engine, err error) {
 	}
 	if e.computeFac <= 0 {
 		e.computeFac = 1
+	}
+	// Bind the noise spec to this run: one derived rng stream per rank
+	// (keyed by spec seed, fault-plan seed, replica, rank) plus the daemon
+	// eligibility mask from each rank's per-node CPU index. Both engines
+	// share computeTime, so a nil runtime here is the only engine-visible
+	// difference between silence and noise.
+	if cfg.Noise.Perturbs() {
+		e.noise = noise.NewRuntime(cfg.Noise, cfg.Faults.Seed(), cfg.Procs,
+			func(rank int) int { return e.slot(rank, 0).CPU })
 	}
 	e.bootFactor = 1
 	if e.place.UsesWholeNode() {
@@ -1172,7 +1193,13 @@ func (e *engine) computeTime(r *rankState, w machine.Work) float64 {
 			jf = f
 		}
 	}
-	return t * jf
+	// Stochastic noise perturbs last, on top of every deterministic
+	// factor: the rank's jitter stream advances exactly once per compute
+	// event (per-rank program order, so both engines and every scheduler
+	// interleaving replay identical draws), and the daemon window is a
+	// square wave of the rank's own virtual clock. Elapse is exempt —
+	// fixed costs model I/O and setup, not CPU time a daemon could steal.
+	return e.noise.Perturb(r.id, r.now, t*jf)
 }
 
 func (e *engine) result() Result {

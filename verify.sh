@@ -54,6 +54,14 @@ echo "== go test -run Fault -count=5 (flake gate) =="
 go test -timeout 10m -run Fault -count=5 \
 	./internal/fault/ ./internal/vmpi/ ./internal/sweep/ ./internal/report/ ./internal/core/ ./cmd/columbia/
 
+# Seeded-noise determinism: the noise tests (stream discipline in vmpi,
+# ensemble cache isolation/collapse, parallel replay byte-identity, seed
+# sensitivity, golden distribution cells) are the replay contract for
+# stochastic runs; repeat them to shake out schedule-dependent draws.
+echo "== go test -run Noise -count=5 (noise flake gate) =="
+go test -timeout 10m -run Noise -count=5 \
+	./internal/noise/ ./internal/vmpi/ ./internal/core/ ./cmd/columbia/
+
 # Communication sanitizer: one representative core experiment per
 # simulating app family (HPCC/b_eff stride, NPB OpenMP fig8, multi-zone
 # fig7, MD table5) runs under -commsan. A violation — a message race, an
@@ -74,6 +82,17 @@ bin/columbia -faults wkill=1 run stride table1 > bin/chaos_serial.out
 bin/columbia -workers 2 -faults wkill=1 run stride table1 > bin/chaos_workers.out
 cmp bin/chaos_serial.out bin/chaos_workers.out
 rm -f bin/chaos_serial.out bin/chaos_workers.out
+
+# Noise ensemble smoke: one paper table as a 5-replica seeded jitter
+# ensemble, serial vs 2 worker processes — the distribution cells (min/
+# avg/max ±spread) must be byte-identical across process boundaries, and
+# the output must actually contain them.
+echo "== noise ensemble smoke (5 replicas, serial vs workers) =="
+bin/columbia -noise jitter=exp:0.05,seed=12 -replicas 5 run fig7 > bin/noise_serial.out
+bin/columbia -workers 2 -noise jitter=exp:0.05,seed=12 -replicas 5 run fig7 > bin/noise_workers.out
+cmp bin/noise_serial.out bin/noise_workers.out
+grep -q '±' bin/noise_serial.out
+rm -f bin/noise_serial.out bin/noise_workers.out
 
 # -short skips the 2048-rank experiments: their race-instrumented goroutine
 # churn takes tens of minutes on small hosts while exercising the exact same
